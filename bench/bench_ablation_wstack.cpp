@@ -1,0 +1,71 @@
+// Ablation: W-stacking (paper §III/§IV/§VI-E).
+//
+// Sweeps the number of w-planes for an observation whose w coordinates are
+// inflated until plain IDG's subgrid can no longer contain the w-term
+// support, and reports degridding accuracy and runtime per plane count —
+// the trade the paper describes as "larger subgrids ... in connection with
+// W-stacking to dramatically limit the number of required W-planes".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "idg/wstack.hpp"
+#include "kernels/optimized.hpp"
+#include "sim/predict.hpp"
+#include "sim/skymodel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts, /*fill_visibilities=*/false);
+  bench::print_header("Ablation: W-stacking plane count", setup);
+
+  auto ds = setup.dataset;  // copy: we inflate w
+  const float w_scale = static_cast<float>(opts.get("w-scale", 40.0));
+  for (UVW& c : ds.uvw) c.w *= w_scale;
+
+  const double dl =
+      setup.params.image_size / static_cast<double>(setup.params.grid_size);
+  sim::SkyModel sky = {sim::PointSource{static_cast<float>(40 * dl),
+                                        static_cast<float>(-35 * dl), 1.0f}};
+  auto expected = sim::predict_visibilities(sky, ds.uvw, ds.baselines, ds.obs);
+  const double rms = sim::rms_amplitude(expected);
+  auto model = sim::render_sky_image(sky, setup.params.grid_size,
+                                     setup.params.image_size);
+
+  Array3D<Visibility> predicted(ds.nr_baselines(), ds.nr_timesteps(),
+                                ds.nr_channels());
+
+  Table table({"w-planes", "max residual w (lambda)", "degrid err (rel)",
+               "degrid (MVis/s)", "plane grids (MB)"});
+  for (int planes : {1, 2, 4, 8, 16, 32}) {
+    const WPlaneModel wplanes =
+        planes == 1 ? WPlaneModel(1, 0.0)
+                    : WPlaneModel::fit(planes, ds.uvw, ds.frequencies);
+    WStackProcessor proc(setup.params, wplanes,
+                         kernels::optimized_kernels());
+    Plan plan = proc.make_plan(ds.uvw, ds.frequencies, ds.baselines);
+    auto grids = proc.model_image_to_grids(model);
+
+    Timer timer;
+    proc.degrid_visibilities(plan, ds.uvw.cview(), grids.cview(),
+                             setup.aterms.cview(), predicted.view());
+    const double seconds = timer.seconds();
+    const double err = sim::max_abs_difference(expected, predicted) / rms;
+    table.row()
+        .add(planes)
+        .add(wplanes.max_residual(), 1)
+        .add(err, 5)
+        .add(static_cast<double>(plan.nr_planned_visibilities()) / seconds /
+                 1e6,
+             3)
+        .add(static_cast<double>(grids.bytes()) / 1e6, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: accuracy improves steeply with the first "
+               "few planes, then saturates; kernel runtime is flat (the "
+               "stacking cost is per-plane grids and FFTs, the trade the "
+               "paper highlights against W-projection's kernel storage).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared harness for the per-figure bench binaries.
+//
+// Every bench accepts the same scaling knobs (DESIGN.md §7):
+//   --stations N --time T --channels C --grid G --subgrid S
+//   --aterm-interval A --kernel-size K --paper --csv <path>
+// plus IDG_BENCH_* environment equivalents. Defaults are sized to finish in
+// seconds on a single core; --paper selects the full 2017 configuration.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/report.hpp"
+#include "idg/parameters.hpp"
+#include "idg/plan.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+
+namespace idg::bench {
+
+struct BenchSetup {
+  sim::BenchmarkConfig config;
+  sim::Dataset dataset;
+  Parameters params;
+  Plan plan;
+  sim::ATermCube aterms;
+};
+
+inline sim::BenchmarkConfig config_from_options(const Options& opts) {
+  sim::BenchmarkConfig cfg =
+      opts.flag("paper") ? sim::BenchmarkConfig::paper() : sim::BenchmarkConfig{};
+  cfg.nr_stations = static_cast<int>(opts.get("stations", static_cast<long>(cfg.nr_stations)));
+  cfg.nr_timesteps = static_cast<int>(opts.get("time", static_cast<long>(cfg.nr_timesteps)));
+  cfg.nr_channels = static_cast<int>(opts.get("channels", static_cast<long>(cfg.nr_channels)));
+  cfg.grid_size = static_cast<std::size_t>(opts.get("grid", static_cast<long>(cfg.grid_size)));
+  cfg.subgrid_size = static_cast<std::size_t>(opts.get("subgrid", static_cast<long>(cfg.subgrid_size)));
+  cfg.aterm_interval = static_cast<int>(opts.get("aterm-interval", static_cast<long>(cfg.aterm_interval)));
+  return cfg;
+}
+
+inline Parameters params_from(const sim::BenchmarkConfig& cfg,
+                              const sim::Dataset& ds, const Options& opts) {
+  Parameters params;
+  params.grid_size = cfg.grid_size;
+  params.subgrid_size = cfg.subgrid_size;
+  params.image_size = ds.image_size;
+  params.nr_stations = cfg.nr_stations;
+  params.kernel_size = static_cast<std::size_t>(opts.get("kernel-size", 8L));
+  params.aterm_interval = cfg.aterm_interval;
+  params.max_timesteps_per_subgrid =
+      static_cast<int>(opts.get("max-timesteps", 128L));
+  return params;
+}
+
+/// Builds the full setup: dataset, plan and identity A-terms (the paper's
+/// benchmark configuration).
+inline BenchSetup make_setup(const Options& opts, bool fill_visibilities = true) {
+  sim::BenchmarkConfig cfg = config_from_options(opts);
+  sim::Dataset ds = fill_visibilities
+                        ? sim::make_benchmark_dataset(cfg)
+                        : sim::make_benchmark_dataset_no_vis(cfg);
+  Parameters params = params_from(cfg, ds, opts);
+  Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+  const int nr_slots =
+      (cfg.nr_timesteps + cfg.aterm_interval - 1) / cfg.aterm_interval;
+  sim::ATermCube aterms = sim::make_identity_aterms(
+      nr_slots, cfg.nr_stations, cfg.subgrid_size);
+  return {cfg, std::move(ds), params, std::move(plan), std::move(aterms)};
+}
+
+inline void print_header(const std::string& title, const BenchSetup& setup) {
+  std::cout << "== " << title << " ==\n"
+            << "   dataset: " << setup.config.describe() << "\n"
+            << "   subgrids: " << setup.plan.nr_subgrids()
+            << ", visibilities: " << setup.plan.nr_planned_visibilities()
+            << " (dropped: " << setup.plan.nr_dropped_visibilities() << ")"
+            << ", avg vis/subgrid: " << setup.plan.avg_visibilities_per_subgrid()
+            << "\n\n";
+}
+
+inline void maybe_write_csv(const Table& table, const Options& opts) {
+  if (opts.has("csv")) {
+    const std::string path = opts.get("csv", std::string{});
+    table.write_csv(path);
+    std::cout << "\n(wrote " << path << ")\n";
+  }
+}
+
+}  // namespace idg::bench

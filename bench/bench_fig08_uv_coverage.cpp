@@ -1,0 +1,97 @@
+// Regenerates Fig 8: the (u,v)-plane coverage of the SKA1-low-like test
+// data set — as an ASCII density plot plus radial coverage statistics.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/types.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts, /*fill_visibilities=*/false);
+  bench::print_header("Fig 8: (u,v)-plane of the test data set", setup);
+
+  const auto& ds = setup.dataset;
+  const std::size_t g = setup.params.grid_size;
+
+  // Density of uv samples on the grid raster (all channels).
+  std::vector<std::uint32_t> density(g * g, 0);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < ds.nr_baselines(); ++b) {
+    for (std::size_t t = 0; t < ds.nr_timesteps(); ++t) {
+      const UVW& c = ds.uvw(b, t);
+      for (std::size_t ch = 0; ch < ds.nr_channels(); ++ch) {
+        const double scale =
+            ds.frequencies[ch] / kSpeedOfLight * ds.image_size;
+        const long x = std::lround(c.u * scale) + static_cast<long>(g) / 2;
+        const long y = std::lround(c.v * scale) + static_cast<long>(g) / 2;
+        if (x >= 0 && y >= 0 && x < static_cast<long>(g) &&
+            y < static_cast<long>(g)) {
+          ++density[static_cast<std::size_t>(y) * g +
+                    static_cast<std::size_t>(x)];
+          ++total;
+        }
+      }
+    }
+  }
+
+  // ASCII downsample to 48x48.
+  const std::size_t cells = 48;
+  std::cout << "uv density (" << cells << "x" << cells << " downsample; "
+            << "' .:+#@' = increasing sample count):\n\n";
+  const char* shades = " .:+#@";
+  for (std::size_t cy = 0; cy < cells; ++cy) {
+    std::cout << "  ";
+    for (std::size_t cx = 0; cx < cells; ++cx) {
+      std::uint64_t sum = 0;
+      for (std::size_t y = cy * g / cells; y < (cy + 1) * g / cells; ++y)
+        for (std::size_t x = cx * g / cells; x < (cx + 1) * g / cells; ++x)
+          sum += density[y * g + x];
+      const int level =
+          sum == 0 ? 0 : std::min<int>(5, 1 + static_cast<int>(std::log10(static_cast<double>(sum))));
+      std::cout << shades[level];
+    }
+    std::cout << '\n';
+  }
+
+  // Radial statistics: fraction of samples and of covered cells per annulus.
+  std::cout << "\nradial uv statistics:\n\n";
+  Table table({"radius (cells)", "samples", "sample %", "covered cells %"});
+  const std::size_t nr_bins = 8;
+  std::size_t covered_total = 0;
+  for (std::size_t bin = 0; bin < nr_bins; ++bin) {
+    const double r0 = static_cast<double>(bin) * (static_cast<double>(g) / 2) / nr_bins;
+    const double r1 = static_cast<double>(bin + 1) * (static_cast<double>(g) / 2) / nr_bins;
+    std::uint64_t samples = 0, covered = 0, cells_in_annulus = 0;
+    for (std::size_t y = 0; y < g; ++y) {
+      for (std::size_t x = 0; x < g; ++x) {
+        const double r = std::hypot(static_cast<double>(x) - g / 2.0,
+                                    static_cast<double>(y) - g / 2.0);
+        if (r < r0 || r >= r1) continue;
+        ++cells_in_annulus;
+        samples += density[y * g + x];
+        if (density[y * g + x] > 0) ++covered;
+      }
+    }
+    covered_total += covered;
+    table.row()
+        .add(std::to_string(static_cast<int>(r0)) + "-" +
+             std::to_string(static_cast<int>(r1)))
+        .add(static_cast<std::uint64_t>(samples))
+        .add(100.0 * static_cast<double>(samples) / std::max<std::size_t>(total, 1), 2)
+        .add(100.0 * static_cast<double>(covered) /
+                 std::max<std::uint64_t>(cells_in_annulus, 1),
+             2);
+  }
+  table.print(std::cout);
+  std::cout << "\ntotal samples on grid: " << total
+            << ", uv coverage (non-zero cells): "
+            << 100.0 * static_cast<double>(covered_total) / (g * g) << " %\n"
+            << "expected shape: dense core (inner annuli) with coverage "
+               "falling off along the spiral arms, as in the paper's Fig 8.\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Regenerates Fig 9: the distribution of runtime over the pipeline stages
+// for one full imaging cycle (gridding + degridding with all supporting
+// steps), measured on this host and modeled for the paper's three machines.
+//
+// Expected shape (paper §VI-B): "For all architectures, runtime is
+// dominated by the gridder and degridder kernels (more than 93%)."
+#include <iostream>
+
+#include "arch/cyclemodel.hpp"
+#include "arch/machine.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "idg/image.hpp"
+#include "idg/processor.hpp"
+#include "kernels/optimized.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts);
+  bench::print_header("Fig 9: runtime distribution of one imaging cycle",
+                      setup);
+
+  const std::vector<std::string> stages = {
+      stage::kGridder, stage::kDegridder, stage::kSubgridFft, stage::kAdder,
+      stage::kSplitter, stage::kGridFft};
+
+  // --- measured on this host ------------------------------------------------
+  const KernelSet& kernels =
+      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  Processor proc(setup.params, kernels);
+  Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
+
+  StageTimes times;
+  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                         setup.dataset.visibilities.cview(),
+                         setup.aterms.cview(), grid.view(), &times);
+  {
+    ScopedStageTimer t(times, stage::kGridFft);
+    auto dirty = make_dirty_image(grid, setup.plan.nr_planned_visibilities());
+    (void)dirty;
+    auto model_grid = model_image_to_grid(dirty);
+    (void)model_grid;
+  }
+  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                           grid.cview(), setup.aterms.cview(),
+                           setup.dataset.visibilities.view(), &times);
+
+  Table table({"architecture", "stage", "seconds", "% of cycle", "bar"});
+  const double host_total = times.total();
+  for (const auto& s : stages) {
+    table.row()
+        .add("HOST (measured)")
+        .add(s)
+        .add(times.get(s), 4)
+        .add(100.0 * times.get(s) / host_total, 1)
+        .add(ascii_bar(times.get(s) / host_total, 30));
+  }
+
+  // --- modeled for the paper's machines ---------------------------------------
+  for (const auto& machine : arch::paper_machines()) {
+    const auto model = arch::model_imaging_cycle(machine, setup.plan);
+    for (const auto& s : stages) {
+      const double sec = model.stage(s).seconds;
+      table.row()
+          .add(machine.name + " (modeled)")
+          .add(s)
+          .add(sec, 4)
+          .add(100.0 * sec / model.total_seconds, 1)
+          .add(ascii_bar(sec / model.total_seconds, 30));
+    }
+  }
+  table.print(std::cout);
+
+  const double kernel_frac =
+      (times.get(stage::kGridder) + times.get(stage::kDegridder)) /
+      host_total;
+  std::cout << "\nhost cycle total: " << host_total << " s; gridder+degridder"
+            << " = " << 100.0 * kernel_frac
+            << " % (paper: >93 % on all architectures)\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

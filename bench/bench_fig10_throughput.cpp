@@ -1,0 +1,56 @@
+// Regenerates Fig 10: gridding and degridding throughput in MVisibilities/s
+// per architecture (host measured; 2017 machines modeled).
+//
+// Expected shape: both GPUs almost an order of magnitude above the CPU.
+#include <iostream>
+
+#include "arch/cyclemodel.hpp"
+#include "arch/machine.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "idg/processor.hpp"
+#include "kernels/optimized.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts);
+  bench::print_header("Fig 10: gridding/degridding throughput", setup);
+
+  const KernelSet& kernels =
+      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  Processor proc(setup.params, kernels);
+  Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
+
+  // Measured: gridding path (gridder + subgrid FFT + adder) and degridding
+  // path (splitter + subgrid FFT + degridder).
+  StageTimes grid_times, degrid_times;
+  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                         setup.dataset.visibilities.cview(),
+                         setup.aterms.cview(), grid.view(), &grid_times);
+  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                           grid.cview(), setup.aterms.cview(),
+                           setup.dataset.visibilities.view(), &degrid_times);
+
+  const double nvis =
+      static_cast<double>(setup.plan.nr_planned_visibilities());
+
+  Table table({"architecture", "gridding (MVis/s)", "degridding (MVis/s)"});
+  table.row()
+      .add("HOST (measured, " + kernels.name() + ")")
+      .add(nvis / grid_times.total() / 1e6, 3)
+      .add(nvis / degrid_times.total() / 1e6, 3);
+
+  for (const auto& machine : arch::paper_machines()) {
+    const auto model = arch::model_imaging_cycle(machine, setup.plan);
+    table.row()
+        .add(machine.name + " (modeled)")
+        .add(model.gridding_vis_per_second() / 1e6, 1)
+        .add(model.degridding_vis_per_second() / 1e6, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: GPUs ~an order of magnitude above the "
+               "CPU (paper Fig 10).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates Fig 11: the modified roofline analysis. For every
+// architecture and for both kernels it prints the operational intensity
+// (ops per device-memory byte), the classic rooflines, the rho = 17 op-mix
+// ceiling (the paper's dashed lines) and the achieved performance — modeled
+// for the 2017 machines, measured for this host.
+//
+// Expected shape: all kernels compute-bound; PASCAL near its theoretical
+// peak (74% gridder / 55% degridder); HASWELL and FIJI far below peak but
+// *at* their rho = 17 math-library ceilings.
+#include <iostream>
+
+#include "arch/machine.hpp"
+#include "arch/roofline.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "idg/accounting.hpp"
+#include "idg/processor.hpp"
+#include "kernels/optimized.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts);
+  bench::print_header("Fig 11: modified roofline analysis", setup);
+
+  const OpCounts gridder = gridder_op_counts(setup.plan);
+  const OpCounts degridder = degridder_op_counts(setup.plan);
+
+  Table table({"architecture", "kernel", "intensity (ops/B)", "ridge (ops/B)",
+               "peak (TOps/s)", "rho=17 ceiling", "achieved (TOps/s)",
+               "% of peak"});
+
+  auto add_modeled = [&](const arch::Machine& m, const char* kernel,
+                         const OpCounts& counts) {
+    const double achieved = arch::modeled_ops_per_second(m, counts);
+    table.row()
+        .add(m.name + " (modeled)")
+        .add(kernel)
+        .add(counts.intensity_dev(), 1)
+        .add(arch::ridge_point(m), 1)
+        .add(m.peak_ops() / 1e12, 2)
+        .add(arch::opmix_ceiling(m, counts.rho()) / 1e12, 2)
+        .add(achieved / 1e12, 2)
+        .add(100.0 * achieved / m.peak_ops(), 1);
+  };
+  for (const auto& m : arch::paper_machines()) {
+    add_modeled(m, "gridder", gridder);
+    add_modeled(m, "degridder", degridder);
+  }
+
+  // Measured host rows: run the kernels and divide the analytic op count by
+  // the measured kernel-stage time.
+  const KernelSet& kernels =
+      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  Processor proc(setup.params, kernels);
+  Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
+  StageTimes gt, dt;
+  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                         setup.dataset.visibilities.cview(),
+                         setup.aterms.cview(), grid.view(), &gt);
+  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                           grid.cview(), setup.aterms.cview(),
+                           setup.dataset.visibilities.view(), &dt);
+
+  const arch::Machine host = arch::host_machine();
+  auto add_measured = [&](const char* kernel, const OpCounts& counts,
+                          double seconds) {
+    const double achieved = static_cast<double>(counts.ops()) / seconds;
+    table.row()
+        .add("HOST (measured)")
+        .add(kernel)
+        .add(counts.intensity_dev(), 1)
+        .add(arch::ridge_point(host), 1)
+        .add(host.peak_ops() / 1e12, 2)
+        .add(arch::opmix_ceiling(host, counts.rho()) / 1e12, 2)
+        .add(achieved / 1e12, 3)
+        .add(100.0 * achieved / host.peak_ops(), 1);
+  };
+  add_measured("gridder", gridder, gt.get(stage::kGridder));
+  add_measured("degridder", degridder, dt.get(stage::kDegridder));
+
+  table.print(std::cout);
+  std::cout << "\nexpected shape: intensity >> ridge everywhere (compute "
+               "bound); PASCAL ~74%/55% of peak; HASWELL/FIJI/HOST well "
+               "below peak but close to their rho=17 sincos ceilings "
+               "(paper Fig 11).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Fig 12: operation throughput for various mixes of FMA
+// instructions and sine/cosine evaluations (rho = #FMA/#sincos) — modeled
+// curves for the paper's machines plus a *measured* curve for this host
+// using the vmath (SVML stand-in) library.
+//
+// Expected shape: PASCAL stays high as rho decreases (hardware SFUs in a
+// separate queue); FIJI and HASWELL collapse at small rho because sincos
+// occupies their FMA pipelines.
+#include <iostream>
+
+#include "arch/machine.hpp"
+#include "arch/opmix.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  std::cout << "== Fig 12: operation throughput vs FMA/sincos mix ==\n\n";
+
+  const auto rhos = arch::default_rhos();
+  const auto machines = arch::paper_machines();
+  const auto measured = arch::measure_host_opmix(
+      rhos, opts.get("seconds-per-point", 0.05));
+
+  Table table({"rho", "HASWELL (GOps/s)", "FIJI (GOps/s)", "PASCAL (GOps/s)",
+               "HOST measured (GOps/s)"});
+  std::vector<std::vector<arch::OpmixPoint>> modeled;
+  modeled.reserve(machines.size());
+  for (const auto& m : machines) modeled.push_back(arch::modeled_opmix(m, rhos));
+
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    table.row()
+        .add(rhos[i], 0)
+        .add(modeled[0][i].gops, 0)
+        .add(modeled[1][i].gops, 0)
+        .add(modeled[2][i].gops, 0)
+        .add(measured[i].gops, 2);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nnormalized to each machine's FMA peak:\n\n";
+  Table norm({"rho", "HASWELL", "FIJI", "PASCAL"});
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    norm.row().add(rhos[i], 0);
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      norm.add(modeled[m][i].gops * 1e9 / machines[m].peak_ops(), 3);
+    }
+  }
+  norm.print(std::cout);
+
+  std::cout << "\nexpected shape: PASCAL nearly flat (SFUs), HASWELL/FIJI "
+               "degrade sharply for small rho; the kernels operate at "
+               "rho = 17 (paper Fig 12).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Regenerates Fig 13: the roofline with operational intensity computed
+// against GPU *shared memory* traffic instead of device memory.
+//
+// Expected shape: on PASCAL both kernels sit close to the shared-memory
+// bandwidth bound — which explains why the gridder reaches only 74% and
+// the degridder 55% of peak despite hardware sincos; FIJI is also
+// "relatively close to hitting the shared memory bandwidth limit".
+#include <iostream>
+
+#include "arch/machine.hpp"
+#include "arch/roofline.hpp"
+#include "bench_common.hpp"
+#include "idg/accounting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts, /*fill_visibilities=*/false);
+  bench::print_header("Fig 13: shared-memory roofline (GPU kernels)", setup);
+
+  const OpCounts gridder = gridder_op_counts(setup.plan);
+  const OpCounts degridder = degridder_op_counts(setup.plan);
+
+  Table table({"architecture", "kernel", "shared intensity (ops/B)",
+               "shared bw (GB/s)", "shared bound (TOps/s)",
+               "achieved (TOps/s)", "% of shared bound"});
+  for (const auto& m : arch::paper_machines()) {
+    if (m.shared_bw_gbs <= 0.0) continue;  // CPUs have no shared-memory tier
+    for (const auto& [kernel, counts] :
+         {std::pair{"gridder", gridder}, std::pair{"degridder", degridder}}) {
+      const double bound = arch::roofline_shared(m, counts.intensity_shared());
+      const double achieved = arch::modeled_ops_per_second(m, counts);
+      table.row()
+          .add(m.name)
+          .add(kernel)
+          .add(counts.intensity_shared(), 2)
+          .add(m.shared_bw_gbs, 0)
+          .add(bound / 1e12, 2)
+          .add(achieved / 1e12, 2)
+          .add(100.0 * achieved / bound, 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: both kernels within ~10% of the shared-"
+               "memory bandwidth bound on PASCAL, close on FIJI "
+               "(paper Fig 13).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Regenerates Fig 14: the distribution of energy consumption over the
+// pipeline stages for one imaging cycle — modeled for the 2017 machines
+// (TDP-based power model, DESIGN.md §2), measured-time-based for this host.
+//
+// Expected shape: most energy in the gridder and degridder; GPUs an order
+// of magnitude below the CPU in total, even including host power.
+#include <iostream>
+
+#include "arch/cyclemodel.hpp"
+#include "arch/machine.hpp"
+#include "arch/power.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "idg/image.hpp"
+#include "idg/processor.hpp"
+#include "kernels/optimized.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+  auto setup = bench::make_setup(opts);
+  bench::print_header("Fig 14: energy distribution of one imaging cycle",
+                      setup);
+
+  const std::vector<std::string> stages = {
+      stage::kGridder, stage::kDegridder, stage::kSubgridFft, stage::kAdder,
+      stage::kSplitter, stage::kGridFft};
+
+  Table table({"architecture", "stage", "energy (J)", "% of cycle", "bar"});
+
+  // Modeled machines.
+  for (const auto& machine : arch::paper_machines()) {
+    const auto model = arch::model_imaging_cycle(machine, setup.plan);
+    for (const auto& s : stages) {
+      const double j = model.stage(s).device_joules;
+      table.row()
+          .add(machine.name + " (modeled)")
+          .add(s)
+          .add(j, 2)
+          .add(100.0 * j / model.device_joules, 1)
+          .add(ascii_bar(j / model.device_joules, 30));
+    }
+    table.row()
+        .add(machine.name + " (modeled)")
+        .add("TOTAL (+host)")
+        .add(model.device_joules + model.host_joules, 2)
+        .add(100.0, 1)
+        .add("");
+  }
+
+  // Host: measured stage times x host power model.
+  const KernelSet& kernels =
+      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  Processor proc(setup.params, kernels);
+  Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
+  StageTimes times;
+  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                         setup.dataset.visibilities.cview(),
+                         setup.aterms.cview(), grid.view(), &times);
+  {
+    ScopedStageTimer t(times, stage::kGridFft);
+    auto dirty = make_dirty_image(grid, setup.plan.nr_planned_visibilities());
+    (void)dirty;
+  }
+  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
+                           grid.cview(), setup.aterms.cview(),
+                           setup.dataset.visibilities.view(), &times);
+  const arch::Machine host = arch::host_machine();
+  double host_total = 0.0;
+  for (const auto& s : stages)
+    host_total += arch::device_energy_j(host, times.get(s), 0.9);
+  for (const auto& s : stages) {
+    const double j = arch::device_energy_j(host, times.get(s), 0.9);
+    table.row()
+        .add("HOST (measured time)")
+        .add(s)
+        .add(j, 2)
+        .add(100.0 * j / host_total, 1)
+        .add(ascii_bar(j / host_total, 30));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nexpected shape: energy concentrated in the gridder and "
+               "degridder; GPU totals an order of magnitude below the CPU "
+               "(paper Fig 14).\n";
+  bench::maybe_write_csv(table, opts);
+  return 0;
+}

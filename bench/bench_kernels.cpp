@@ -1,0 +1,187 @@
+// google-benchmark microbenchmarks for the individual components: kernel
+// variants (the §V-B optimization ablation), subgrid FFTs, adder/splitter
+// and the vectorized math library.
+#include <benchmark/benchmark.h>
+
+#include "common/aligned.hpp"
+#include "fft/fft.hpp"
+#include "idg/adder.hpp"
+#include "idg/kernels.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "idg/subgrid_fft.hpp"
+#include "idg/taper.hpp"
+#include "kernels/optimized.hpp"
+#include "kernels/vmath.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+
+namespace {
+
+using namespace idg;
+
+/// One shared fixture: a small but representative work set.
+struct Fixture {
+  sim::Dataset ds;
+  Parameters params;
+  Plan plan;
+  sim::ATermCube aterms;
+  Array2D<float> taper;
+  Array4D<cfloat> subgrids;
+
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      sim::BenchmarkConfig cfg;
+      cfg.nr_stations = 12;
+      cfg.nr_timesteps = 64;
+      cfg.nr_channels = 8;
+      cfg.grid_size = 512;
+      cfg.subgrid_size = 24;
+      auto ds = sim::make_benchmark_dataset(cfg);
+      Parameters params;
+      params.grid_size = cfg.grid_size;
+      params.subgrid_size = cfg.subgrid_size;
+      params.image_size = ds.image_size;
+      params.nr_stations = cfg.nr_stations;
+      params.kernel_size = 8;
+      Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+      auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
+                                              cfg.subgrid_size);
+      auto taper = make_taper(cfg.subgrid_size);
+      Array4D<cfloat> subgrids(plan.nr_subgrids(), 4, cfg.subgrid_size,
+                               cfg.subgrid_size);
+      return Fixture{std::move(ds), params, std::move(plan),
+                     std::move(aterms), std::move(taper),
+                     std::move(subgrids)};
+    }();
+    return f;
+  }
+
+  KernelData data() const {
+    return {ds.uvw.cview(), plan.wavenumbers(), aterms.cview(),
+            taper.cview()};
+  }
+};
+
+void BM_Gridder(benchmark::State& state, const std::string& kernel_name) {
+  const Fixture& f = Fixture::get();
+  const KernelSet& k = kernels::kernel_set(kernel_name);
+  Array4D<cfloat> out(f.plan.nr_subgrids(), 4, f.params.subgrid_size,
+                      f.params.subgrid_size);
+  for (auto _ : state) {
+    k.grid(f.params, f.data(), f.plan.items(), f.ds.visibilities.cview(),
+           out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["MVis/s"] = benchmark::Counter(
+      static_cast<double>(f.plan.nr_planned_visibilities()) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Degridder(benchmark::State& state, const std::string& kernel_name) {
+  const Fixture& f = Fixture::get();
+  const KernelSet& k = kernels::kernel_set(kernel_name);
+  Array3D<Visibility> vis(f.ds.nr_baselines(), f.ds.nr_timesteps(),
+                          f.ds.nr_channels());
+  for (auto _ : state) {
+    k.degrid(f.params, f.data(), f.plan.items(), f.subgrids.cview(),
+             vis.view());
+    benchmark::DoNotOptimize(vis.data());
+  }
+  state.counters["MVis/s"] = benchmark::Counter(
+      static_cast<double>(f.plan.nr_planned_visibilities()) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SubgridFft(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  Array4D<cfloat> buf(f.plan.nr_subgrids(), 4, f.params.subgrid_size,
+                      f.params.subgrid_size);
+  for (auto _ : state) {
+    subgrid_fft(SubgridFftDirection::ToFourier, buf.view(),
+                f.plan.nr_subgrids());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.counters["subgrids/s"] = benchmark::Counter(
+      static_cast<double>(f.plan.nr_subgrids()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Adder(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  Array3D<cfloat> grid(4, f.params.grid_size, f.params.grid_size);
+  for (auto _ : state) {
+    add_subgrids_to_grid(f.params, f.plan.items(), f.subgrids.cview(),
+                         grid.view());
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.counters["subgrids/s"] = benchmark::Counter(
+      static_cast<double>(f.plan.nr_subgrids()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Splitter(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  Array3D<cfloat> grid(4, f.params.grid_size, f.params.grid_size);
+  Array4D<cfloat> out(f.plan.nr_subgrids(), 4, f.params.subgrid_size,
+                      f.params.subgrid_size);
+  for (auto _ : state) {
+    split_subgrids_from_grid(f.params, f.plan.items(), grid.cview(),
+                             out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["subgrids/s"] = benchmark::Counter(
+      static_cast<double>(f.plan.nr_subgrids()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Sincos(benchmark::State& state, kernels::SincosFn fn) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedVector<float> x(n), s(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.31f * static_cast<float>(i % 977);
+  for (auto _ : state) {
+    fn(n, x.data(), s.data(), c.data());
+    benchmark::DoNotOptimize(s.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sincos/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+
+void BM_Fft2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::Plan2D<float> plan(n, n, fft::Direction::Forward);
+  fft::Workspace<float> ws;
+  std::vector<cfloat> data(n * n, cfloat{1.0f, -0.5f});
+  for (auto _ : state) {
+    plan.execute_inplace(data.data(), ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.counters["transforms/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+BENCHMARK_CAPTURE(BM_Gridder, reference, "reference")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gridder, optimized, "optimized")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gridder, optimized_lut, "optimized-lut")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gridder, optimized_libm, "optimized-libm")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gridder, optimized_phasor, "optimized-phasor")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Gridder, jit, "jit")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, reference, "reference")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, optimized, "optimized")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, optimized_lut, "optimized-lut")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, optimized_libm, "optimized-libm")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, optimized_phasor, "optimized-phasor")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Degridder, jit, "jit")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SubgridFft)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Splitter)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Sincos, vmath, &vmath::sincos_batch)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sincos, lut, &vmath::sincos_lut)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sincos, libm, &vmath::sincos_libm)->Arg(4096);
+BENCHMARK(BM_Fft2D)->Arg(24)->Arg(32)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

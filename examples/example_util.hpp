@@ -1,0 +1,46 @@
+// Small helpers shared by the example applications: ASCII image rendering
+// and common dataset construction.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg::examples {
+
+/// Renders the Stokes-I part of a [4][n][n] image cube as an ASCII density
+/// map (downsampled to `cells` x `cells`), normalized to the image peak.
+inline void print_ascii_image(const Array3D<cfloat>& image,
+                              std::size_t cells = 48,
+                              double gamma = 0.5) {
+  const std::size_t n = image.dim(1);
+  const char* shades = " .:-=+*#%@";
+  float peak = 1e-30f;
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x)
+      peak = std::max(peak, 0.5f * (image(0, y, x).real() +
+                                    image(3, y, x).real()));
+
+  for (std::size_t cy = 0; cy < cells; ++cy) {
+    std::cout << "  ";
+    for (std::size_t cx = 0; cx < cells; ++cx) {
+      float best = 0.0f;
+      for (std::size_t y = cy * n / cells; y < (cy + 1) * n / cells; ++y)
+        for (std::size_t x = cx * n / cells; x < (cx + 1) * n / cells; ++x)
+          best = std::max(best, 0.5f * (image(0, y, x).real() +
+                                        image(3, y, x).real()));
+      const double v =
+          std::pow(std::clamp(static_cast<double>(best / peak), 0.0, 1.0),
+                   gamma);
+      std::cout << shades[static_cast<int>(v * 9.999)];
+    }
+    std::cout << '\n';
+  }
+  std::cout << "  (peak Stokes I = " << peak << ")\n";
+}
+
+}  // namespace idg::examples

@@ -1,0 +1,95 @@
+// Full imaging loop (paper Fig 2): image -> CLEAN -> predict -> subtract,
+// iterated until the sky model converges. Demonstrates gridding AND
+// degridding working together, and reports the recovered source fluxes.
+//
+// Run: ./imaging_cycle [--cycles N] [--stations N] ...
+#include <iostream>
+
+#include "clean/major_cycle.hpp"
+#include "common/cli.hpp"
+#include "common/imageio.hpp"
+#include "example_util.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "kernels/optimized.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+#include "sim/predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+
+  sim::BenchmarkConfig cfg;
+  cfg.nr_stations = static_cast<int>(opts.get("stations", 14L));
+  cfg.nr_timesteps = static_cast<int>(opts.get("time", 64L));
+  cfg.nr_channels = static_cast<int>(opts.get("channels", 4L));
+  cfg.grid_size = static_cast<std::size_t>(opts.get("grid", 256L));
+  cfg.subgrid_size = 32;
+  sim::Dataset ds = sim::make_benchmark_dataset_no_vis(cfg);
+  std::cout << "observation: " << cfg.describe() << "\n\n";
+
+  // A sky with a bright source masking two weak ones — the scenario the
+  // major-cycle loop exists for.
+  const double dl = ds.image_size / static_cast<double>(cfg.grid_size);
+  sim::SkyModel sky = {
+      {static_cast<float>(18 * dl), static_cast<float>(-12 * dl), 2.0f},
+      {static_cast<float>(-25 * dl), static_cast<float>(20 * dl), 0.3f},
+      {static_cast<float>(8 * dl), static_cast<float>(30 * dl), 0.2f},
+  };
+  auto vis = sim::predict_visibilities(sky, ds.uvw, ds.baselines, ds.obs);
+
+  Parameters params;
+  params.grid_size = cfg.grid_size;
+  params.subgrid_size = cfg.subgrid_size;
+  params.image_size = ds.image_size;
+  params.nr_stations = cfg.nr_stations;
+  params.kernel_size = 16;
+  Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+  auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
+                                          cfg.subgrid_size);
+
+  Processor processor(params, kernels::optimized_kernels());
+  clean::MajorCycleConfig mc;
+  mc.nr_major_cycles = static_cast<int>(opts.get("cycles", 4L));
+  mc.minor.gain = 0.2f;
+  mc.minor.max_iterations = 200;
+
+  auto result = clean::run_major_cycles(processor, plan, ds.uvw.cview(),
+                                        vis.cview(), aterms.cview(), mc);
+
+  std::cout << "residual Stokes-I peak per major cycle:\n";
+  for (std::size_t c = 0; c < result.peak_history.size(); ++c)
+    std::cout << "  cycle " << c + 1 << ": " << result.peak_history[c]
+              << " Jy\n";
+  std::cout << "total CLEAN components: " << result.total_components << "\n\n";
+
+  if (opts.has("save-pgm")) {
+    const std::string stem = opts.get("save-pgm", std::string("cycle"));
+    write_pgm(stem + "_model.pgm", stokes_i_plane(result.model_image));
+    write_pgm(stem + "_residual.pgm", stokes_i_plane(result.residual_image));
+    std::cout << "wrote " << stem << "_model.pgm and " << stem
+              << "_residual.pgm\n\n";
+  }
+  std::cout << "CLEAN model image:\n\n";
+  examples::print_ascii_image(result.model_image);
+
+  std::cout << "\nrecovered fluxes (5x5 box around each true source):\n";
+  for (const auto& src : sky) {
+    const long x = std::lround(src.l / dl) + static_cast<long>(cfg.grid_size) / 2;
+    const long y = std::lround(src.m / dl) + static_cast<long>(cfg.grid_size) / 2;
+    float flux = 0.0f;
+    for (long yy = y - 2; yy <= y + 2; ++yy)
+      for (long xx = x - 2; xx <= x + 2; ++xx)
+        flux += result.model_image(0, static_cast<std::size_t>(yy),
+                                   static_cast<std::size_t>(xx))
+                    .real();
+    std::cout << "  injected " << src.stokes_i << " Jy -> recovered " << flux
+              << " Jy\n";
+  }
+
+  std::cout << "\ntime per pipeline stage:\n";
+  for (const auto& [stage, seconds] : result.times.by_stage())
+    std::cout << "  " << stage << ": " << seconds << " s\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// W-stacking demo (paper §III/§IV/§VI-E): when baselines have very large w
+// components, the subgrid raster can no longer sample the w phase screen
+// and plain IDG degrades; partitioning the w range into planes bounds the
+// residual per subgrid and restores accuracy.
+//
+// The demo inflates the w coordinates of a simulated observation, grids a
+// point source with 1, 4 and 16 w-planes, and reports the recovered peak.
+//
+// Run: ./wstacking_demo [--w-scale S] [--planes P] ...
+#include <iomanip>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "example_util.hpp"
+#include "idg/wstack.hpp"
+#include "kernels/optimized.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+#include "sim/predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  Options opts(argc, argv);
+
+  sim::BenchmarkConfig cfg;
+  cfg.nr_stations = static_cast<int>(opts.get("stations", 8L));
+  cfg.nr_timesteps = static_cast<int>(opts.get("time", 48L));
+  cfg.nr_channels = 4;
+  cfg.grid_size = 256;
+  cfg.subgrid_size = 32;
+  sim::Dataset ds = sim::make_benchmark_dataset_no_vis(cfg);
+
+  const float w_scale = static_cast<float>(opts.get("w-scale", 50.0));
+  for (UVW& c : ds.uvw) c.w *= w_scale;
+  std::cout << "observation: " << cfg.describe() << "\n"
+            << "w coordinates inflated " << w_scale
+            << "x to stress the w-term\n\n";
+
+  const double dl = ds.image_size / static_cast<double>(cfg.grid_size);
+  sim::SkyModel sky = {sim::PointSource{static_cast<float>(45 * dl),
+                                        static_cast<float>(-38 * dl), 1.0f}};
+  auto vis = sim::predict_visibilities(sky, ds.uvw, ds.baselines, ds.obs);
+
+  Parameters params;
+  params.grid_size = cfg.grid_size;
+  params.subgrid_size = cfg.subgrid_size;
+  params.image_size = ds.image_size;
+  params.nr_stations = cfg.nr_stations;
+  params.kernel_size = 16;
+  auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
+                                          cfg.subgrid_size);
+
+  const std::size_t cx = cfg.grid_size / 2 + 45;
+  const std::size_t cy = cfg.grid_size / 2 - 38;
+
+  auto image_with_planes = [&](int planes) {
+    const WPlaneModel wplanes =
+        planes == 1 ? WPlaneModel(1, 0.0)
+                    : WPlaneModel::fit(planes, ds.uvw, ds.frequencies);
+    WStackProcessor proc(params, wplanes, kernels::optimized_kernels());
+    Plan plan = proc.make_plan(ds.uvw, ds.frequencies, ds.baselines);
+    auto grids = proc.make_grids();
+    proc.grid_visibilities(plan, ds.uvw.cview(), vis.cview(),
+                           aterms.cview(), grids.view());
+    return proc.make_dirty_image(grids.cview(),
+                                 plan.nr_planned_visibilities());
+  };
+
+  // Reference: enough planes that the residual w error is negligible. The
+  // dirty-image sidelobes of this sparse array reach ~1 Jy, so comparing
+  // against the reference isolates the *w-term* error from the PSF.
+  std::cout << "building the 64-plane reference image...\n";
+  const Array3D<cfloat> reference = image_with_planes(64);
+
+  std::cout << std::setprecision(4)
+            << "\ngridding with increasing w-plane counts "
+               "(true peak = 1.0 Jy):\n\n";
+  Array3D<cfloat> best_image;
+  for (int planes : {1, 4, 16}) {
+    Timer timer;
+    auto image = image_with_planes(planes);
+    const double seconds = timer.seconds();
+
+    float w_error = 0.0f;
+    const long n = static_cast<long>(cfg.grid_size);
+    for (long y = n / 8; y < n - n / 8; ++y) {
+      for (long x = n / 8; x < n - n / 8; ++x) {
+        w_error = std::max(
+            w_error, std::abs(image(0, static_cast<std::size_t>(y),
+                                    static_cast<std::size_t>(x)) -
+                              reference(0, static_cast<std::size_t>(y),
+                                        static_cast<std::size_t>(x))));
+      }
+    }
+    std::cout << "  " << std::setw(2) << planes
+              << " plane(s): peak = " << image(0, cy, cx).real()
+              << " Jy, w-term image error = " << w_error << " Jy, "
+              << seconds << " s\n";
+    if (planes == 16) best_image = std::move(image);
+  }
+
+  std::cout << "\n16-plane image:\n\n";
+  examples::print_ascii_image(best_image);
+  std::cout << "\nthe paper's point: IDG's large subgrids keep the number "
+               "of required w-planes small compared to W-projection's "
+               "w-kernel stacks.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "arch/cyclemodel.hpp"
+
+#include "arch/power.hpp"
+#include "arch/roofline.hpp"
+#include "common/error.hpp"
+#include "idg/accounting.hpp"
+#include "idg/processor.hpp"
+
+namespace idg::arch {
+
+const StageModel& CycleModel::stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.stage == name) return s;
+  }
+  throw Error("no such stage in cycle model: " + name);
+}
+
+double CycleModel::gridding_vis_per_second() const {
+  // Gridding path: gridder + subgrid FFT + adder (+ half the grid FFTs);
+  // the paper's Fig 10 throughput divides visibilities by the kernel time
+  // of the dominant stage chain.
+  const double seconds = stage(idg::stage::kGridder).seconds +
+                         stage(idg::stage::kSubgridFft).seconds / 2.0 +
+                         stage(idg::stage::kAdder).seconds;
+  return seconds > 0.0
+             ? static_cast<double>(stage(idg::stage::kGridder).counts
+                                       .visibilities) /
+                   seconds
+             : 0.0;
+}
+
+double CycleModel::degridding_vis_per_second() const {
+  const double seconds = stage(idg::stage::kDegridder).seconds +
+                         stage(idg::stage::kSubgridFft).seconds / 2.0 +
+                         stage(idg::stage::kSplitter).seconds;
+  return seconds > 0.0
+             ? static_cast<double>(stage(idg::stage::kDegridder).counts
+                                       .visibilities) /
+                   seconds
+             : 0.0;
+}
+
+CycleModel model_imaging_cycle(const Machine& machine, const Plan& plan) {
+  CycleModel model;
+  model.machine = machine;
+
+  auto add_stage = [&](const std::string& name, const OpCounts& counts,
+                       double utilization) {
+    StageModel s;
+    s.stage = name;
+    s.counts = counts;
+    s.seconds = modeled_seconds(machine, counts);
+    s.device_joules = device_energy_j(machine, s.seconds, utilization);
+    model.total_seconds += s.seconds;
+    model.device_joules += s.device_joules;
+    model.host_joules += host_energy_j(machine, s.seconds);
+    model.stages.push_back(std::move(s));
+  };
+
+  // Subgrid FFTs run twice per cycle (after gridding, before degridding);
+  // likewise the grid FFT (imaging + prediction).
+  OpCounts sub_fft = idg::subgrid_fft_op_counts(plan) * 2;
+  OpCounts grid_fft = idg::grid_fft_op_counts(plan.parameters()) * 2;
+
+  add_stage(idg::stage::kGridder, idg::gridder_op_counts(plan), 0.95);
+  add_stage(idg::stage::kDegridder, idg::degridder_op_counts(plan), 0.95);
+  add_stage(idg::stage::kSubgridFft, sub_fft, 0.7);
+  add_stage(idg::stage::kAdder, idg::adder_op_counts(plan), 0.6);
+  add_stage(idg::stage::kSplitter, idg::splitter_op_counts(plan), 0.6);
+  add_stage(idg::stage::kGridFft, grid_fft, 0.7);
+  return model;
+}
+
+}  // namespace idg::arch

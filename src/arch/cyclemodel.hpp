@@ -1,0 +1,42 @@
+// Per-architecture model of one full imaging cycle (gridding + degridding
+// including all supporting stages) — produces the multi-architecture rows
+// of Figs 9, 10, 14 and 15 from the execution plan's analytic counts and
+// the Machine ceilings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "common/counters.hpp"
+#include "idg/plan.hpp"
+
+namespace idg::arch {
+
+struct StageModel {
+  std::string stage;
+  OpCounts counts;
+  double seconds = 0.0;
+  double device_joules = 0.0;
+};
+
+struct CycleModel {
+  Machine machine;
+  std::vector<StageModel> stages;
+  double total_seconds = 0.0;
+  double device_joules = 0.0;
+  double host_joules = 0.0;
+
+  const StageModel& stage(const std::string& name) const;
+
+  /// Gridding / degridding throughput in visibilities per second.
+  double gridding_vis_per_second() const;
+  double degridding_vis_per_second() const;
+};
+
+/// Models one imaging cycle (paper Fig 2 / Fig 9): gridder + subgrid FFT +
+/// adder + grid FFT on the way in; grid FFT + splitter + subgrid FFT +
+/// degridder on the way out.
+CycleModel model_imaging_cycle(const Machine& machine, const Plan& plan);
+
+}  // namespace idg::arch

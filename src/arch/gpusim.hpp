@@ -1,0 +1,84 @@
+// Block-level discrete GPU execution simulator.
+//
+// The paper evaluates IDG on two physical GPUs. Without that hardware
+// (DESIGN.md §2) this module *simulates* the execution at the granularity
+// the paper's §V-C describes: one work item per thread block, blocks
+// dispatched onto streaming multiprocessors, with per-SM cycle accounting
+// for the three resources that bound the kernels:
+//
+//   * the FMA pipelines (cores_per_sm lanes per cycle),
+//   * the special-function pipeline — either dedicated SFUs issuing in
+//     parallel (Pascal) or ALU slots stolen from the FMA pipes (Fiji),
+//   * shared-memory throughput (bytes per cycle per SM).
+//
+// A block's cycle count is the max over the three resource totals (the
+// pipes overlap) plus a fixed launch/drain overhead; blocks are placed on
+// SMs by a list scheduler (earliest-available SM, `blocks_per_sm`
+// concurrent blocks each), so heterogeneous work items produce realistic
+// load imbalance. The simulator also models the paper's Fig 7 triple
+// buffering: per-work-group PCI-E transfers overlap kernel execution, so
+// the wall time is the pipeline makespan, not the sum.
+//
+// The closed-form roofline model (roofline.hpp) and this simulator are two
+// independent derivations of the same quantities; the tests require them
+// to agree within tens of percent, and the benches report both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "idg/plan.hpp"
+
+namespace idg::arch {
+
+/// Static description of the simulated device.
+struct GpuSimConfig {
+  std::string name;
+  int nr_sms = 20;
+  int cores_per_sm = 128;       ///< FMA lanes per SM per cycle
+  int sfus_per_sm = 32;         ///< 0 = no dedicated SFUs (Fiji-style)
+  double alu_slots_per_sincos = 0.0;  ///< ALU cost per sincos if no SFUs
+  double clock_ghz = 1.8;
+  double shared_bytes_per_cycle_per_sm = 128.0;
+  int threads_per_block = 256;  ///< paper §V-C: 192/256 (gridder), 128/256
+  int blocks_per_sm = 2;        ///< concurrent resident blocks
+  std::uint64_t block_overhead_cycles = 2000;  ///< launch/drain/latency fill
+  double pcie_gbs = 12.0;       ///< host <-> device transfer rate
+};
+
+/// The paper's two GPUs as simulator configurations (Table I + §V-C).
+GpuSimConfig pascal_sim();
+GpuSimConfig fiji_sim();
+
+/// Outcome of simulating one kernel launch over a whole plan.
+struct GpuSimResult {
+  std::uint64_t total_cycles = 0;   ///< makespan over all SMs
+  double seconds = 0.0;
+  double fma_utilization = 0.0;     ///< busy fraction of the FMA pipes
+  double sfu_utilization = 0.0;     ///< busy fraction of the SFU pipe
+  double shared_utilization = 0.0;  ///< busy fraction of shared memory
+  std::string bottleneck;           ///< "fma" | "sfu" | "shared"
+  double ops_per_second = 0.0;      ///< paper op definition
+  double visibilities_per_second = 0.0;
+};
+
+/// Simulates the gridder / degridder kernel for every work item of the
+/// plan (one item = one thread block).
+GpuSimResult simulate_gridder(const GpuSimConfig& config, const Plan& plan);
+GpuSimResult simulate_degridder(const GpuSimConfig& config, const Plan& plan);
+
+/// Simulates the full triple-buffered pipeline of Fig 7 for the gridding
+/// path: per-work-group host-to-device input transfers, kernel execution
+/// and device-to-host subgrid transfers on three overlapping streams.
+struct PipelineSimResult {
+  double kernel_seconds = 0.0;    ///< sum of kernel executions
+  double transfer_seconds = 0.0;  ///< sum of both transfer directions
+  double wall_seconds = 0.0;      ///< pipelined makespan
+  double overlap_efficiency = 0.0;  ///< (kernel+transfer)/wall - 1 hidden
+};
+PipelineSimResult simulate_triple_buffering(const GpuSimConfig& config,
+                                            const Plan& plan);
+
+}  // namespace idg::arch

@@ -1,0 +1,21 @@
+// Microbenchmarks that measure this host's ceilings at runtime: peak FMA
+// throughput, vectorized sincos throughput (our vmath library), and
+// streaming memory bandwidth. The results parameterize the "host" Machine
+// so measured kernel runs can be placed on the same rooflines as the
+// modeled 2017 machines.
+#pragma once
+
+namespace idg::arch {
+
+struct HostCapabilities {
+  double fma_per_second = 0.0;     ///< measured peak FMA/s (all cores)
+  double sincos_per_second = 0.0;  ///< measured vmath sincos/s (all cores)
+  double mem_bw_gbs = 0.0;         ///< measured streaming bandwidth
+  int nr_threads = 1;
+};
+
+/// Runs the microbenchmarks (~0.2 s total). Results are cached after the
+/// first call.
+const HostCapabilities& probe_host();
+
+}  // namespace idg::arch

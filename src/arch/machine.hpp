@@ -1,0 +1,81 @@
+// Machine descriptions (paper Table I) and the per-architecture model
+// parameters used by the roofline / op-mix / energy analyses.
+//
+// The three machines of the paper are described by their *published*
+// ceilings (clock, FPU count, peak TFlop/s, memory bandwidth, TDP) plus a
+// small set of model parameters that capture the §VI-C performance
+// analysis:
+//
+//  * `sincos` — how the architecture evaluates sine/cosine:
+//      - DedicatedSfu (Pascal): special function units run in a separate
+//        issue queue, `sfu_sincos_per_fma` gives their sincos throughput
+//        relative to the FMA rate; FMAs and sincos overlap (paper: "the
+//        performance of PASCAL stays high when rho decreases");
+//      - SharedAlu (Fiji, Haswell): sincos occupies the FMA pipelines for
+//        `sincos_fma_slots` FMA-issue slots (paper: Fiji evaluates them
+//        "at a quarter of the rate" on the same ALUs; Haswell uses SVML).
+//  * `shared_bw_gbs` — GPU shared-memory bandwidth ceiling for Fig 13.
+//  * `kernel_efficiency` — residual efficiency (occupancy, scheduling)
+//    applied on top of the analytic ceilings.
+//
+// `sincos_fma_slots`, `shared_bw_gbs` and `kernel_efficiency` are
+// CALIBRATED against the paper's reported achieved performance (Figs 11-15)
+// — see EXPERIMENTS.md; the published Table I values are verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idg::arch {
+
+enum class SincosImplementation {
+  DedicatedSfu,  ///< hardware SFUs in a separate issue queue (Pascal)
+  SharedAlu,     ///< software evaluation on the FMA ALUs (Fiji, Haswell)
+};
+
+struct Machine {
+  std::string name;          ///< e.g. "HASWELL"
+  std::string model;         ///< e.g. "Intel Xeon E5-2697v3 (x2)"
+  std::string type;          ///< "CPU" or "GPU"
+  std::string architecture;  ///< "Haswell-EP", "Fiji", "Pascal"
+
+  double clock_ghz = 0.0;
+  int fpus = 0;              ///< total FMA lanes (Table I core config product)
+  double peak_tflops = 0.0;  ///< single-precision peak
+  double mem_gb = 0.0;
+  double mem_bw_gbs = 0.0;   ///< device/main memory bandwidth
+  double tdp_w = 0.0;
+
+  // Model parameters (see header comment).
+  SincosImplementation sincos = SincosImplementation::SharedAlu;
+  double sincos_fma_slots = 0.0;   ///< SharedAlu: FMA slots per sincos
+  double sfu_sincos_per_fma = 0.0; ///< DedicatedSfu: sincos rate / FMA rate
+  double shared_bw_gbs = 0.0;      ///< GPU shared memory bandwidth (0 = n/a)
+  double kernel_efficiency = 1.0;
+
+  // Power model.
+  double idle_w = 0.0;
+  double host_busy_w = 0.0;  ///< host-side power while driving a GPU
+
+  /// Peak operation rate under the paper's op definition (= flops rate,
+  /// since FMA = 2 ops = 2 flops).
+  double peak_ops() const { return peak_tflops * 1e12; }
+
+  /// Peak FMA instructions per second.
+  double fma_rate() const { return peak_tflops * 1e12 / 2.0; }
+};
+
+/// Table I machines.
+Machine haswell();
+Machine fiji();
+Machine pascal();
+
+/// The three paper machines in presentation order (HASWELL, FIJI, PASCAL).
+std::vector<Machine> paper_machines();
+
+/// A description of *this* host, with ceilings measured by microbenchmarks
+/// (see hostprobe.hpp) — used to place genuinely measured kernel runs on
+/// the same plots as the modeled 2017 machines.
+Machine host_machine();
+
+}  // namespace idg::arch

@@ -1,0 +1,63 @@
+#include "arch/opmix.hpp"
+
+#include "arch/roofline.hpp"
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "kernels/vmath.hpp"
+
+namespace idg::arch {
+
+std::vector<double> default_rhos() {
+  return {1, 2, 4, 8, 16, 17, 32, 64, 128};
+}
+
+std::vector<OpmixPoint> measure_host_opmix(const std::vector<double>& rhos,
+                                           double seconds_per_point) {
+  IDG_CHECK(seconds_per_point > 0.0, "seconds_per_point must be positive");
+  constexpr std::size_t kBatch = 4096;
+
+  std::vector<OpmixPoint> points;
+  points.reserve(rhos.size());
+
+  AlignedVector<float> x(kBatch), s(kBatch), c(kBatch), acc(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    x[i] = 0.01f * static_cast<float>(i);
+    acc[i] = 1.0f;
+  }
+
+  for (double rho : rhos) {
+    IDG_CHECK(rho >= 0.0, "rho must be non-negative");
+    const int fma_sweeps = static_cast<int>(rho);
+
+    // Warm-up + timed loop.
+    double ops_done = 0.0;
+    Timer timer;
+    while (timer.seconds() < seconds_per_point) {
+      vmath::sincos_batch(kBatch, x.data(), s.data(), c.data());
+      for (int k = 0; k < fma_sweeps; ++k) {
+#pragma omp simd
+        for (std::size_t i = 0; i < kBatch; ++i)
+          acc[i] = acc[i] * s[i] + c[i];
+      }
+      // Feed a result back so the compiler cannot hoist work out.
+      x[0] += acc[0] * 1e-20f;
+      ops_done += static_cast<double>(kBatch) * (2.0 + 2.0 * fma_sweeps);
+    }
+    const double seconds = timer.seconds();
+    points.push_back({rho, ops_done / seconds / 1e9});
+  }
+  return points;
+}
+
+std::vector<OpmixPoint> modeled_opmix(const Machine& machine,
+                                      const std::vector<double>& rhos) {
+  std::vector<OpmixPoint> points;
+  points.reserve(rhos.size());
+  for (double rho : rhos) {
+    points.push_back({rho, opmix_ceiling(machine, rho) / 1e9});
+  }
+  return points;
+}
+
+}  // namespace idg::arch

@@ -1,0 +1,29 @@
+// Operation-mix microbenchmark (paper Fig 12): measured throughput for
+// synthetic kernels executing rho FMAs per sincos, on this host, plus the
+// modeled curves for the paper's three machines.
+#pragma once
+
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace idg::arch {
+
+struct OpmixPoint {
+  double rho = 0.0;   ///< #FMA / #sincos
+  double gops = 0.0;  ///< achieved GOps/s (op = {+,-,*,sin,cos})
+};
+
+/// Measures the host's throughput for each mix ratio by running a batch
+/// kernel of one vectorized sincos followed by `rho` dependent FMA sweeps.
+std::vector<OpmixPoint> measure_host_opmix(const std::vector<double>& rhos,
+                                           double seconds_per_point = 0.05);
+
+/// Modeled curve for a Machine (the analytic ceiling of roofline.hpp).
+std::vector<OpmixPoint> modeled_opmix(const Machine& machine,
+                                      const std::vector<double>& rhos);
+
+/// The rho values the paper sweeps (powers of two, 1..128, plus 17).
+std::vector<double> default_rhos();
+
+}  // namespace idg::arch

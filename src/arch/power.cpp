@@ -1,0 +1,31 @@
+#include "arch/power.hpp"
+
+#include "common/error.hpp"
+
+namespace idg::arch {
+
+double device_power_w(const Machine& m, double utilization) {
+  IDG_CHECK(utilization >= 0.0 && utilization <= 1.0,
+            "utilization must be in [0, 1]");
+  return m.idle_w + utilization * (m.tdp_w - m.idle_w);
+}
+
+double device_energy_j(const Machine& m, double seconds, double utilization) {
+  IDG_CHECK(seconds >= 0.0, "seconds must be non-negative");
+  return device_power_w(m, utilization) * seconds;
+}
+
+double host_energy_j(const Machine& m, double seconds) {
+  IDG_CHECK(seconds >= 0.0, "seconds must be non-negative");
+  return m.host_busy_w * seconds;
+}
+
+double gflops_per_watt(const Machine& m, const OpCounts& counts,
+                       double seconds, double utilization) {
+  IDG_CHECK(seconds > 0.0, "seconds must be positive");
+  const double flops_per_second =
+      static_cast<double>(counts.flops()) / seconds;
+  return flops_per_second / device_power_w(m, utilization) / 1e9;
+}
+
+}  // namespace idg::arch

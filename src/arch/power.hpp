@@ -1,0 +1,36 @@
+// Power and energy model (paper Figs 14-15).
+//
+// The paper measures energy with LIKWID (RAPL, CPU package + DRAM) and
+// PowerSensor (full PCI-E device). Neither is available here, so energy is
+// modeled as the integral of a utilization-scaled power draw (DESIGN.md §2):
+//
+//   P_device = P_idle + utilization * (P_tdp - P_idle)
+//   E_kernel = P_device * t_kernel            (t measured or modeled)
+//   E_host   = P_host_busy * t_kernel         (GPUs only; the paper also
+//                                              reports host power)
+//
+// Figs 14-15 compare energy *ratios* across devices; the model feeds on the
+// same TDP inputs the paper's measurements are bounded by (Table I).
+#pragma once
+
+#include "arch/machine.hpp"
+#include "common/counters.hpp"
+
+namespace idg::arch {
+
+/// Device power draw at the given utilization (0..1).
+double device_power_w(const Machine& m, double utilization = 0.9);
+
+/// Device energy for a kernel of the given duration.
+double device_energy_j(const Machine& m, double seconds,
+                       double utilization = 0.9);
+
+/// Host-side energy while driving a GPU kernel (0 for CPUs).
+double host_energy_j(const Machine& m, double seconds);
+
+/// Energy efficiency in GFlops/W: classical flops (FMA mul+add, excluding
+/// transcendentals — the paper's Fig 15 metric) divided by device power.
+double gflops_per_watt(const Machine& m, const OpCounts& counts,
+                       double seconds, double utilization = 0.9);
+
+}  // namespace idg::arch

@@ -1,0 +1,69 @@
+#include "arch/roofline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace idg::arch {
+
+double roofline_dev(const Machine& m, double intensity_ops_per_byte) {
+  IDG_CHECK(intensity_ops_per_byte >= 0.0, "intensity must be non-negative");
+  return std::min(m.peak_ops(), intensity_ops_per_byte * m.mem_bw_gbs * 1e9);
+}
+
+double roofline_shared(const Machine& m, double intensity_ops_per_byte) {
+  if (m.shared_bw_gbs <= 0.0) return m.peak_ops();
+  return std::min(m.peak_ops(),
+                  intensity_ops_per_byte * m.shared_bw_gbs * 1e9);
+}
+
+double opmix_ceiling(const Machine& m, double rho) {
+  IDG_CHECK(rho >= 0.0, "rho must be non-negative");
+  const double ops_per_unit = 2.0 * rho + 2.0;
+  if (m.sincos == SincosImplementation::DedicatedSfu) {
+    const double sincos_rate = m.fma_rate() * m.sfu_sincos_per_fma;
+    const double unit_seconds =
+        std::max(rho / m.fma_rate(), 1.0 / sincos_rate);
+    return ops_per_unit / unit_seconds;
+  }
+  const double slots = rho + m.sincos_fma_slots;
+  return ops_per_unit / slots * m.fma_rate();
+}
+
+double ridge_point(const Machine& m) {
+  return m.peak_ops() / (m.mem_bw_gbs * 1e9);
+}
+
+double modeled_ops_per_second(const Machine& m, const OpCounts& counts) {
+  const std::uint64_t ops = counts.ops();
+  if (ops == 0) return 0.0;
+
+  // Op-mix ceiling: kernels without sincos run at the plain FMA peak.
+  const double mix = counts.sincos > 0 ? opmix_ceiling(m, counts.rho())
+                                       : m.peak_ops();
+
+  double attainable = mix;
+  if (counts.dev_bytes > 0) {
+    attainable = std::min(attainable, roofline_dev(m, counts.intensity_dev()));
+  }
+  if (counts.shared_bytes > 0 && m.shared_bw_gbs > 0.0) {
+    attainable =
+        std::min(attainable, roofline_shared(m, counts.intensity_shared()));
+  }
+  return attainable * m.kernel_efficiency;
+}
+
+double modeled_seconds(const Machine& m, const OpCounts& counts) {
+  if (counts.ops() == 0) {
+    // Pure data movement (e.g. the splitter): bandwidth-bound.
+    return counts.dev_bytes > 0
+               ? static_cast<double>(counts.dev_bytes) / (m.mem_bw_gbs * 1e9)
+               : 0.0;
+  }
+  const double rate = modeled_ops_per_second(m, counts);
+  IDG_ASSERT(rate > 0.0, "modeled rate must be positive for non-empty counts");
+  return static_cast<double>(counts.ops()) / rate;
+}
+
+}  // namespace idg::arch

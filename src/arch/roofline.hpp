@@ -1,0 +1,52 @@
+// Roofline models (paper Figs 11-13).
+//
+// Classic roofline: attainable = min(peak, intensity * bandwidth).
+//
+// Modified roofline (the paper's contribution to the methodology): treat
+// sin/cos as black-box *operations*. The attainable operation rate then
+// depends on the instruction mix rho = #FMA / #sincos:
+//
+//  * SharedAlu machines: a sincos occupies the FMA pipes for
+//    `sincos_fma_slots` issue slots, so one mix unit (rho FMAs + 1 sincos
+//    = 2*rho + 2 ops) takes (rho + slots) slots:
+//        ceiling(rho) = (2*rho + 2) / (rho + slots) * fma_rate
+//  * DedicatedSfu machines: FMAs and sincos issue on separate queues and
+//    overlap; the unit takes max(rho / fma_rate, 1 / sincos_rate):
+//        ceiling(rho) = (2*rho + 2) / max(rho/fma_rate, 1/sincos_rate)
+//
+// As rho -> infinity both converge to the FMA peak (2 ops/slot); at small
+// rho the SFU machine stays high while shared-ALU machines collapse —
+// exactly the shapes of Fig 12.
+#pragma once
+
+#include "arch/machine.hpp"
+#include "common/counters.hpp"
+
+namespace idg::arch {
+
+/// Classic roofline w.r.t. device/main memory (ops/s attainable at the
+/// given operational intensity in ops/byte).
+double roofline_dev(const Machine& m, double intensity_ops_per_byte);
+
+/// Roofline w.r.t. GPU shared memory (Fig 13). Returns the FMA peak for
+/// machines without a shared-memory hierarchy.
+double roofline_shared(const Machine& m, double intensity_ops_per_byte);
+
+/// Modified-roofline operation-mix ceiling at rho = #FMA/#sincos (Fig 12,
+/// and the dashed ceilings of Fig 11 at rho = 17).
+double opmix_ceiling(const Machine& m, double rho);
+
+/// The intensity where the classic roofline transitions from bandwidth- to
+/// compute-bound (the "ridge point").
+double ridge_point(const Machine& m);
+
+/// Modeled attainable performance for a kernel with the given analytic
+/// counts: the tightest of the op-mix ceiling, the device-memory roofline
+/// and (GPUs) the shared-memory roofline, scaled by the machine's residual
+/// kernel efficiency.
+double modeled_ops_per_second(const Machine& m, const OpCounts& counts);
+
+/// Modeled kernel execution time for the given counts.
+double modeled_seconds(const Machine& m, const OpCounts& counts);
+
+}  // namespace idg::arch

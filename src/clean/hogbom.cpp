@@ -1,0 +1,91 @@
+#include "clean/hogbom.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace idg::clean {
+
+float stokes_i(ArrayView<const cfloat, 3> cube, std::size_t y, std::size_t x) {
+  return 0.5f * (cube(0, y, x).real() + cube(3, y, x).real());
+}
+
+CleanResult hogbom_clean(ArrayView<cfloat, 3> residual,
+                         ArrayView<const cfloat, 3> psf,
+                         ArrayView<cfloat, 3> model_image,
+                         const CleanConfig& config) {
+  const std::size_t n = residual.dim(1);
+  IDG_CHECK(residual.dim(0) == kNrPolarizations && residual.dim(2) == n,
+            "residual must be [4][n][n]");
+  IDG_CHECK(psf.dim(1) == n && psf.dim(2) == n, "psf/residual size mismatch");
+  IDG_CHECK(model_image.dim(1) == n, "model/residual size mismatch");
+  IDG_CHECK(config.gain > 0.0f && config.gain <= 1.0f,
+            "loop gain must be in (0, 1]");
+  IDG_CHECK(config.major_gain > 0.0f && config.major_gain <= 1.0f,
+            "major_gain must be in (0, 1]");
+  IDG_CHECK(config.max_iterations >= 0, "max_iterations must be >= 0");
+
+  IDG_CHECK(config.border_fraction >= 0.0f && config.border_fraction < 0.5f,
+            "border_fraction must be in [0, 0.5)");
+
+  const std::size_t c0 = n / 2;  // PSF centre
+  const std::size_t lo = static_cast<std::size_t>(
+      config.border_fraction * static_cast<float>(n));
+  const std::size_t hi = n - lo;
+  CleanResult result;
+  float stop_at = config.threshold;
+
+  for (int it = 0; it < config.max_iterations; ++it) {
+    // Find the Stokes-I peak (by absolute value, so negative artefacts are
+    // cleaned too) inside the clean window.
+    float peak = 0.0f;
+    std::size_t py = lo, px = lo;
+    for (std::size_t y = lo; y < hi; ++y) {
+      for (std::size_t x = lo; x < hi; ++x) {
+        const float v = std::abs(stokes_i(residual, y, x));
+        if (v > peak) {
+          peak = v;
+          py = y;
+          px = x;
+        }
+      }
+    }
+    result.final_peak = peak;
+    if (it == 0) {
+      stop_at = std::max(config.threshold,
+                         (1.0f - config.major_gain) * peak);
+    }
+    if (peak <= stop_at) break;
+
+    const float flux = config.gain * stokes_i(residual, py, px);
+    result.components.push_back({px, py, flux});
+    ++result.iterations;
+
+    // Subtract flux * PSF shifted to the peak; accumulate into the model.
+    const long dy0 = static_cast<long>(py) - static_cast<long>(c0);
+    const long dx0 = static_cast<long>(px) - static_cast<long>(c0);
+    for (std::size_t y = 0; y < n; ++y) {
+      const long sy = static_cast<long>(y) - dy0;
+      if (sy < 0 || sy >= static_cast<long>(n)) continue;
+      for (std::size_t x = 0; x < n; ++x) {
+        const long sx = static_cast<long>(x) - dx0;
+        if (sx < 0 || sx >= static_cast<long>(n)) continue;
+        for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+          // Unpolarized model: flux enters XX and YY only.
+          if (p == 1 || p == 2) continue;
+          residual(p, y, x) -= flux * psf(p, static_cast<std::size_t>(sy),
+                                          static_cast<std::size_t>(sx));
+        }
+      }
+    }
+    model_image(0, py, px) += flux;
+    model_image(3, py, px) += flux;
+  }
+
+  if (result.iterations == 0 && config.max_iterations > 0) {
+    // No component found above threshold; final_peak already recorded.
+  }
+  return result;
+}
+
+}  // namespace idg::clean

@@ -1,0 +1,81 @@
+#include "clean/major_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "idg/image.hpp"
+
+namespace idg::clean {
+
+Array3D<cfloat> make_psf(const Processor& processor, const Plan& plan,
+                         ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Jones, 4> aterms, StageTimes* times) {
+  const std::size_t g = processor.parameters().grid_size;
+  Array3D<Visibility> unit(uvw.dim(0), uvw.dim(1),
+                           plan.wavenumbers().size());
+  const Visibility one{{1.0f, 0.0f}, {0.0f, 0.0f}, {0.0f, 0.0f}, {1.0f, 0.0f}};
+  unit.fill(one);
+
+  Array3D<cfloat> grid(kNrPolarizations, g, g);
+  processor.grid_visibilities(plan, uvw, unit.cview(), aterms, grid.view(),
+                              times);
+  return make_dirty_image(grid, plan.nr_planned_visibilities());
+}
+
+MajorCycleResult run_major_cycles(const Processor& processor, const Plan& plan,
+                                  ArrayView<const UVW, 2> uvw,
+                                  ArrayView<const Visibility, 3> visibilities,
+                                  ArrayView<const Jones, 4> aterms,
+                                  const MajorCycleConfig& config) {
+  IDG_CHECK(config.nr_major_cycles >= 1, "need at least one major cycle");
+  const std::size_t g = processor.parameters().grid_size;
+
+  MajorCycleResult result;
+  result.model_image = Array3D<cfloat>(kNrPolarizations, g, g);
+
+  const Array3D<cfloat> psf =
+      make_psf(processor, plan, uvw, aterms, &result.times);
+
+  // Residual visibilities start as a copy of the input.
+  Array3D<Visibility> residual_vis(visibilities.dim(0), visibilities.dim(1),
+                                   visibilities.dim(2));
+  std::copy(visibilities.begin(), visibilities.end(), residual_vis.begin());
+
+  Array3D<Visibility> model_vis(visibilities.dim(0), visibilities.dim(1),
+                                visibilities.dim(2));
+
+  for (int cycle = 0; cycle < config.nr_major_cycles; ++cycle) {
+    // --- image the residual (gridding + grid FFT) -------------------------
+    Array3D<cfloat> grid(kNrPolarizations, g, g);
+    processor.grid_visibilities(plan, uvw, residual_vis.cview(), aterms,
+                                grid.view(), &result.times);
+    Array3D<cfloat> dirty = [&] {
+      ScopedStageTimer timer(result.times, stage::kGridFft);
+      return make_dirty_image(grid, plan.nr_planned_visibilities());
+    }();
+
+    // --- minor cycles ------------------------------------------------------
+    const CleanResult minor = hogbom_clean(dirty.view(), psf.cview(),
+                                           result.model_image.view(),
+                                           config.minor);
+    result.total_components += minor.iterations;
+    result.peak_history.push_back(minor.final_peak);
+    result.residual_image = std::move(dirty);
+
+    // --- predict the model and subtract (FFT + degridding) -----------------
+    if (minor.iterations == 0 && cycle > 0) break;  // converged
+    Array3D<cfloat> model_grid = [&] {
+      ScopedStageTimer timer(result.times, stage::kGridFft);
+      return model_image_to_grid(result.model_image);
+    }();
+    processor.degrid_visibilities(plan, uvw, model_grid.cview(), aterms,
+                                  model_vis.view(), &result.times);
+    for (std::size_t i = 0; i < residual_vis.size(); ++i) {
+      residual_vis.data()[i] = visibilities.data()[i];
+      residual_vis.data()[i] -= model_vis.data()[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace idg::clean

@@ -1,0 +1,44 @@
+// The full imaging loop of paper Fig 2, with IDG as the gridding and
+// degridding engine.
+#pragma once
+
+#include <vector>
+
+#include "clean/hogbom.hpp"
+#include "common/array.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+
+namespace idg::clean {
+
+struct MajorCycleConfig {
+  int nr_major_cycles = 3;
+  CleanConfig minor;
+};
+
+struct MajorCycleResult {
+  Array3D<cfloat> model_image;     ///< accumulated CLEAN model
+  Array3D<cfloat> residual_image;  ///< dirty image after the last cycle
+  std::vector<float> peak_history; ///< residual Stokes-I peak per cycle
+  int total_components = 0;
+  StageTimes times;                ///< per-stage wall clock (Fig 9 input)
+};
+
+/// PSF from the plan's uv coverage: grid unit visibilities and image them.
+/// Peaks at ~1 at pixel (grid_size/2, grid_size/2).
+Array3D<cfloat> make_psf(const Processor& processor, const Plan& plan,
+                         ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Jones, 4> aterms,
+                         StageTimes* times = nullptr);
+
+/// Runs `nr_major_cycles` of image / clean / predict / subtract on a copy
+/// of `visibilities`.
+MajorCycleResult run_major_cycles(const Processor& processor, const Plan& plan,
+                                  ArrayView<const UVW, 2> uvw,
+                                  ArrayView<const Visibility, 3> visibilities,
+                                  ArrayView<const Jones, 4> aterms,
+                                  const MajorCycleConfig& config);
+
+}  // namespace idg::clean

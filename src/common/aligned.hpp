@@ -1,0 +1,59 @@
+// Cache-line / SIMD-aligned storage.
+//
+// The optimized kernels (src/kernels/) rely on 64-byte alignment so that the
+// compiler can emit aligned AVX2 loads for the split real/imaginary batch
+// buffers (paper §V-B: "memory-aligned arrays to allow for non-strided data
+// access").
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace idg {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal C++17 aligned allocator; alignment is a power of two >=
+/// alignof(T).
+template <typename T, std::size_t Alignment = kAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace idg

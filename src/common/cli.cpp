@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+namespace {
+std::string env_name(const std::string& option) {
+  std::string out = "IDG_BENCH_";
+  for (char c : option) {
+    out += c == '-' ? '_' : static_cast<char>(std::toupper(
+                                static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+}  // namespace
+
+Options::Options(int argc, const char* const* argv,
+                 const std::vector<std::string>& flag_names) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    const bool is_flag =
+        std::find(flag_names.begin(), flag_names.end(), name) !=
+        flag_names.end();
+    if (is_flag) {
+      values_[name] = "1";
+    } else {
+      IDG_CHECK(i + 1 < argc, "option --" << name << " expects a value");
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+std::optional<std::string> Options::lookup(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+bool Options::has(const std::string& name) const {
+  return lookup(name).has_value();
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  return lookup(name).value_or(fallback);
+}
+
+long Options::get(const std::string& name, long fallback) const {
+  auto v = lookup(name);
+  if (!v) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Options::get(const std::string& name, double fallback) const {
+  auto v = lookup(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+}  // namespace idg

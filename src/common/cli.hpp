@@ -1,0 +1,45 @@
+// Minimal command-line / environment option parsing for the bench and
+// example binaries.
+//
+// Every option --name <value> can also be supplied through the environment
+// as IDG_BENCH_NAME (dashes become underscores, upper-cased); the command
+// line takes precedence. `--paper` switches to the full 2017 benchmark
+// configuration (see DESIGN.md §7).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace idg {
+
+class Options {
+ public:
+  /// Parses argv; unknown options are an error (listed in what()).
+  /// Recognized flags take a value except those in `flag_names`.
+  Options(int argc, const char* const* argv,
+          const std::vector<std::string>& flag_names = {"paper", "help",
+                                                        "verbose"});
+
+  bool has(const std::string& name) const;
+  bool flag(const std::string& name) const { return has(name); }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get(const std::string& name, long fallback) const;
+  double get(const std::string& name, double fallback) const;
+
+  /// Positional (non-option) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace idg

@@ -1,0 +1,82 @@
+// Operation and traffic accounting for the modified roofline analysis.
+//
+// The paper (§VI-B) defines an *operation* as one of {+, -, *, sin(), cos()}
+// so that the black-box sine/cosine evaluations can be placed on the same
+// axis as FMAs: an FMA counts as 2 ops and a paired sincos as 2 ops. The
+// kernels' inner loops execute exactly 17 real FMAs per sincos (rho = 17).
+//
+// `OpCounts` records, for one kernel invocation or one whole pipeline run:
+//   * fma        — real-valued fused multiply-adds,
+//   * mul/add    — real multiplies/adds issued outside FMAs,
+//   * sincos     — paired sine/cosine evaluations on one argument,
+//   * dev_bytes  — bytes moved from/to device/main memory,
+//   * shared_bytes — bytes moved through GPU shared memory (Fig 13),
+//   * visibilities — visibility samples processed (for MVis/s).
+//
+// All counts are *analytic*: they are derived from the execution plan
+// (number of subgrids, timesteps, channels, pixels), not from hardware
+// counters, exactly as the paper derives its known operation counts.
+#pragma once
+
+#include <cstdint>
+
+namespace idg {
+
+struct OpCounts {
+  std::uint64_t fma = 0;
+  std::uint64_t mul = 0;
+  std::uint64_t add = 0;
+  std::uint64_t sincos = 0;
+  std::uint64_t dev_bytes = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t visibilities = 0;
+
+  /// Total operations under the paper's definition: FMA = 2 ops,
+  /// sincos (sin+cos on one argument) = 2 ops.
+  std::uint64_t ops() const { return 2 * fma + mul + add + 2 * sincos; }
+
+  /// Classical floating-point operations (excludes the transcendentals),
+  /// used for the GFlops/W energy-efficiency numbers (Fig 15).
+  std::uint64_t flops() const { return 2 * fma + mul + add; }
+
+  /// rho = #FMA / #sincos, the instruction-mix ratio of Fig 12.
+  double rho() const {
+    return sincos == 0 ? 0.0 : static_cast<double>(fma) / sincos;
+  }
+
+  /// Operational intensity w.r.t. device/main memory (ops per byte).
+  double intensity_dev() const {
+    return dev_bytes == 0 ? 0.0 : static_cast<double>(ops()) / dev_bytes;
+  }
+
+  /// Operational intensity w.r.t. GPU shared memory (ops per byte, Fig 13).
+  double intensity_shared() const {
+    return shared_bytes == 0 ? 0.0 : static_cast<double>(ops()) / shared_bytes;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    fma += o.fma;
+    mul += o.mul;
+    add += o.add;
+    sincos += o.sincos;
+    dev_bytes += o.dev_bytes;
+    shared_bytes += o.shared_bytes;
+    visibilities += o.visibilities;
+    return *this;
+  }
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+  OpCounts& operator*=(std::uint64_t k) {
+    fma *= k;
+    mul *= k;
+    add *= k;
+    sincos *= k;
+    dev_bytes *= k;
+    shared_bytes *= k;
+    visibilities *= k;
+    return *this;
+  }
+  friend OpCounts operator*(OpCounts a, std::uint64_t k) { return a *= k; }
+};
+
+}  // namespace idg

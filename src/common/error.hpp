@@ -1,0 +1,50 @@
+// Error handling for the IDG reproduction.
+//
+// Library code throws `idg::Error` (a std::runtime_error) for contract
+// violations that depend on user input (bad parameters, impossible plans).
+// `IDG_CHECK` is used at public API boundaries; internal invariants use
+// `IDG_ASSERT`, which is compiled out in release builds only if
+// IDG_DISABLE_ASSERT is defined (it is kept by default: the kernels are
+// memory-bound on checks only in debug paths).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace idg {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ':' << line << ": check failed: " << expr;
+  if (!message.empty()) oss << " — " << message;
+  throw Error(oss.str());
+}
+}  // namespace detail
+
+}  // namespace idg
+
+/// Validates a user-facing precondition; throws idg::Error on failure.
+#define IDG_CHECK(expr, message)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::idg::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                         (std::ostringstream{} << message) \
+                                             .str());                     \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant; same behaviour as IDG_CHECK unless disabled.
+#ifdef IDG_DISABLE_ASSERT
+#define IDG_ASSERT(expr, message) ((void)0)
+#else
+#define IDG_ASSERT(expr, message) IDG_CHECK(expr, message)
+#endif

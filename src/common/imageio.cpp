@@ -1,0 +1,70 @@
+#include "common/imageio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+Array2D<float> stokes_i_plane(const Array3D<cfloat>& cube) {
+  IDG_CHECK(cube.dim(0) == kNrPolarizations, "cube must be [4][n][n]");
+  const std::size_t n = cube.dim(1);
+  Array2D<float> plane(n, cube.dim(2));
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < cube.dim(2); ++x)
+      plane(y, x) = 0.5f * (cube(0, y, x).real() + cube(3, y, x).real());
+  return plane;
+}
+
+void write_pgm(const std::string& path, const Array2D<float>& plane,
+               float lo, float hi, double gamma) {
+  IDG_CHECK(gamma > 0.0, "gamma must be positive");
+  if (lo == hi) {
+    lo = *std::min_element(plane.begin(), plane.end());
+    hi = *std::max_element(plane.begin(), plane.end());
+    if (lo == hi) hi = lo + 1.0f;
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  IDG_CHECK(out.good(), "cannot open PGM output file: " << path);
+  out << "P5\n" << plane.dim(1) << ' ' << plane.dim(0) << "\n255\n";
+  const float range = hi - lo;
+  for (std::size_t y = 0; y < plane.dim(0); ++y) {
+    for (std::size_t x = 0; x < plane.dim(1); ++x) {
+      const double v =
+          std::clamp(static_cast<double>((plane(y, x) - lo) / range), 0.0, 1.0);
+      const int level = static_cast<int>(std::lround(std::pow(v, gamma) * 255.0));
+      out.put(static_cast<char>(level));
+    }
+  }
+  IDG_CHECK(out.good(), "failed writing PGM file: " << path);
+}
+
+void write_plane_csv(const std::string& path, const Array2D<float>& plane) {
+  std::ofstream out(path);
+  IDG_CHECK(out.good(), "cannot open CSV output file: " << path);
+  for (std::size_t y = 0; y < plane.dim(0); ++y) {
+    for (std::size_t x = 0; x < plane.dim(1); ++x) {
+      if (x != 0) out << ',';
+      out << plane(y, x);
+    }
+    out << '\n';
+  }
+}
+
+PgmHeader read_pgm_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  IDG_CHECK(in.good(), "cannot open PGM file: " << path);
+  std::string magic;
+  in >> magic;
+  IDG_CHECK(magic == "P5", "not a binary PGM file: " << path);
+  PgmHeader header;
+  in >> header.width >> header.height >> header.maxval;
+  IDG_CHECK(in.good() && header.width > 0 && header.height > 0,
+            "malformed PGM header: " << path);
+  return header;
+}
+
+}  // namespace idg

@@ -1,0 +1,34 @@
+// Minimal image output: binary PGM (8-bit grayscale, universally viewable)
+// and CSV dumps of image planes. Used by the examples to save dirty images,
+// PSFs and CLEAN models for inspection.
+#pragma once
+
+#include <string>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg {
+
+/// Extracts the Stokes-I plane (XX + YY).real()/2 from a [4][n][n] cube.
+Array2D<float> stokes_i_plane(const Array3D<cfloat>& cube);
+
+/// Writes a float plane as binary PGM (P5), mapping [lo, hi] to [0, 255].
+/// With lo == hi the range is taken from the data; `gamma` < 1 brightens
+/// faint structure.
+void write_pgm(const std::string& path, const Array2D<float>& plane,
+               float lo = 0.0f, float hi = 0.0f, double gamma = 0.5);
+
+/// Writes a float plane as CSV (one row per image row).
+void write_plane_csv(const std::string& path, const Array2D<float>& plane);
+
+/// Reads back the header of a PGM file: returns {width, height, maxval};
+/// throws on malformed files (test/diagnostic helper).
+struct PgmHeader {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+};
+PgmHeader read_pgm_header(const std::string& path);
+
+}  // namespace idg

@@ -1,0 +1,125 @@
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  IDG_CHECK(!rows_.empty(), "Table::row() must be called before add()");
+  IDG_CHECK(rows_.back().size() < header_.size(),
+            "row has more cells than header columns");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return add(oss.str());
+}
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row, bool header) {
+    os << "  ";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      const bool right = !header && looks_numeric(cell);
+      os << (c == 0 ? "" : "  ");
+      if (right)
+        os << std::setw(static_cast<int>(widths[c])) << std::right << cell;
+      else
+        os << std::setw(static_cast<int>(widths[c])) << std::left << cell;
+    }
+    os << '\n';
+  };
+
+  print_row(header_, true);
+  os << "  ";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row, false);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  IDG_CHECK(out.good(), "cannot open CSV output file: " << path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string si_format(double value, int precision) {
+  static constexpr const char* prefixes[] = {"", "k", "M", "G", "T", "P"};
+  int idx = 0;
+  double v = std::abs(value);
+  while (v >= 1000.0 && idx < 5) {
+    v /= 1000.0;
+    ++idx;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision)
+      << (value < 0 ? -v : v) << ' ' << prefixes[idx];
+  return oss.str();
+}
+
+std::string ascii_bar(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  return std::string(static_cast<std::size_t>(filled), '#') +
+         std::string(static_cast<std::size_t>(width - filled), '.');
+}
+
+}  // namespace idg

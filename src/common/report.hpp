@@ -1,0 +1,49 @@
+// Tabular output for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the corresponding paper
+// table or figure as (a) an aligned human-readable table on stdout and
+// (b) optionally a CSV file (--csv <path>) for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace idg {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendered with a header rule and right-aligned
+/// numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows).
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a quantity with an SI prefix, e.g. 1.5e9 -> "1.50 G".
+std::string si_format(double value, int precision = 2);
+
+/// Renders a horizontal ASCII bar of the given relative width (0..1).
+std::string ascii_bar(double fraction, int width = 40);
+
+}  // namespace idg

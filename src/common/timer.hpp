@@ -1,0 +1,79 @@
+// Wall-clock timing and named accumulation buckets.
+//
+// The benches time each IDG stage (gridder, degridder, subgrid FFT, adder,
+// splitter, grid FFT) separately to reproduce the runtime-distribution and
+// energy figures (Figs 9, 14). `StageTimes` is the accumulator shared by the
+// pipelines and the bench harness.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace idg {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall-clock seconds per named pipeline stage.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) {
+    seconds_[stage] += seconds;
+  }
+
+  double get(const std::string& stage) const {
+    auto it = seconds_.find(stage);
+    return it == seconds_.end() ? 0.0 : it->second;
+  }
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [_, s] : seconds_) sum += s;
+    return sum;
+  }
+
+  const std::map<std::string, double>& by_stage() const { return seconds_; }
+
+  StageTimes& operator+=(const StageTimes& other) {
+    for (const auto& [stage, s] : other.seconds_) seconds_[stage] += s;
+    return *this;
+  }
+
+  void clear() { seconds_.clear(); }
+
+ private:
+  std::map<std::string, double> seconds_;
+};
+
+/// RAII helper: adds the scope's wall time to a StageTimes bucket.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimes& times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~ScopedStageTimer() { times_.add(stage_, timer_.seconds()); }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace idg

@@ -1,0 +1,131 @@
+// Fundamental value types shared by every module of the IDG reproduction.
+//
+// Conventions (see DESIGN.md §6):
+//  * all floating-point work is single precision (`float`), matching the
+//    paper, which reports single-precision flops throughout;
+//  * visibilities and image pixels are full-polarization 2x2 complex
+//    matrices (XX, XY, YX, YY);
+//  * uvw coordinates are stored in meters and scaled to wavelengths with
+//    the per-channel factor  f / c.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace idg {
+
+using cfloat = std::complex<float>;
+using cdouble = std::complex<double>;
+
+/// Speed of light in m/s; used to scale uvw coordinates (meters) to
+/// wavelengths for a given channel frequency.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/// Number of correlation products per visibility (XX, XY, YX, YY).
+inline constexpr int kNrPolarizations = 4;
+
+/// A uvw coordinate in meters, associated with one (baseline, timestep).
+struct UVW {
+  float u = 0.0f;
+  float v = 0.0f;
+  float w = 0.0f;
+
+  friend UVW operator-(const UVW& a, const UVW& b) {
+    return {a.u - b.u, a.v - b.v, a.w - b.w};
+  }
+  friend UVW operator-(const UVW& a) { return {-a.u, -a.v, -a.w}; }
+  friend bool operator==(const UVW& a, const UVW& b) {
+    return a.u == b.u && a.v == b.v && a.w == b.w;
+  }
+};
+
+/// A pair of station indices. Baselines are stored with station1 < station2.
+struct Baseline {
+  int station1 = 0;
+  int station2 = 0;
+
+  friend bool operator==(const Baseline&, const Baseline&) = default;
+};
+
+/// A 2x2 complex matrix: one full-polarization visibility or image pixel,
+/// or one Jones matrix (A-term). Layout is row-major: (0,0)=XX, (0,1)=XY,
+/// (1,0)=YX, (1,1)=YY, matching the four-polarization indexing used by the
+/// kernels.
+template <typename T>
+struct Matrix2x2 {
+  std::complex<T> xx{};
+  std::complex<T> xy{};
+  std::complex<T> yx{};
+  std::complex<T> yy{};
+
+  static constexpr Matrix2x2 identity() {
+    return {std::complex<T>(1), std::complex<T>(0), std::complex<T>(0),
+            std::complex<T>(1)};
+  }
+  static constexpr Matrix2x2 zero() { return {}; }
+
+  std::complex<T>& operator[](int p) {
+    return p == 0 ? xx : p == 1 ? xy : p == 2 ? yx : yy;
+  }
+  const std::complex<T>& operator[](int p) const {
+    return p == 0 ? xx : p == 1 ? xy : p == 2 ? yx : yy;
+  }
+
+  Matrix2x2& operator+=(const Matrix2x2& o) {
+    xx += o.xx;
+    xy += o.xy;
+    yx += o.yx;
+    yy += o.yy;
+    return *this;
+  }
+  Matrix2x2& operator-=(const Matrix2x2& o) {
+    xx -= o.xx;
+    xy -= o.xy;
+    yx -= o.yx;
+    yy -= o.yy;
+    return *this;
+  }
+  Matrix2x2& operator*=(std::complex<T> s) {
+    xx *= s;
+    xy *= s;
+    yx *= s;
+    yy *= s;
+    return *this;
+  }
+
+  friend Matrix2x2 operator+(Matrix2x2 a, const Matrix2x2& b) { return a += b; }
+  friend Matrix2x2 operator-(Matrix2x2 a, const Matrix2x2& b) { return a -= b; }
+  friend Matrix2x2 operator*(Matrix2x2 a, std::complex<T> s) { return a *= s; }
+  friend Matrix2x2 operator*(std::complex<T> s, Matrix2x2 a) { return a *= s; }
+
+  /// Matrix product a * b.
+  friend Matrix2x2 operator*(const Matrix2x2& a, const Matrix2x2& b) {
+    return {a.xx * b.xx + a.xy * b.yx, a.xx * b.xy + a.xy * b.yy,
+            a.yx * b.xx + a.yy * b.yx, a.yx * b.xy + a.yy * b.yy};
+  }
+
+  /// Conjugate transpose.
+  Matrix2x2 adjoint() const {
+    return {std::conj(xx), std::conj(yx), std::conj(xy), std::conj(yy)};
+  }
+
+  /// Frobenius norm squared.
+  T norm2() const {
+    return std::norm(xx) + std::norm(xy) + std::norm(yx) + std::norm(yy);
+  }
+};
+
+using Visibility = Matrix2x2<float>;  ///< one 2x2 complex visibility sample
+using Jones = Matrix2x2<float>;       ///< one 2x2 complex Jones matrix
+
+/// Computes n(l, m) = 1 - sqrt(1 - l^2 - m^2), the third direction cosine
+/// offset that appears with the w coordinate in the measurement equation.
+/// Clamped at the horizon (l^2 + m^2 >= 1).
+inline float compute_n(float l, float m) {
+  const float r2 = l * l + m * m;
+  return r2 >= 1.0f ? 1.0f : 1.0f - std::sqrt(1.0f - r2);
+}
+
+}  // namespace idg

@@ -1,0 +1,142 @@
+#include "idg/accounting.hpp"
+
+#include <cmath>
+
+namespace idg {
+
+namespace {
+struct PlanTotals {
+  std::uint64_t subgrids = 0;
+  std::uint64_t visibilities = 0;       // sum of T*C over items
+  std::uint64_t pixel_vis = 0;          // sum of N^2 * T * C
+  std::uint64_t pixel_time = 0;         // sum of N^2 * T
+  std::uint64_t timesteps = 0;          // sum of T
+};
+
+PlanTotals totals_of(const Plan& plan) {
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(plan.parameters().subgrid_size) *
+      plan.parameters().subgrid_size;
+  PlanTotals t;
+  for (const WorkItem& item : plan.items()) {
+    const auto nt = static_cast<std::uint64_t>(item.nr_timesteps);
+    const auto nc = static_cast<std::uint64_t>(item.nr_channels);
+    ++t.subgrids;
+    t.visibilities += nt * nc;
+    t.pixel_vis += n2 * nt * nc;
+    t.pixel_time += n2 * nt;
+    t.timesteps += nt;
+  }
+  return t;
+}
+
+constexpr std::uint64_t kVisBytes = 32;  // 4 pol x complex<float>
+constexpr std::uint64_t kUvwBytes = 12;
+constexpr std::uint64_t kJonesBytes = 32;
+constexpr std::uint64_t kPixelBytes = 8;  // complex<float>
+
+/// Real-op cost of one complex n-point FFT (split-radix style model).
+std::uint64_t fft_ops(std::uint64_t n) {
+  const double logn = n > 1 ? std::log2(static_cast<double>(n)) : 0.0;
+  return static_cast<std::uint64_t>(5.0 * static_cast<double>(n) * logn);
+}
+}  // namespace
+
+OpCounts gridder_op_counts(const Plan& plan) {
+  const PlanTotals t = totals_of(plan);
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(plan.parameters().subgrid_size) *
+      plan.parameters().subgrid_size;
+
+  OpCounts c;
+  c.visibilities = t.visibilities;
+  // Inner loop: 17 FMA + 1 sincos per (pixel, time, channel).
+  c.fma = 17 * t.pixel_vis;
+  c.sincos = t.pixel_vis;
+  // Geometry: 3 FMA per (pixel, time) for base = u*l + v*m + w*n.
+  c.fma += 3 * t.pixel_time;
+  // Per-pixel epilogue: A-term sandwich (32 FMA) + taper (8 mul) + offset
+  // (3 FMA); l/m/n are amortized via lookup in the optimized kernels.
+  c.fma += t.subgrids * n2 * 35;
+  c.mul += t.subgrids * n2 * 8;
+
+  // Device-memory traffic.
+  c.dev_bytes = t.visibilities * kVisBytes + t.timesteps * kUvwBytes +
+                t.subgrids * n2 * (2 * kJonesBytes + 4) +
+                t.subgrids * n2 * 4 * kPixelBytes;
+
+  // Shared-memory traffic (GPU model): every thread-pixel reads the staged
+  // visibility per (t, c) and the staged uvw per t.
+  c.shared_bytes = t.pixel_vis * kVisBytes + t.pixel_time * kUvwBytes;
+  return c;
+}
+
+OpCounts degridder_op_counts(const Plan& plan) {
+  const PlanTotals t = totals_of(plan);
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(plan.parameters().subgrid_size) *
+      plan.parameters().subgrid_size;
+
+  OpCounts c;
+  c.visibilities = t.visibilities;
+  c.fma = 17 * t.pixel_vis;
+  c.sincos = t.pixel_vis;
+  c.fma += 3 * t.pixel_time;  // base term, re-evaluated per (pixel, time)
+  // Per-pixel prologue: A-term sandwich + taper + offset.
+  c.fma += t.subgrids * n2 * 35;
+  c.mul += t.subgrids * n2 * 8;
+
+  c.dev_bytes = t.visibilities * kVisBytes + t.timesteps * kUvwBytes +
+                t.subgrids * n2 * (2 * kJonesBytes + 4) +
+                t.subgrids * n2 * 4 * kPixelBytes;
+
+  // Shared-memory traffic: every thread-visibility reads the staged pixel
+  // values (4 pol), the geometry (l, m, n) and the phase offset per pixel.
+  c.shared_bytes =
+      t.pixel_vis * (4 * kPixelBytes + 3 * 4 + 4);
+  return c;
+}
+
+OpCounts subgrid_fft_op_counts(const Plan& plan) {
+  const std::uint64_t n = plan.parameters().subgrid_size;
+  const std::uint64_t n2 = n * n;
+  OpCounts c;
+  // 2-D FFT = 2n row/col transforms of length n, per polarization.
+  const std::uint64_t per_pol = 2 * n * fft_ops(n);
+  const std::uint64_t per_subgrid = 4 * per_pol;
+  const std::uint64_t total_f = per_subgrid * plan.nr_subgrids();
+  c.fma = total_f / 2;  // FFT butterflies are balanced mul/add ~ FMA pairs
+  c.dev_bytes = plan.nr_subgrids() * n2 * 4 * kPixelBytes * 2;  // r/w
+  return c;
+}
+
+OpCounts adder_op_counts(const Plan& plan) {
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(plan.parameters().subgrid_size) *
+      plan.parameters().subgrid_size;
+  OpCounts c;
+  c.add = plan.nr_subgrids() * n2 * 4 * 2;  // complex add per pixel
+  // read subgrid + read-modify-write grid
+  c.dev_bytes = plan.nr_subgrids() * n2 * 4 * kPixelBytes * 3;
+  return c;
+}
+
+OpCounts splitter_op_counts(const Plan& plan) {
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(plan.parameters().subgrid_size) *
+      plan.parameters().subgrid_size;
+  OpCounts c;
+  c.dev_bytes = plan.nr_subgrids() * n2 * 4 * kPixelBytes * 2;
+  return c;
+}
+
+OpCounts grid_fft_op_counts(const Parameters& params) {
+  const std::uint64_t g = params.grid_size;
+  OpCounts c;
+  const std::uint64_t per_pol = 2 * g * fft_ops(g);
+  c.fma = 4 * per_pol / 2;
+  c.dev_bytes = 4 * g * g * kPixelBytes * 2;
+  return c;
+}
+
+}  // namespace idg

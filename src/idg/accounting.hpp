@@ -1,0 +1,54 @@
+// Analytic operation and traffic accounting for every IDG pipeline stage.
+//
+// The roofline figures (11-13) place each kernel by its *known* operation
+// count and *measured or modeled* data movement. All counts here are
+// derived from the execution plan exactly as the paper derives them:
+//
+// Gridder / degridder inner loop, per (pixel, time, channel):
+//   1 FMA    phase = base * wavenumber - offset        (Algorithm 1 line 7)
+//   1 sincos                                            (line 8)
+//   16 FMA   4 polarizations x complex multiply-add     (lines 9-13)
+// -> rho = 17 FMAs per sincos, 36 ops per iteration (an FMA = 2 ops,
+//    a sincos = 2 ops).
+//
+// Per (pixel, time): 3 FMA for base = u*l + v*m + w*n.
+// Per pixel (amortized once per work item): l/m/n evaluation, phase offset,
+// A-term sandwich (2 complex 2x2 multiplies = 2*16 FMA) and taper scaling
+// (8 mul).
+//
+// Device-memory traffic per work item (the gridder reads visibilities and
+// uvw once, writes the subgrid once; A-terms and taper are amortized across
+// the work group but counted per item, as in the paper's measured traffic):
+//   read  T*C visibilities  (32 B each)
+//   read  T   uvw           (12 B each)
+//   read  2 * N^2 A-terms   (32 B each)  +  N^2 taper (4 B)
+//   write N^2 * 4 pixels    ( 8 B each)
+//
+// GPU shared-memory traffic (Fig 13) follows the paper's kernel structure:
+// the gridder stages visibilities and uvw through shared memory and every
+// thread (pixel) re-reads them per inner iteration; the degridder stages
+// pixels and per-pixel geometry (l, m, n, offset) and every thread
+// (visibility) re-reads those.
+#pragma once
+
+#include "common/counters.hpp"
+#include "idg/plan.hpp"
+
+namespace idg {
+
+OpCounts gridder_op_counts(const Plan& plan);
+OpCounts degridder_op_counts(const Plan& plan);
+
+/// Subgrid FFTs: 4 transforms of N x N per subgrid; 5 * n * log2(n) real
+/// ops per length-n transform (the standard FFT cost model).
+OpCounts subgrid_fft_op_counts(const Plan& plan);
+
+/// Adder / splitter move the subgrid pixels to/from the grid (pure data
+/// movement plus one complex add per pixel for the adder).
+OpCounts adder_op_counts(const Plan& plan);
+OpCounts splitter_op_counts(const Plan& plan);
+
+/// Grid FFT: one 2-D transform of the full [4][G][G] cube.
+OpCounts grid_fft_op_counts(const Parameters& params);
+
+}  // namespace idg

@@ -1,0 +1,88 @@
+#include "idg/adder.hpp"
+
+#include <omp.h>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+namespace {
+void check_shapes(const Parameters& params, std::span<const WorkItem> items,
+                  std::size_t subgrid_count, const std::array<std::size_t, 3>& grid_dims) {
+  const std::size_t n = params.subgrid_size;
+  IDG_CHECK(grid_dims[0] == kNrPolarizations &&
+                grid_dims[1] == params.grid_size &&
+                grid_dims[2] == params.grid_size,
+            "grid must be [4][grid_size][grid_size]");
+  IDG_CHECK(subgrid_count >= items.size(), "subgrid buffer too small");
+  for (const WorkItem& item : items) {
+    IDG_CHECK(item.coord_x >= 0 && item.coord_y >= 0 &&
+                  item.coord_x + static_cast<int>(n) <=
+                      static_cast<int>(params.grid_size) &&
+                  item.coord_y + static_cast<int>(n) <=
+                      static_cast<int>(params.grid_size),
+              "work item patch extends beyond the grid");
+  }
+}
+}  // namespace
+
+void add_subgrids_to_grid(const Parameters& params,
+                          std::span<const WorkItem> items,
+                          ArrayView<const cfloat, 4> subgrids,
+                          ArrayView<cfloat, 3> grid) {
+  check_shapes(params, items, subgrids.dim(0),
+               {grid.dim(0), grid.dim(1), grid.dim(2)});
+  const std::size_t n = params.subgrid_size;
+  const std::size_t g = params.grid_size;
+
+#pragma omp parallel
+  {
+    // Each thread owns a contiguous band of grid rows.
+    const int nthreads = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    const std::size_t rows_per_thread = (g + nthreads - 1) / nthreads;
+    const std::size_t row_begin = static_cast<std::size_t>(tid) * rows_per_thread;
+    const std::size_t row_end = std::min(row_begin + rows_per_thread, g);
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const WorkItem& item = items[i];
+      const std::size_t y0 = static_cast<std::size_t>(item.coord_y);
+      const std::size_t x0 = static_cast<std::size_t>(item.coord_x);
+      const std::size_t y_lo = std::max(y0, row_begin);
+      const std::size_t y_hi = std::min(y0 + n, row_end);
+      for (std::size_t gy = y_lo; gy < y_hi; ++gy) {
+        const std::size_t sy = gy - y0;
+        for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+          const cfloat* src = &subgrids(i, p, sy, 0);
+          cfloat* dst = &grid(p, gy, x0);
+          for (std::size_t x = 0; x < n; ++x) dst[x] += src[x];
+        }
+      }
+    }
+  }
+}
+
+void split_subgrids_from_grid(const Parameters& params,
+                              std::span<const WorkItem> items,
+                              ArrayView<const cfloat, 3> grid,
+                              ArrayView<cfloat, 4> subgrids) {
+  check_shapes(params, items, subgrids.dim(0),
+               {grid.dim(0), grid.dim(1), grid.dim(2)});
+  const std::size_t n = params.subgrid_size;
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const WorkItem& item = items[i];
+    const std::size_t y0 = static_cast<std::size_t>(item.coord_y);
+    const std::size_t x0 = static_cast<std::size_t>(item.coord_x);
+    for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+      for (std::size_t sy = 0; sy < n; ++sy) {
+        const cfloat* src = &grid(p, y0 + sy, x0);
+        cfloat* dst = &subgrids(i, p, sy, 0);
+        for (std::size_t x = 0; x < n; ++x) dst[x] = src[x];
+      }
+    }
+  }
+}
+
+}  // namespace idg

@@ -1,0 +1,33 @@
+// Adder and splitter (pipeline step 3, paper §V-B-d).
+//
+// The adder accumulates Fourier-domain subgrids onto the master grid.
+// Subgrids may overlap, so parallelizing over subgrids would race on grid
+// pixels; following the paper, the adder parallelizes over *grid rows*
+// instead — each thread owns a disjoint row range and scans all work items
+// for patches intersecting it. The splitter reads the (immutable) grid, so
+// it parallelizes over subgrids.
+#pragma once
+
+#include <span>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "idg/parameters.hpp"
+#include "idg/plan.hpp"
+
+namespace idg {
+
+/// grid(pol, y0+y, x0+x) += subgrid(i, pol, y, x) for every item.
+/// `grid` dims: [4][grid_size][grid_size].
+void add_subgrids_to_grid(const Parameters& params,
+                          std::span<const WorkItem> items,
+                          ArrayView<const cfloat, 4> subgrids,
+                          ArrayView<cfloat, 3> grid);
+
+/// subgrid(i, pol, y, x) = grid(pol, y0+y, x0+x) for every item.
+void split_subgrids_from_grid(const Parameters& params,
+                              std::span<const WorkItem> items,
+                              ArrayView<const cfloat, 3> grid,
+                              ArrayView<cfloat, 4> subgrids);
+
+}  // namespace idg

@@ -1,0 +1,81 @@
+#include "idg/image.hpp"
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+#include "idg/taper.hpp"
+
+namespace idg {
+
+namespace {
+void transform_cube(ArrayView<cfloat, 3> cube, fft::Direction direction) {
+  IDG_CHECK(cube.dim(0) == kNrPolarizations && cube.dim(1) == cube.dim(2),
+            "cube must be [4][n][n]");
+  const std::size_t n = cube.dim(1);
+  const fft::Plan2D<float> plan(n, n, direction);
+#pragma omp parallel
+  {
+    fft::Workspace<float> ws;
+#pragma omp for schedule(static)
+    for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+      cfloat* data = cube.data() + p * n * n;
+      fft::fftshift2d(data, n, n, -1);
+      plan.execute_inplace(data, ws);
+      fft::fftshift2d(data, n, n, +1);
+    }
+  }
+}
+}  // namespace
+
+void fft_grid_to_image(ArrayView<cfloat, 3> cube) {
+  transform_cube(cube, fft::Direction::Backward);
+}
+
+void fft_image_to_grid(ArrayView<cfloat, 3> cube) {
+  transform_cube(cube, fft::Direction::Forward);
+}
+
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 std::uint64_t nr_visibilities) {
+  return make_dirty_image(grid, static_cast<double>(nr_visibilities));
+}
+
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 double normalization) {
+  IDG_CHECK(normalization > 0, "normalization must be positive");
+  const std::size_t n = grid.dim(1);
+  Array3D<cfloat> image(kNrPolarizations, n, n);
+  std::copy(grid.begin(), grid.end(), image.begin());
+  fft_grid_to_image(image.view());
+
+  const Array2D<float> correction = make_taper_correction(n);
+  const float scale = static_cast<float>(1.0 / normalization);
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        image(p, y, x) *= scale * correction(y, x);
+      }
+    }
+  }
+  return image;
+}
+
+Array3D<cfloat> model_image_to_grid(const Array3D<cfloat>& model_image) {
+  const std::size_t n = model_image.dim(1);
+  Array3D<cfloat> grid(kNrPolarizations, n, n);
+  std::copy(model_image.begin(), model_image.end(), grid.begin());
+
+  const Array2D<float> correction = make_taper_correction(n);
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < kNrPolarizations; ++p) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        grid(p, y, x) *= correction(y, x);
+      }
+    }
+  }
+  fft_image_to_grid(grid.view());
+  return grid;
+}
+
+}  // namespace idg

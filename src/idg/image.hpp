@@ -1,0 +1,42 @@
+// Grid <-> image transforms and taper correction.
+//
+// Conventions (DESIGN.md §6): both the grid and the image keep their centre
+// (DC / phase centre) at pixel N/2, so each transform is
+// fftshift o (I)FFT o fftshift:
+//
+//   image = shift(Backward(shift(grid)))            (unnormalized)
+//   grid  = shift(Forward(shift(image)))
+//
+// The dirty image additionally divides by the number of gridded
+// visibilities (natural weighting) and by the image-plane taper evaluated
+// on the full-resolution raster (the "simple correction" of the NFFT);
+// model images are divided by the same taper *before* transforming to the
+// grid for degridding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg {
+
+/// In-place grid -> image transform on a [4][n][n] cube (unnormalized).
+void fft_grid_to_image(ArrayView<cfloat, 3> cube);
+
+/// In-place image -> grid transform on a [4][n][n] cube (unnormalized).
+void fft_image_to_grid(ArrayView<cfloat, 3> cube);
+
+/// Produces the taper-corrected dirty image from a gridded visibility cube:
+/// image = shift(IFFT(shift(grid))) / normalization / taper(l, m). The
+/// normalization is the visibility count (natural weighting) or the sum of
+/// imaging weights (idg/weighting.hpp).
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 double normalization);
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 std::uint64_t nr_visibilities);
+
+/// Prepares a model grid for degridding: grid = FFT(model_image / taper).
+Array3D<cfloat> model_image_to_grid(const Array3D<cfloat>& model_image);
+
+}  // namespace idg

@@ -1,0 +1,59 @@
+// Kernel interface: the gridder (Algorithm 1) and degridder (Algorithm 2)
+// operating on one work group.
+//
+// The pipelines (pipeline.hpp) are kernel-agnostic: they accept any
+// `KernelSet` so that the reference implementation (kernels_ref.cpp, a
+// direct transcription of the paper's pseudocode) and the optimized CPU
+// implementation (src/kernels/, with visibility batching, split re/im
+// arrays, vectorized sincos and SIMD reductions — paper §V-B) are
+// interchangeable and can be validated against each other.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "idg/parameters.hpp"
+#include "idg/plan.hpp"
+
+namespace idg {
+
+/// Read-only inputs shared by the gridder and degridder kernels.
+struct KernelData {
+  ArrayView<const UVW, 2> uvw;           ///< [baseline][time], meters
+  std::span<const float> wavenumbers;    ///< 2*pi*f_c/c per channel
+  ArrayView<const Jones, 4> aterms;      ///< [slot][station][y][x]
+  ArrayView<const float, 2> taper;       ///< [y][x], subgrid raster
+};
+
+/// A gridder/degridder implementation pair.
+class KernelSet {
+ public:
+  virtual ~KernelSet() = default;
+  virtual std::string name() const = 0;
+
+  /// Algorithm 1 for every work item: accumulates the phase-shifted
+  /// visibilities into image-domain subgrid pixels, then applies the A-term
+  /// sandwich (A_p^H S A_q) and the taper.
+  /// `subgrids` dims: [nr_items][4][subgrid][subgrid].
+  virtual void grid(const Parameters& params, const KernelData& data,
+                    std::span<const WorkItem> items,
+                    ArrayView<const Visibility, 3> visibilities,
+                    ArrayView<cfloat, 4> subgrids) const = 0;
+
+  /// Algorithm 2 for every work item: applies taper and A-terms
+  /// (A_p S A_q^H) to the image-domain subgrids, then predicts every
+  /// covered visibility as a phase-weighted pixel sum. Overwrites the
+  /// covered (baseline, time, channel) entries of `visibilities`.
+  virtual void degrid(const Parameters& params, const KernelData& data,
+                      std::span<const WorkItem> items,
+                      ArrayView<const cfloat, 4> subgrids,
+                      ArrayView<Visibility, 3> visibilities) const = 0;
+};
+
+/// The straightforward scalar implementation; single source of truth for
+/// correctness.
+const KernelSet& reference_kernels();
+
+}  // namespace idg

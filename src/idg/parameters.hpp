@@ -1,0 +1,72 @@
+// Core IDG configuration shared by the plan, the kernels and the pipelines.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+/// Static configuration of one gridding/degridding run.
+///
+/// Geometry convention (DESIGN.md §6): the master grid has `grid_size`
+/// pixels per side and spans uv cells of 1/image_size wavelengths; a subgrid
+/// is a `subgrid_size`^2 patch of that grid whose image-domain
+/// representation covers the full field of view at low resolution.
+struct Parameters {
+  std::size_t grid_size = 512;     ///< master grid pixels per side (paper: 2048)
+  std::size_t subgrid_size = 24;   ///< subgrid pixels per side (paper: 24)
+  double image_size = 0.01;        ///< field of view in direction cosines
+  int nr_stations = 0;             ///< stations referenced by the baselines
+
+  /// uv-cells reserved around the visibilities of a subgrid for the taper /
+  /// A-term / W-term support (paper Fig 5: the blue circles must also be
+  /// covered). Larger values improve accuracy, smaller values pack more
+  /// visibilities per subgrid.
+  std::size_t kernel_size = 8;
+
+  /// Maximum timesteps per work item (the paper's architecture-specific
+  /// T-tilde-max, §V-A) — bounds per-subgrid compute and memory.
+  int max_timesteps_per_subgrid = 128;
+
+  /// Timesteps per A-term slot; work items never span two slots.
+  int aterm_interval = 256;
+
+  /// Number of work items grouped into one work group (the unit the
+  /// gridder/degridder kernels are invoked on, Fig 6).
+  std::size_t work_group_size = 256;
+
+  void validate() const {
+    IDG_CHECK(grid_size >= 2, "grid_size must be >= 2");
+    IDG_CHECK(subgrid_size >= 4, "subgrid_size must be >= 4");
+    IDG_CHECK(subgrid_size < grid_size,
+              "subgrid (" << subgrid_size << ") must be smaller than grid ("
+                          << grid_size << ")");
+    IDG_CHECK(image_size > 0.0, "image_size must be positive");
+    IDG_CHECK(kernel_size >= 1 && kernel_size < subgrid_size,
+              "require 1 <= kernel_size < subgrid_size");
+    IDG_CHECK(max_timesteps_per_subgrid > 0,
+              "max_timesteps_per_subgrid must be positive");
+    IDG_CHECK(aterm_interval > 0, "aterm_interval must be positive");
+    IDG_CHECK(work_group_size > 0, "work_group_size must be positive");
+  }
+
+  /// uv cell size in wavelengths.
+  double cell_size() const { return 1.0 / image_size; }
+
+  /// Direction cosine of subgrid pixel x (pixel N/2 is the phase centre).
+  float subgrid_lm(std::size_t x) const {
+    return static_cast<float>(
+        (static_cast<double>(x) - static_cast<double>(subgrid_size) / 2.0) *
+        image_size / static_cast<double>(subgrid_size));
+  }
+
+  /// Direction cosine of master-grid pixel x.
+  float grid_lm(std::size_t x) const {
+    return static_cast<float>(
+        (static_cast<double>(x) - static_cast<double>(grid_size) / 2.0) *
+        image_size / static_cast<double>(grid_size));
+  }
+};
+
+}  // namespace idg

@@ -1,0 +1,220 @@
+#include "idg/pipelined.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "idg/adder.hpp"
+#include "idg/processor.hpp"
+#include "idg/subgrid_fft.hpp"
+#include "idg/taper.hpp"
+
+namespace idg {
+
+namespace {
+/// One in-flight work group: the buffer index it owns plus its item span.
+struct Ticket {
+  std::size_t group = 0;
+  std::size_t buffer = 0;
+};
+}  // namespace
+
+PipelinedGridder::PipelinedGridder(Parameters params, const KernelSet& kernels,
+                                   std::size_t nr_buffers)
+    : params_(params),
+      kernels_(&kernels),
+      nr_buffers_(nr_buffers),
+      taper_(make_taper(params.subgrid_size)) {
+  params_.validate();
+  IDG_CHECK(nr_buffers_ >= 2, "pipelining needs at least two buffers");
+}
+
+void PipelinedGridder::grid_visibilities(const Plan& plan,
+                                         ArrayView<const UVW, 2> uvw,
+                                         ArrayView<const Visibility, 3> visibilities,
+                                         ArrayView<const Jones, 4> aterms,
+                                         ArrayView<cfloat, 3> grid,
+                                         StageTimes* times) const {
+  StageTimes local;
+  StageTimes& t = times != nullptr ? *times : local;
+
+  const std::size_t n = params_.subgrid_size;
+  const std::size_t nr_groups = plan.nr_work_groups();
+  if (nr_groups == 0) return;
+
+  // The rotating buffer pool (the paper's three device buffer sets).
+  std::vector<Array4D<cfloat>> buffers;
+  buffers.reserve(nr_buffers_);
+  for (std::size_t b = 0; b < nr_buffers_; ++b) {
+    buffers.emplace_back(params_.work_group_size,
+                         static_cast<std::size_t>(kNrPolarizations), n, n);
+  }
+
+  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
+  std::mutex merge_mutex;  // guards merging per-thread StageTimes into t
+
+  // Queues between the stages; free_buffers recycles finished buffers back
+  // to the head of the pipeline (the CUDA-event "input buffer may be
+  // overwritten" signal of Fig 7).
+  BoundedQueue<std::size_t> free_buffers(nr_buffers_);
+  BoundedQueue<Ticket> to_kernel(nr_buffers_);
+  BoundedQueue<Ticket> to_adder(nr_buffers_);
+  for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
+
+  // Stage X: gridder kernel + subgrid FFT per work group.
+  std::thread kernel_thread([&] {
+    Ticket ticket;
+    StageTimes kt;
+    while (to_kernel.pop(ticket)) {
+      const auto items = plan.work_group(ticket.group);
+      {
+        ScopedStageTimer timer(kt, stage::kGridder);
+        kernels_->grid(params_, data, items, visibilities,
+                       buffers[ticket.buffer].view());
+      }
+      {
+        ScopedStageTimer timer(kt, stage::kSubgridFft);
+        subgrid_fft(SubgridFftDirection::ToFourier,
+                    buffers[ticket.buffer].view(), items.size());
+      }
+      to_adder.push(ticket);
+    }
+    to_adder.close();
+    std::lock_guard lock(merge_mutex);
+    t += kt;
+  });
+
+  // Stage S: adder into the shared grid (single consumer, no races).
+  std::thread adder_thread([&] {
+    Ticket ticket;
+    StageTimes at;
+    while (to_adder.pop(ticket)) {
+      const auto items = plan.work_group(ticket.group);
+      {
+        ScopedStageTimer timer(at, stage::kAdder);
+        add_subgrids_to_grid(params_, items,
+                             buffers[ticket.buffer].cview(), grid);
+      }
+      free_buffers.push(ticket.buffer);
+    }
+    std::lock_guard lock(merge_mutex);
+    t += at;
+  });
+
+  // Stage L (this thread): acquire a free buffer and dispatch the group.
+  // The visibility gather happens inside the kernel; acquiring the buffer
+  // is the back-pressure point that keeps at most nr_buffers_ groups in
+  // flight.
+  for (std::size_t g = 0; g < nr_groups; ++g) {
+    std::size_t buffer = 0;
+    const bool ok = free_buffers.pop(buffer);
+    IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
+    to_kernel.push({g, buffer});
+  }
+  to_kernel.close();
+
+  kernel_thread.join();
+  adder_thread.join();
+}
+
+PipelinedDegridder::PipelinedDegridder(Parameters params,
+                                       const KernelSet& kernels,
+                                       std::size_t nr_buffers)
+    : params_(params),
+      kernels_(&kernels),
+      nr_buffers_(nr_buffers),
+      taper_(make_taper(params.subgrid_size)) {
+  params_.validate();
+  IDG_CHECK(nr_buffers_ >= 2, "pipelining needs at least two buffers");
+}
+
+void PipelinedDegridder::degrid_visibilities(
+    const Plan& plan, ArrayView<const UVW, 2> uvw,
+    ArrayView<const cfloat, 3> grid, ArrayView<const Jones, 4> aterms,
+    ArrayView<Visibility, 3> visibilities, StageTimes* times) const {
+  StageTimes local;
+  StageTimes& t = times != nullptr ? *times : local;
+
+  const std::size_t n = params_.subgrid_size;
+  const std::size_t nr_groups = plan.nr_work_groups();
+  if (nr_groups == 0) return;
+
+  std::vector<Array4D<cfloat>> buffers;
+  buffers.reserve(nr_buffers_);
+  for (std::size_t b = 0; b < nr_buffers_; ++b) {
+    buffers.emplace_back(params_.work_group_size,
+                         static_cast<std::size_t>(kNrPolarizations), n, n);
+  }
+
+  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
+  std::mutex merge_mutex;  // guards merging per-thread StageTimes into t
+
+  BoundedQueue<std::size_t> free_buffers(nr_buffers_);
+  BoundedQueue<Ticket> to_fft(nr_buffers_);
+  BoundedQueue<Ticket> to_kernel(nr_buffers_);
+  for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
+
+  // Stage: subgrid IFFT (device-side "kernel stream" #1).
+  std::thread fft_thread([&] {
+    Ticket ticket;
+    StageTimes ft;
+    while (to_fft.pop(ticket)) {
+      const auto items = plan.work_group(ticket.group);
+      {
+        ScopedStageTimer timer(ft, stage::kSubgridFft);
+        subgrid_fft(SubgridFftDirection::ToImage,
+                    buffers[ticket.buffer].view(), items.size());
+      }
+      to_kernel.push(ticket);
+    }
+    to_kernel.close();
+    std::lock_guard lock(merge_mutex);
+    t += ft;
+  });
+
+  // Stage: degridder kernel; disjoint (baseline, time, channel) blocks per
+  // work item make concurrent writes to `visibilities` race-free.
+  std::thread kernel_thread([&] {
+    Ticket ticket;
+    StageTimes kt;
+    while (to_kernel.pop(ticket)) {
+      const auto items = plan.work_group(ticket.group);
+      {
+        ScopedStageTimer timer(kt, stage::kDegridder);
+        kernels_->degrid(params_, data, items, buffers[ticket.buffer].cview(),
+                         visibilities);
+      }
+      free_buffers.push(ticket.buffer);
+    }
+    std::lock_guard lock(merge_mutex);
+    t += kt;
+  });
+
+  // This thread: splitter (reads the immutable grid into a free buffer).
+  {
+    StageTimes st;
+    for (std::size_t g = 0; g < nr_groups; ++g) {
+      std::size_t buffer = 0;
+      const bool ok = free_buffers.pop(buffer);
+      IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
+      const auto items = plan.work_group(g);
+      {
+        ScopedStageTimer timer(st, stage::kSplitter);
+        split_subgrids_from_grid(params_, items, grid,
+                                 buffers[buffer].view());
+      }
+      to_fft.push({g, buffer});
+    }
+    to_fft.close();
+    {
+      std::lock_guard lock(merge_mutex);
+      t += st;
+    }
+  }
+
+  fft_thread.join();
+  kernel_thread.join();
+}
+
+}  // namespace idg

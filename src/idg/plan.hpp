@@ -1,0 +1,99 @@
+// The execution plan (paper §V-A).
+//
+// Before any kernel executes, the visibilities of every baseline are
+// partitioned into *work items*: a subgrid position plus the contiguous
+// (time x channel) block of visibilities it covers. The partitioning is the
+// paper's greedy algorithm: starting at the first timestep of a channel
+// group, extend the time range for as long as the uv pixel bounding box of
+// all member visibilities — inflated by `kernel_size` cells of taper/A-term
+// support (Fig 5) — still fits inside a subgrid, the aterm slot does not
+// change, and the item stays under `max_timesteps_per_subgrid`.
+//
+// Channel groups are chosen up front per baseline: the widest frequency
+// range whose radial uv spread at any timestep still leaves room to
+// accumulate timesteps (paper: "having C-tilde channels that can be covered
+// by an N-tilde x N-tilde subgrid").
+//
+// Work items are then grouped into fixed-size *work groups* — the unit the
+// kernels are launched on (Fig 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "idg/parameters.hpp"
+#include "idg/wplane.hpp"
+
+namespace idg {
+
+/// One subgrid and the visibility block it covers.
+struct WorkItem {
+  int baseline = 0;       ///< index into the dataset's baseline list
+  int station1 = 0;
+  int station2 = 0;
+  int time_begin = 0;     ///< first timestep covered
+  int nr_timesteps = 0;   ///< T-tilde
+  int channel_begin = 0;  ///< first channel covered
+  int nr_channels = 0;    ///< C-tilde
+  int aterm_slot = 0;     ///< A-term slot the whole item falls into
+  int coord_x = 0;        ///< patch origin (leftmost pixel) in the grid
+  int coord_y = 0;        ///< patch origin (bottom pixel) in the grid
+  float w_offset = 0.0f;  ///< W-plane offset in wavelengths (0 = no stacking)
+  int w_plane = 0;        ///< index of the w-plane grid this item adds to
+
+  std::size_t nr_visibilities() const {
+    return static_cast<std::size_t>(nr_timesteps) *
+           static_cast<std::size_t>(nr_channels);
+  }
+};
+
+/// The generated work: items, grouping, and coverage statistics.
+class Plan {
+ public:
+  /// Builds the plan for all baselines. `uvw` has dims [baseline][time]
+  /// (meters); `frequencies` lists the channel frequencies in Hz. When a
+  /// WPlaneModel with more than one plane is passed, every work item gets a
+  /// w-plane assignment and the plane centre as its w_offset (W-stacking).
+  Plan(const Parameters& params, const Array2D<UVW>& uvw,
+       const std::vector<double>& frequencies,
+       const std::vector<Baseline>& baselines,
+       const WPlaneModel* wplanes = nullptr);
+
+  const Parameters& parameters() const { return params_; }
+  const std::vector<WorkItem>& items() const { return items_; }
+  std::size_t nr_subgrids() const { return items_.size(); }
+
+  /// Work groups as contiguous spans over items() (Fig 6).
+  std::size_t nr_work_groups() const;
+  std::span<const WorkItem> work_group(std::size_t g) const;
+
+  /// Visibilities covered by the plan (excludes dropped ones).
+  std::size_t nr_planned_visibilities() const { return planned_visibilities_; }
+
+  /// Visibilities that could not be placed because their subgrid would
+  /// extend beyond the master grid.
+  std::size_t nr_dropped_visibilities() const { return dropped_visibilities_; }
+
+  /// Mean visibilities per subgrid — the quantity that drives the kernels'
+  /// arithmetic intensity.
+  double avg_visibilities_per_subgrid() const;
+
+  /// Per-channel uvw scaling factor 2*pi*f/c used by the kernels.
+  const std::vector<float>& wavenumbers() const { return wavenumbers_; }
+
+ private:
+  void plan_baseline(std::size_t bl_index, const Array2D<UVW>& uvw,
+                     const std::vector<double>& frequencies,
+                     const Baseline& baseline, const WPlaneModel* wplanes);
+
+  Parameters params_;
+  std::vector<WorkItem> items_;
+  std::vector<float> wavenumbers_;
+  std::size_t planned_visibilities_ = 0;
+  std::size_t dropped_visibilities_ = 0;
+};
+
+}  // namespace idg

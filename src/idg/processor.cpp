@@ -1,0 +1,78 @@
+#include "idg/processor.hpp"
+
+#include "common/error.hpp"
+#include "idg/adder.hpp"
+#include "idg/subgrid_fft.hpp"
+#include "idg/taper.hpp"
+
+namespace idg {
+
+Processor::Processor(Parameters params, const KernelSet& kernels)
+    : params_(params), kernels_(&kernels), taper_(make_taper(params.subgrid_size)) {
+  params_.validate();
+}
+
+void Processor::grid_visibilities(const Plan& plan,
+                                  ArrayView<const UVW, 2> uvw,
+                                  ArrayView<const Visibility, 3> visibilities,
+                                  ArrayView<const Jones, 4> aterms,
+                                  ArrayView<cfloat, 3> grid,
+                                  StageTimes* times) const {
+  StageTimes local;
+  StageTimes& t = times != nullptr ? *times : local;
+
+  const std::size_t n = params_.subgrid_size;
+  Array4D<cfloat> subgrids(params_.work_group_size,
+                           static_cast<std::size_t>(kNrPolarizations), n, n);
+  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
+
+  for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    const auto items = plan.work_group(g);
+    {
+      ScopedStageTimer timer(t, stage::kGridder);
+      kernels_->grid(params_, data, items, visibilities, subgrids.view());
+    }
+    {
+      ScopedStageTimer timer(t, stage::kSubgridFft);
+      subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
+                  items.size());
+    }
+    {
+      ScopedStageTimer timer(t, stage::kAdder);
+      add_subgrids_to_grid(params_, items, subgrids.cview(), grid);
+    }
+  }
+}
+
+void Processor::degrid_visibilities(const Plan& plan,
+                                    ArrayView<const UVW, 2> uvw,
+                                    ArrayView<const cfloat, 3> grid,
+                                    ArrayView<const Jones, 4> aterms,
+                                    ArrayView<Visibility, 3> visibilities,
+                                    StageTimes* times) const {
+  StageTimes local;
+  StageTimes& t = times != nullptr ? *times : local;
+
+  const std::size_t n = params_.subgrid_size;
+  Array4D<cfloat> subgrids(params_.work_group_size,
+                           static_cast<std::size_t>(kNrPolarizations), n, n);
+  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
+
+  for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    const auto items = plan.work_group(g);
+    {
+      ScopedStageTimer timer(t, stage::kSplitter);
+      split_subgrids_from_grid(params_, items, grid, subgrids.view());
+    }
+    {
+      ScopedStageTimer timer(t, stage::kSubgridFft);
+      subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
+    }
+    {
+      ScopedStageTimer timer(t, stage::kDegridder);
+      kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+    }
+  }
+}
+
+}  // namespace idg

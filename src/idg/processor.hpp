@@ -1,0 +1,66 @@
+// High-level gridding and degridding pipelines (paper Fig 4).
+//
+// `Processor` owns the taper and a kernel set and executes the three-stage
+// pipelines work-group by work-group:
+//
+//   gridding:    gridder kernel -> subgrid FFT -> adder
+//   degridding:  splitter -> subgrid IFFT -> degridder kernel
+//
+// The subgrid buffer is sized for one work group and reused, mirroring the
+// bounded device buffers of the paper's GPU implementation. Per-stage wall
+// times are accumulated into an optional StageTimes for the runtime and
+// energy distribution figures (Figs 9, 14).
+#pragma once
+
+#include <functional>
+
+#include "common/array.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "idg/kernels.hpp"
+#include "idg/parameters.hpp"
+#include "idg/plan.hpp"
+
+namespace idg {
+
+/// Stage-name constants shared with the benches.
+namespace stage {
+inline constexpr const char* kGridder = "gridder";
+inline constexpr const char* kDegridder = "degridder";
+inline constexpr const char* kSubgridFft = "subgrid-fft";
+inline constexpr const char* kAdder = "adder";
+inline constexpr const char* kSplitter = "splitter";
+inline constexpr const char* kGridFft = "grid-fft";
+}  // namespace stage
+
+class Processor {
+ public:
+  explicit Processor(Parameters params,
+                     const KernelSet& kernels = reference_kernels());
+
+  const Parameters& parameters() const { return params_; }
+  const KernelSet& kernels() const { return *kernels_; }
+  const Array2D<float>& taper() const { return taper_; }
+
+  /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated).
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 3> grid,
+                         StageTimes* times = nullptr) const;
+
+  /// Predicts all planned visibilities from `grid` (overwrites the covered
+  /// entries of `visibilities`; un-planned entries are left untouched).
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
+                           StageTimes* times = nullptr) const;
+
+ private:
+  Parameters params_;
+  const KernelSet* kernels_;
+  Array2D<float> taper_;
+};
+
+}  // namespace idg

@@ -1,0 +1,27 @@
+// Batched subgrid Fourier transforms (pipeline step 2, paper Fig 4).
+//
+// After gridding, every subgrid is transformed from the image domain to the
+// Fourier domain before the adder places it onto the grid; degridding runs
+// the inverse transform after the splitter. Layout convention: both domains
+// keep their centre at pixel N/2, so each transform is
+// fftshift o FFT o fftshift with a 1/N^2 scale. Using the *same* scale in
+// both directions makes the degridder chain the exact adjoint of the
+// gridder chain (DESIGN.md §6), which the tests verify.
+#pragma once
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg {
+
+enum class SubgridFftDirection {
+  ToFourier,  ///< gridding: image-domain subgrid -> uv patch
+  ToImage,    ///< degridding: uv patch -> image-domain subgrid
+};
+
+/// Transforms `count` subgrids in place. `subgrids` dims:
+/// [>=count][4][n][n]. Batched over (subgrid, polarization) with OpenMP.
+void subgrid_fft(SubgridFftDirection direction, ArrayView<cfloat, 4> subgrids,
+                 std::size_t count);
+
+}  // namespace idg

@@ -1,0 +1,69 @@
+#include "idg/taper.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+double pswf(double eta) {
+  // Schwab (1984) rational approximation for psi_{0,6}, support width m = 6,
+  // alpha = 1. Two fitting intervals: |eta| in [0, 0.75] and [0.75, 1.0].
+  static constexpr double p[2][5] = {
+      {8.203343e-2, -3.644705e-1, 6.278660e-1, -5.335581e-1, 2.312756e-1},
+      {4.028559e-3, -3.697768e-2, 1.021332e-1, -1.201436e-1, 6.412774e-2}};
+  static constexpr double q[2][3] = {{1.0000000e0, 8.212018e-1, 2.078043e-1},
+                                     {1.0000000e0, 9.599102e-1, 2.918724e-1}};
+
+  const double abs_eta = std::abs(eta);
+  if (abs_eta > 1.0) return 0.0;
+
+  const int part = abs_eta <= 0.75 ? 0 : 1;
+  const double end = part == 0 ? 0.75 : 1.0;
+  const double x = abs_eta * abs_eta - end * end;
+
+  const double top =
+      p[part][0] +
+      x * (p[part][1] + x * (p[part][2] + x * (p[part][3] + x * p[part][4])));
+  const double bottom = q[part][0] + x * (q[part][1] + x * q[part][2]);
+  return bottom == 0.0 ? 0.0 : top / bottom;
+}
+
+double pswf_gridding_function(double eta) {
+  const double abs_eta = std::abs(eta);
+  if (abs_eta > 1.0) return 0.0;
+  return (1.0 - abs_eta * abs_eta) * pswf(eta);
+}
+
+namespace {
+inline double eta_of(std::size_t x, std::size_t n) {
+  return 2.0 * (static_cast<double>(x) - static_cast<double>(n) / 2.0) /
+         static_cast<double>(n);
+}
+}  // namespace
+
+Array2D<float> make_taper(std::size_t n) {
+  IDG_CHECK(n >= 2, "taper raster must have at least 2 pixels");
+  std::vector<double> line(n);
+  for (std::size_t x = 0; x < n; ++x) line[x] = pswf(eta_of(x, n));
+  Array2D<float> taper(n, n);
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x)
+      taper(y, x) = static_cast<float>(line[y] * line[x]);
+  return taper;
+}
+
+Array2D<float> make_taper_correction(std::size_t n, double floor) {
+  Array2D<float> taper = make_taper(n);
+  Array2D<float> correction(n, n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double t = taper(y, x);
+      correction(y, x) =
+          t > floor ? static_cast<float>(1.0 / t) : 0.0f;
+    }
+  }
+  return correction;
+}
+
+}  // namespace idg

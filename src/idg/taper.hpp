@@ -1,0 +1,39 @@
+// Prolate-spheroidal tapering function.
+//
+// IDG multiplies every subgrid by an anti-aliasing taper in the image domain
+// (paper §IV: "the tapering function that [is] used to reduce aliasing (such
+// as a spheroidal, which is used in our case)"). We use Schwab's classic
+// rational approximation of the zero-order prolate spheroidal wave function
+// with m = 6, alpha = 1 — the same function CASA and the ASTRON IDG
+// reference use — evaluated as a separable product taper(y, x) =
+// pswf(eta_y) * pswf(eta_x) with eta = 2*(x - N/2)/N over the subgrid.
+//
+// The identical function evaluated on the master-grid raster provides the
+// image-plane grid correction (division after imaging / before degridding).
+// W-projection reuses (1 - eta^2) * pswf(eta) as its uv-domain gridding
+// function.
+#pragma once
+
+#include <cstddef>
+
+#include "common/array.hpp"
+
+namespace idg {
+
+/// Schwab's rational approximation of the prolate spheroidal wave function
+/// psi_{0,6}(pi*m/2 * eta) / psi_{0,6}(pi*m/2), for |eta| <= 1. Returns 0
+/// outside the support. This is the image-plane taper shape.
+double pswf(double eta);
+
+/// The uv-plane gridding (convolution) function: (1 - eta^2) * pswf(eta).
+double pswf_gridding_function(double eta);
+
+/// Separable 2-D taper on an n x n raster: taper(y, x) =
+/// pswf(eta(y)) * pswf(eta(x)), eta(x) = 2*(x - n/2)/n.
+Array2D<float> make_taper(std::size_t n);
+
+/// Image-plane correction raster: 1 / taper, clamped where the taper falls
+/// below `floor` (the extreme field edge) to keep the correction bounded.
+Array2D<float> make_taper_correction(std::size_t n, double floor = 1e-4);
+
+}  // namespace idg

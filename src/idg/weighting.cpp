@@ -1,0 +1,104 @@
+#include "idg/weighting.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+namespace {
+/// Grid cell of a uv sample, or -1 if it falls off the grid.
+inline long cell_index(const UVW& coord, double freq, double image_size,
+                       std::size_t grid_size) {
+  const double scale = freq / kSpeedOfLight * image_size;
+  const long x = std::lround(coord.u * scale) + static_cast<long>(grid_size) / 2;
+  const long y = std::lround(coord.v * scale) + static_cast<long>(grid_size) / 2;
+  if (x < 0 || y < 0 || x >= static_cast<long>(grid_size) ||
+      y >= static_cast<long>(grid_size)) {
+    return -1;
+  }
+  return y * static_cast<long>(grid_size) + x;
+}
+}  // namespace
+
+Array3D<float> compute_imaging_weights(Weighting scheme,
+                                       const Array2D<UVW>& uvw,
+                                       const std::vector<double>& frequencies,
+                                       std::size_t grid_size,
+                                       double image_size, double robustness) {
+  IDG_CHECK(grid_size > 0 && image_size > 0, "invalid grid geometry");
+  IDG_CHECK(!frequencies.empty(), "frequency list is empty");
+  const std::size_t nr_bl = uvw.dim(0);
+  const std::size_t nr_time = uvw.dim(1);
+  const std::size_t nr_chan = frequencies.size();
+
+  Array3D<float> weights(nr_bl, nr_time, nr_chan);
+  weights.fill(1.0f);
+  if (scheme == Weighting::Natural) return weights;
+
+  // Sample density per grid cell.
+  std::vector<float> density(grid_size * grid_size, 0.0f);
+  for (std::size_t b = 0; b < nr_bl; ++b) {
+    for (std::size_t t = 0; t < nr_time; ++t) {
+      for (std::size_t c = 0; c < nr_chan; ++c) {
+        const long idx =
+            cell_index(uvw(b, t), frequencies[c], image_size, grid_size);
+        if (idx >= 0) density[static_cast<std::size_t>(idx)] += 1.0f;
+      }
+    }
+  }
+
+  // Briggs f^2 (Briggs 1995): f^2 = (5 * 10^-R)^2 / (sum W_k^2 / sum W_k),
+  // with W_k the cell densities. Uniform is the f^2 -> infinity limit.
+  double f2 = 0.0;
+  if (scheme == Weighting::Briggs) {
+    double sum_w = 0.0, sum_w2 = 0.0;
+    for (const float d : density) {
+      sum_w += d;
+      sum_w2 += static_cast<double>(d) * d;
+    }
+    IDG_CHECK(sum_w > 0.0, "no samples fall on the grid");
+    const double fnorm = std::pow(5.0 * std::pow(10.0, -robustness), 2.0);
+    f2 = fnorm / (sum_w2 / sum_w);
+  }
+
+  for (std::size_t b = 0; b < nr_bl; ++b) {
+    for (std::size_t t = 0; t < nr_time; ++t) {
+      for (std::size_t c = 0; c < nr_chan; ++c) {
+        const long idx =
+            cell_index(uvw(b, t), frequencies[c], image_size, grid_size);
+        if (idx < 0) {
+          weights(b, t, c) = 0.0f;
+          continue;
+        }
+        const float d = density[static_cast<std::size_t>(idx)];
+        if (scheme == Weighting::Uniform) {
+          weights(b, t, c) = d > 0.0f ? 1.0f / d : 0.0f;
+        } else {  // Briggs
+          weights(b, t, c) =
+              static_cast<float>(1.0 / (1.0 + static_cast<double>(d) * f2));
+        }
+      }
+    }
+  }
+  return weights;
+}
+
+double apply_imaging_weights(ArrayView<Visibility, 3> visibilities,
+                             ArrayView<const float, 3> weights) {
+  IDG_CHECK(visibilities.dims() == weights.dims(),
+            "visibility/weight shapes differ");
+  double sum = 0.0;
+  Visibility* vis = visibilities.data();
+  const float* w = weights.data();
+  const std::size_t n = visibilities.size();
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (std::size_t i = 0; i < n; ++i) {
+    vis[i] *= cfloat(w[i], 0.0f);
+    sum += w[i];
+  }
+  return sum;
+}
+
+}  // namespace idg

@@ -1,0 +1,46 @@
+#include "idg/wplane.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+WPlaneModel::WPlaneModel(int nr_planes, double w_max_lambda)
+    : nr_planes_(nr_planes), w_max_(w_max_lambda) {
+  IDG_CHECK(nr_planes >= 1, "need at least one w-plane");
+  IDG_CHECK(w_max_lambda >= 0.0, "w_max must be non-negative");
+}
+
+float WPlaneModel::center(int p) const {
+  IDG_CHECK(p >= 0 && p < nr_planes_, "w-plane index out of range");
+  if (nr_planes_ == 1) return 0.0f;
+  return static_cast<float>(-w_max_ +
+                            2.0 * w_max_ * p / (nr_planes_ - 1));
+}
+
+int WPlaneModel::plane_of(double w_lambda) const {
+  if (nr_planes_ == 1 || w_max_ == 0.0) return 0;
+  const double t = (w_lambda + w_max_) / (2.0 * w_max_) * (nr_planes_ - 1);
+  return static_cast<int>(
+      std::clamp(std::lround(t), 0L, static_cast<long>(nr_planes_ - 1)));
+}
+
+double WPlaneModel::max_residual() const {
+  if (nr_planes_ == 1) return w_max_;
+  return w_max_ / (nr_planes_ - 1);
+}
+
+WPlaneModel WPlaneModel::fit(int nr_planes, const Array2D<UVW>& uvw,
+                             const std::vector<double>& frequencies) {
+  IDG_CHECK(!frequencies.empty(), "frequency list is empty");
+  const double f_max =
+      *std::max_element(frequencies.begin(), frequencies.end());
+  double w_max = 0.0;
+  for (const UVW& c : uvw)
+    w_max = std::max(w_max, std::abs(static_cast<double>(c.w)));
+  return WPlaneModel(nr_planes, w_max * f_max / kSpeedOfLight * 1.001);
+}
+
+}  // namespace idg

@@ -1,0 +1,40 @@
+// Equidistant w-plane layout shared by the plan (assignment of work items
+// to planes) and the W-stacking processor (per-plane grids and screens).
+// See wstack.hpp for the algorithmic background.
+#pragma once
+
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg {
+
+class WPlaneModel {
+ public:
+  WPlaneModel() = default;
+  WPlaneModel(int nr_planes, double w_max_lambda);
+
+  int nr_planes() const { return nr_planes_; }
+  double w_max() const { return w_max_; }
+
+  /// Centre w of plane p in wavelengths.
+  float center(int p) const;
+
+  /// Plane index for a w coordinate in wavelengths (clamped).
+  int plane_of(double w_lambda) const;
+
+  /// Largest possible |w - center| residual after assignment.
+  double max_residual() const;
+
+  /// Scans the uvw tracks (meters) for the maximum |w| in wavelengths at
+  /// the highest frequency and returns a model covering it.
+  static WPlaneModel fit(int nr_planes, const Array2D<UVW>& uvw,
+                         const std::vector<double>& frequencies);
+
+ private:
+  int nr_planes_ = 1;
+  double w_max_ = 0.0;
+};
+
+}  // namespace idg

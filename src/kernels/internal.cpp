@@ -1,0 +1,139 @@
+#include "kernels/internal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace idg::kernels::internal {
+
+namespace {
+constexpr float kTwoPi = static_cast<float>(2.0 * std::numbers::pi);
+}
+
+Scratch& scratch() {
+  static thread_local Scratch s;
+  return s;
+}
+
+void fill_geometry(const Parameters& params, const WorkItem& item,
+                   Scratch& s) {
+  const std::size_t n = params.subgrid_size;
+  const std::size_t n2p = padded(n * n);
+  s.reserve_pixels(n2p);
+
+  const float cell_scale = kTwoPi / static_cast<float>(params.image_size);
+  const float u0 = (static_cast<float>(item.coord_x) +
+                    static_cast<float>(n) / 2.0f -
+                    static_cast<float>(params.grid_size) / 2.0f) *
+                   cell_scale;
+  const float v0 = (static_cast<float>(item.coord_y) +
+                    static_cast<float>(n) / 2.0f -
+                    static_cast<float>(params.grid_size) / 2.0f) *
+                   cell_scale;
+  const float w0 = kTwoPi * item.w_offset;
+
+  for (std::size_t y = 0; y < n; ++y) {
+    const float mm = params.subgrid_lm(y);
+    for (std::size_t x = 0; x < n; ++x) {
+      const float ll = params.subgrid_lm(x);
+      const float nn = compute_n(ll, mm);
+      const std::size_t idx = y * n + x;
+      s.l[idx] = ll;
+      s.m[idx] = mm;
+      s.n[idx] = nn;
+      s.offset[idx] = u0 * ll + v0 * mm + w0 * nn;
+    }
+  }
+  for (std::size_t idx = n * n; idx < n2p; ++idx) {
+    s.l[idx] = s.m[idx] = s.n[idx] = s.offset[idx] = 0.0f;
+  }
+}
+
+void gather_visibility_batch(const Parameters& /*params*/,
+                             const KernelData& data, const WorkItem& item,
+                             ArrayView<const Visibility, 3> visibilities,
+                             std::size_t ncp, Scratch& s) {
+  const std::size_t nt = static_cast<std::size_t>(item.nr_timesteps);
+  const std::size_t nc = static_cast<std::size_t>(item.nr_channels);
+  const std::size_t batch = nt * ncp;
+  for (int p = 0; p < 4; ++p) {
+    s.re[p].assign(batch, 0.0f);
+    s.im[p].assign(batch, 0.0f);
+  }
+  s.u.resize(nt);
+  s.v.resize(nt);
+  s.w.resize(nt);
+  s.k.assign(ncp, 0.0f);
+  for (std::size_t c = 0; c < nc; ++c) {
+    s.k[c] =
+        data.wavenumbers[static_cast<std::size_t>(item.channel_begin) + c];
+  }
+  for (std::size_t t = 0; t < nt; ++t) {
+    const UVW& coord =
+        data.uvw(static_cast<std::size_t>(item.baseline),
+                 static_cast<std::size_t>(item.time_begin) + t);
+    s.u[t] = coord.u;
+    s.v[t] = coord.v;
+    s.w[t] = coord.w;
+    for (std::size_t c = 0; c < nc; ++c) {
+      const Visibility& vis = visibilities(
+          static_cast<std::size_t>(item.baseline),
+          static_cast<std::size_t>(item.time_begin) + t,
+          static_cast<std::size_t>(item.channel_begin) + c);
+      for (int p = 0; p < 4; ++p) {
+        s.re[p][t * ncp + c] = vis[p].real();
+        s.im[p][t * ncp + c] = vis[p].imag();
+      }
+    }
+  }
+}
+
+void store_gridder_pixel(const Parameters& /*params*/, const KernelData& data,
+                         const WorkItem& item, std::size_t slot_index,
+                         std::size_t y, std::size_t x, const float acc[8],
+                         ArrayView<cfloat, 4> subgrids) {
+  const Jones& a1 = data.aterms(static_cast<std::size_t>(item.aterm_slot),
+                                static_cast<std::size_t>(item.station1), y, x);
+  const Jones& a2 = data.aterms(static_cast<std::size_t>(item.aterm_slot),
+                                static_cast<std::size_t>(item.station2), y, x);
+  Matrix2x2<float> pixel{{acc[0], acc[1]},
+                         {acc[2], acc[3]},
+                         {acc[4], acc[5]},
+                         {acc[6], acc[7]}};
+  pixel = a1.adjoint() * pixel * a2;
+  pixel *= cfloat(data.taper(y, x), 0.0f);
+  for (int p = 0; p < 4; ++p)
+    subgrids(slot_index, static_cast<std::size_t>(p), y, x) = pixel[p];
+}
+
+void load_degridder_pixels(const Parameters& params, const KernelData& data,
+                           const WorkItem& item, std::size_t slot_index,
+                           ArrayView<const cfloat, 4> subgrids,
+                           std::size_t n2p, Scratch& s) {
+  const std::size_t n = params.subgrid_size;
+  const std::size_t n2 = n * n;
+  for (int p = 0; p < 4; ++p) {
+    s.re[p].assign(n2p, 0.0f);
+    s.im[p].assign(n2p, 0.0f);
+  }
+  for (std::size_t idx = 0; idx < n2; ++idx) {
+    const std::size_t y = idx / n, x = idx % n;
+    Matrix2x2<float> pixel{subgrids(slot_index, 0, y, x),
+                           subgrids(slot_index, 1, y, x),
+                           subgrids(slot_index, 2, y, x),
+                           subgrids(slot_index, 3, y, x)};
+    const Jones& a1 =
+        data.aterms(static_cast<std::size_t>(item.aterm_slot),
+                    static_cast<std::size_t>(item.station1), y, x);
+    const Jones& a2 =
+        data.aterms(static_cast<std::size_t>(item.aterm_slot),
+                    static_cast<std::size_t>(item.station2), y, x);
+    pixel = a1 * pixel * a2.adjoint();
+    pixel *= cfloat(data.taper(y, x), 0.0f);
+    for (int p = 0; p < 4; ++p) {
+      s.re[p][idx] = pixel[p].real();
+      s.im[p][idx] = pixel[p].imag();
+    }
+  }
+}
+
+}  // namespace idg::kernels::internal

@@ -1,0 +1,72 @@
+// Internal helpers shared by the optimized and runtime-compiled kernels:
+// per-thread scratch buffers, geometry precomputation and the visibility
+// batch gather/transpose (paper §V-B optimization (1)).
+//
+// Not part of the public API.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "idg/kernels.hpp"
+
+namespace idg::kernels::internal {
+
+/// Pads a count up to the AVX2 float width so SIMD loops never need a
+/// masked remainder.
+inline constexpr std::size_t kSimdWidth = 8;
+inline std::size_t padded(std::size_t n) {
+  return (n + kSimdWidth - 1) / kSimdWidth * kSimdWidth;
+}
+
+/// Per-thread scratch reused across work items.
+struct Scratch {
+  // Per-pixel geometry.
+  AlignedVector<float> l, m, n, offset;
+  // Transposed split re/im visibilities or pixels: [pol][element].
+  AlignedVector<float> re[4], im[4];
+  // Phase/sincos batch buffers.
+  AlignedVector<float> phase, sin_v, cos_v;
+  // Per-timestep uvw and geometry base term of the current item.
+  AlignedVector<float> u, v, w, base;
+  // Local wavenumbers for the item's channel range.
+  AlignedVector<float> k;
+
+  void reserve_pixels(std::size_t n2p) {
+    l.resize(n2p);
+    m.resize(n2p);
+    n.resize(n2p);
+    offset.resize(n2p);
+  }
+};
+
+Scratch& scratch();
+
+/// Fills the per-pixel geometry arrays (l, m, n, phase offset) for an item,
+/// zero-padded to a SIMD multiple.
+void fill_geometry(const Parameters& params, const WorkItem& item,
+                   Scratch& s);
+
+/// Loads and transposes the item's visibility block into aligned split
+/// re/im arrays [pol][t * ncp + c] (channels zero-padded to ncp), copies
+/// the uvw coordinates and the channel wavenumbers.
+void gather_visibility_batch(const Parameters& params, const KernelData& data,
+                             const WorkItem& item,
+                             ArrayView<const Visibility, 3> visibilities,
+                             std::size_t ncp, Scratch& s);
+
+/// Applies the gridder epilogue to one accumulated pixel: the A-term
+/// sandwich A1^H P A2 and the taper, then stores into the subgrid buffer.
+void store_gridder_pixel(const Parameters& params, const KernelData& data,
+                         const WorkItem& item, std::size_t slot_index,
+                         std::size_t y, std::size_t x, const float acc[8],
+                         ArrayView<cfloat, 4> subgrids);
+
+/// Applies the degridder prologue: taper + A-terms (A1 P A2^H) over all
+/// pixels of the item's subgrid into split re/im arrays in `s`.
+void load_degridder_pixels(const Parameters& params, const KernelData& data,
+                           const WorkItem& item, std::size_t slot_index,
+                           ArrayView<const cfloat, 4> subgrids,
+                           std::size_t n2p, Scratch& s);
+
+}  // namespace idg::kernels::internal

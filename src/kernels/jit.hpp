@@ -1,0 +1,34 @@
+// Runtime-compiled kernels (paper §V-B: "we aid compiler assisted
+// vectorization in the remainder of the kernel by using runtime
+// compilation, i.e. we only compile the kernel when the parameters are
+// known at runtime").
+//
+// On first use for a given (subgrid_size, nr_channels) shape, this kernel
+// set emits C++ source with those dimensions as compile-time constants,
+// compiles it with the system compiler into a shared object, dlopens it and
+// dispatches to the specialized entry points. With fixed trip counts the
+// compiler fully unrolls and vectorizes the channel loops without masked
+// remainders. Items whose shape has no specialization (or any toolchain
+// failure) fall back to the generic optimized kernels, so the JIT path is
+// always safe to select.
+#pragma once
+
+#include <string>
+
+#include "idg/kernels.hpp"
+
+namespace idg::kernels {
+
+/// The runtime-compiled kernel set. Thread-safe; compilation happens at
+/// most once per shape per process.
+const KernelSet& jit_kernels();
+
+/// True if a toolchain is available and a probe compilation succeeded.
+/// When false, jit_kernels() silently behaves like optimized_kernels().
+bool jit_available();
+
+/// The directory used for generated sources and shared objects
+/// (default: $TMPDIR or /tmp, under idg-jit-<pid>).
+std::string jit_cache_directory();
+
+}  // namespace idg::kernels

@@ -1,0 +1,108 @@
+#include "sim/aterm.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+namespace {
+/// Direction cosine of subgrid pixel x: the subgrid raster spans the full
+/// field of view at low resolution (DESIGN.md §6).
+inline double pixel_to_lm(std::size_t x, std::size_t n, double image_size) {
+  return (static_cast<double>(x) - static_cast<double>(n) / 2.0) * image_size /
+         static_cast<double>(n);
+}
+}  // namespace
+
+ATermCube make_identity_aterms(int nr_timeslots, int nr_stations,
+                               std::size_t subgrid_size) {
+  IDG_CHECK(nr_timeslots > 0 && nr_stations > 0 && subgrid_size > 0,
+            "A-term cube dimensions must be positive");
+  ATermCube cube(static_cast<std::size_t>(nr_timeslots),
+                 static_cast<std::size_t>(nr_stations), subgrid_size,
+                 subgrid_size);
+  cube.fill(Jones::identity());
+  return cube;
+}
+
+ATermCube make_phase_screen_aterms(int nr_timeslots, int nr_stations,
+                                   std::size_t subgrid_size,
+                                   double image_size, double max_phase_rad,
+                                   std::uint32_t seed) {
+  IDG_CHECK(image_size > 0, "image_size must be positive");
+  ATermCube cube(static_cast<std::size_t>(nr_timeslots),
+                 static_cast<std::size_t>(nr_stations), subgrid_size,
+                 subgrid_size);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> grad(-1.0, 1.0);
+  const double edge = image_size / 2.0;
+  for (int ts = 0; ts < nr_timeslots; ++ts) {
+    for (int st = 0; st < nr_stations; ++st) {
+      const double ax = max_phase_rad / edge * grad(rng);
+      const double ay = max_phase_rad / edge * grad(rng);
+      const double a0 = max_phase_rad * grad(rng);
+      for (std::size_t y = 0; y < subgrid_size; ++y) {
+        const double m = pixel_to_lm(y, subgrid_size, image_size);
+        for (std::size_t x = 0; x < subgrid_size; ++x) {
+          const double l = pixel_to_lm(x, subgrid_size, image_size);
+          const double phase = ax * l + ay * m + a0;
+          const cfloat j(static_cast<float>(std::cos(phase)),
+                         static_cast<float>(std::sin(phase)));
+          cube(static_cast<std::size_t>(ts), static_cast<std::size_t>(st), y,
+               x) = {j, {0.0f, 0.0f}, {0.0f, 0.0f}, j};
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+ATermCube make_gaussian_beam_aterms(int nr_timeslots, int nr_stations,
+                                    std::size_t subgrid_size,
+                                    double image_size, double width,
+                                    double pointing_jitter,
+                                    std::uint32_t seed) {
+  IDG_CHECK(width > 0, "beam width must be positive");
+  ATermCube cube(static_cast<std::size_t>(nr_timeslots),
+                 static_cast<std::size_t>(nr_stations), subgrid_size,
+                 subgrid_size);
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> jitter(0.0, pointing_jitter);
+  for (int ts = 0; ts < nr_timeslots; ++ts) {
+    for (int st = 0; st < nr_stations; ++st) {
+      const double l0 = pointing_jitter > 0 ? jitter(rng) : 0.0;
+      const double m0 = pointing_jitter > 0 ? jitter(rng) : 0.0;
+      for (std::size_t y = 0; y < subgrid_size; ++y) {
+        const double m = pixel_to_lm(y, subgrid_size, image_size) - m0;
+        for (std::size_t x = 0; x < subgrid_size; ++x) {
+          const double l = pixel_to_lm(x, subgrid_size, image_size) - l0;
+          const float amp = static_cast<float>(
+              std::exp(-(l * l + m * m) / (width * width)));
+          cube(static_cast<std::size_t>(ts), static_cast<std::size_t>(st), y,
+               x) = {{amp, 0.0f}, {0.0f, 0.0f}, {0.0f, 0.0f}, {amp, 0.0f}};
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+Jones sample_aterm(const ATermCube& cube, int slot, int station, float l,
+                   float m, double image_size) {
+  const std::size_t n = cube.dim(2);
+  const double scale = static_cast<double>(n) / image_size;
+  auto clamp_index = [n](long v) {
+    return static_cast<std::size_t>(
+        std::min<long>(std::max<long>(v, 0), static_cast<long>(n) - 1));
+  };
+  const std::size_t x = clamp_index(std::lround(l * scale) +
+                                    static_cast<long>(n) / 2);
+  const std::size_t y = clamp_index(std::lround(m * scale) +
+                                    static_cast<long>(n) / 2);
+  return cube(static_cast<std::size_t>(slot), static_cast<std::size_t>(station),
+              y, x);
+}
+
+}  // namespace idg::sim

@@ -1,0 +1,58 @@
+// Direction-dependent-effect (A-term) generators.
+//
+// A-terms are per-station 2x2 Jones matrices sampled on the subgrid pixel
+// raster (one screen per A-term time slot per station). The paper's
+// benchmark sets them to identity ("for simplicity, all set to identity"),
+// updated every 256 timesteps; the accuracy tests and the aterm_demo example
+// also use non-trivial screens:
+//
+//  * identity            — benchmark setting;
+//  * phase gradients     — smooth per-station phase screens, a stand-in for
+//                          ionospheric delay gradients (unitary Jones);
+//  * Gaussian beam       — per-station primary-beam amplitude taper with a
+//                          small pointing jitter (diagonal Jones).
+//
+// Layout of the returned cube: [time_slot][station][y][x], each entry a
+// Jones matrix on the subgrid raster covering the full field of view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg::sim {
+
+using ATermCube = Array4D<Jones>;
+
+/// Identity Jones for every (slot, station, pixel) — the paper's benchmark
+/// configuration.
+ATermCube make_identity_aterms(int nr_timeslots, int nr_stations,
+                               std::size_t subgrid_size);
+
+/// Smooth per-station phase screens: A = exp(i*(ax*l + ay*m + a0)) * I with
+/// per-(slot, station) random gradients bounded by `max_phase_rad` at the
+/// edge of the field of view.
+ATermCube make_phase_screen_aterms(int nr_timeslots, int nr_stations,
+                                   std::size_t subgrid_size,
+                                   double image_size,
+                                   double max_phase_rad = 1.0,
+                                   std::uint32_t seed = 1);
+
+/// Per-station Gaussian primary beams: diagonal Jones with amplitude
+/// exp(-(r/width)^2) around a jittered pointing centre. `width` is in
+/// direction cosine units.
+ATermCube make_gaussian_beam_aterms(int nr_timeslots, int nr_stations,
+                                    std::size_t subgrid_size,
+                                    double image_size, double width,
+                                    double pointing_jitter = 0.0,
+                                    std::uint32_t seed = 1);
+
+/// Evaluates the Jones screen of (slot, station) at fractional image
+/// coordinates (l, m) with nearest-pixel lookup — used by the direct
+/// predictor so that ground truth and IDG sample the A-terms identically.
+Jones sample_aterm(const ATermCube& cube, int slot, int station, float l,
+                   float m, double image_size);
+
+}  // namespace idg::sim

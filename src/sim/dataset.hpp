@@ -1,0 +1,79 @@
+// Assembled benchmark datasets.
+//
+// `Dataset` bundles everything the gridding pipelines consume: observation
+// parameters, baselines, uvw tracks, channel frequencies and the visibility
+// cube. `BenchmarkConfig` mirrors the paper's experimental setup (§VI-A):
+// 150 stations (11 175 baselines), T = 8192 timesteps at 1 s integration,
+// C = 16 channels, A-terms updated every 256 timesteps, 24^2 subgrids on a
+// 2048^2 grid — scaled down by default so a bench run finishes in seconds on
+// a laptop-class CPU (DESIGN.md §7; all reported metrics are intensive).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "sim/layout.hpp"
+#include "sim/observation.hpp"
+
+namespace idg::sim {
+
+struct Dataset {
+  Observation obs;
+  StationLayout layout;
+  std::vector<Baseline> baselines;
+  Array2D<UVW> uvw;                 ///< [baseline][time], meters
+  std::vector<double> frequencies;  ///< [channel], Hz
+  Array3D<Visibility> visibilities; ///< [baseline][time][channel]
+  double image_size = 0.0;          ///< field of view (direction cosines)
+  std::size_t grid_size = 0;        ///< master grid pixels per side
+
+  std::size_t nr_baselines() const { return baselines.size(); }
+  std::size_t nr_timesteps() const { return uvw.dim(1); }
+  std::size_t nr_channels() const { return frequencies.size(); }
+  std::size_t nr_visibilities() const {
+    return nr_baselines() * nr_timesteps() * nr_channels();
+  }
+};
+
+/// The paper's benchmark configuration with scale knobs.
+struct BenchmarkConfig {
+  int nr_stations = 20;        ///< paper: 150
+  int nr_timesteps = 128;      ///< paper: 8192
+  int nr_channels = 8;         ///< paper: 16
+  std::size_t grid_size = 512; ///< paper: 2048
+  std::size_t subgrid_size = 24;
+  int aterm_interval = 64;     ///< paper: 256
+  double integration_time_s = 4.0;  ///< coarser steps keep uv arcs realistic
+  std::uint32_t seed = 1;
+
+  /// The full 2017 setup. Needs tens of GB and hours on one core; benches
+  /// only select it behind --paper.
+  static BenchmarkConfig paper() {
+    BenchmarkConfig c;
+    c.nr_stations = 150;
+    c.nr_timesteps = 8192;
+    c.nr_channels = 16;
+    c.grid_size = 2048;
+    c.subgrid_size = 24;
+    c.aterm_interval = 256;
+    c.integration_time_s = 1.0;
+    return c;
+  }
+
+  std::string describe() const;
+};
+
+/// Builds the SKA1-low-like benchmark dataset: layout, uvw tracks, a fitted
+/// field of view, and visibilities filled with a deterministic synthetic
+/// signal (unit-amplitude, per-sample phase ramp) — the kernels' arithmetic
+/// is data-independent, matching the paper's use of a fixed test set.
+Dataset make_benchmark_dataset(const BenchmarkConfig& config);
+
+/// Like make_benchmark_dataset but leaves the visibility cube zeroed
+/// (degridding benchmarks overwrite it anyway).
+Dataset make_benchmark_dataset_no_vis(const BenchmarkConfig& config);
+
+}  // namespace idg::sim

@@ -1,0 +1,134 @@
+#include "sim/dataset_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+namespace {
+constexpr char kMagic[8] = {'I', 'D', 'G', 'D', 'A', 'T', 'A', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_array(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_array(std::ifstream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+}
+}  // namespace
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  IDG_CHECK(out.good(), "cannot open dataset file for writing: " << path);
+
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t nr_stations = dataset.layout.size();
+  const std::uint64_t nr_baselines = dataset.nr_baselines();
+  const std::uint64_t nr_timesteps = dataset.nr_timesteps();
+  const std::uint64_t nr_channels = dataset.nr_channels();
+  const std::uint64_t grid_size = dataset.grid_size;
+  write_pod(out, nr_stations);
+  write_pod(out, nr_baselines);
+  write_pod(out, nr_timesteps);
+  write_pod(out, nr_channels);
+  write_pod(out, grid_size);
+  write_pod(out, dataset.image_size);
+  write_pod(out, dataset.obs.declination_rad);
+  write_pod(out, dataset.obs.latitude_rad);
+  write_pod(out, dataset.obs.hour_angle_start_rad);
+  write_pod(out, dataset.obs.integration_time_s);
+  write_pod(out, dataset.obs.start_frequency_hz);
+  write_pod(out, dataset.obs.channel_width_hz);
+
+  for (const StationPosition& s : dataset.layout) {
+    write_pod(out, s.east);
+    write_pod(out, s.north);
+  }
+  for (const Baseline& b : dataset.baselines) {
+    write_pod(out, static_cast<std::uint32_t>(b.station1));
+    write_pod(out, static_cast<std::uint32_t>(b.station2));
+  }
+  write_array(out, dataset.uvw.data(), dataset.uvw.size());
+  write_array(out, dataset.frequencies.data(), dataset.frequencies.size());
+  write_array(out, dataset.visibilities.data(), dataset.visibilities.size());
+  IDG_CHECK(out.good(), "failed writing dataset: " << path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  IDG_CHECK(in.good(), "cannot open dataset file: " << path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  IDG_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+            "not an IDG dataset file: " << path);
+
+  std::uint64_t nr_stations = 0, nr_baselines = 0, nr_timesteps = 0,
+                nr_channels = 0, grid_size = 0;
+  read_pod(in, nr_stations);
+  read_pod(in, nr_baselines);
+  read_pod(in, nr_timesteps);
+  read_pod(in, nr_channels);
+  read_pod(in, grid_size);
+  IDG_CHECK(in.good() && nr_stations >= 2 && nr_timesteps >= 1 &&
+                nr_channels >= 1 && nr_baselines >= 1,
+            "malformed dataset header: " << path);
+  IDG_CHECK(nr_baselines <= nr_stations * (nr_stations - 1) / 2,
+            "dataset header claims more baselines than station pairs");
+
+  Dataset ds;
+  ds.grid_size = grid_size;
+  read_pod(in, ds.image_size);
+  read_pod(in, ds.obs.declination_rad);
+  read_pod(in, ds.obs.latitude_rad);
+  read_pod(in, ds.obs.hour_angle_start_rad);
+  read_pod(in, ds.obs.integration_time_s);
+  read_pod(in, ds.obs.start_frequency_hz);
+  read_pod(in, ds.obs.channel_width_hz);
+  ds.obs.nr_timesteps = static_cast<int>(nr_timesteps);
+  ds.obs.nr_channels = static_cast<int>(nr_channels);
+
+  ds.layout.resize(nr_stations);
+  for (StationPosition& s : ds.layout) {
+    read_pod(in, s.east);
+    read_pod(in, s.north);
+  }
+  ds.baselines.resize(nr_baselines);
+  for (Baseline& b : ds.baselines) {
+    std::uint32_t s1 = 0, s2 = 0;
+    read_pod(in, s1);
+    read_pod(in, s2);
+    IDG_CHECK(s1 < nr_stations && s2 < nr_stations,
+              "baseline references unknown station in " << path);
+    b.station1 = static_cast<int>(s1);
+    b.station2 = static_cast<int>(s2);
+  }
+  ds.uvw = Array2D<UVW>(nr_baselines, nr_timesteps);
+  read_array(in, ds.uvw.data(), ds.uvw.size());
+  ds.frequencies.resize(nr_channels);
+  read_array(in, ds.frequencies.data(), ds.frequencies.size());
+  ds.visibilities = Array3D<Visibility>(nr_baselines, nr_timesteps,
+                                        nr_channels);
+  read_array(in, ds.visibilities.data(), ds.visibilities.size());
+  IDG_CHECK(in.good(), "dataset file truncated: " << path);
+  return ds;
+}
+
+}  // namespace idg::sim

@@ -1,0 +1,34 @@
+// Binary dataset serialization.
+//
+// The paper states "We intend to make both the input data as well as the
+// software publicly available"; this module provides the corresponding
+// interchange format for this reproduction: a single little-endian binary
+// file holding the observation parameters, station layout, baselines, uvw
+// tracks, channel frequencies and the visibility cube.
+//
+// Layout (all integers uint64, all floats IEEE-754):
+//   magic "IDGDATA1" (8 bytes)
+//   nr_stations, nr_baselines, nr_timesteps, nr_channels, grid_size
+//   image_size (f64), declination, latitude, hour_angle_start,
+//   integration_time, start_frequency, channel_width (f64 each)
+//   stations  : nr_stations  x { east f64, north f64 }
+//   baselines : nr_baselines x { station1 u32, station2 u32 }
+//   uvw       : nr_baselines x nr_timesteps x { u f32, v f32, w f32 }
+//   freqs     : nr_channels  x f64
+//   vis       : nr_baselines x nr_timesteps x nr_channels x 8 x f32
+#pragma once
+
+#include <string>
+
+#include "sim/dataset.hpp"
+
+namespace idg::sim {
+
+/// Writes the dataset; throws idg::Error on I/O failure.
+void save_dataset(const std::string& path, const Dataset& dataset);
+
+/// Reads a dataset written by save_dataset; validates the magic and all
+/// dimension consistency constraints.
+Dataset load_dataset(const std::string& path);
+
+}  // namespace idg::sim

@@ -1,0 +1,125 @@
+#include "sim/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+StationLayout make_ska1_low_layout(int nr_stations, double core_radius,
+                                   double max_radius, double fraction_core,
+                                   std::uint32_t seed) {
+  IDG_CHECK(nr_stations >= 2, "need at least two stations");
+  IDG_CHECK(core_radius > 0 && max_radius > core_radius,
+            "require 0 < core_radius < max_radius");
+  IDG_CHECK(fraction_core >= 0.0 && fraction_core <= 1.0,
+            "fraction_core must be in [0, 1]");
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  StationLayout layout;
+  layout.reserve(static_cast<std::size_t>(nr_stations));
+
+  const int nr_core = static_cast<int>(std::lround(nr_stations * fraction_core));
+  // Core: uniform over the disc (radius ~ sqrt(U) for uniform areal density).
+  for (int i = 0; i < nr_core; ++i) {
+    const double r = core_radius * std::sqrt(uniform(rng));
+    const double phi = kTwoPi * uniform(rng);
+    layout.push_back({r * std::cos(phi), r * std::sin(phi)});
+  }
+
+  // Arms: three logarithmic spirals r(t) = core_radius * (max/core)^t,
+  // t in (0, 1], with small positional jitter.
+  const int nr_arm_total = nr_stations - nr_core;
+  const int nr_arms = 3;
+  const double growth = std::log(max_radius / core_radius);
+  std::normal_distribution<double> jitter(0.0, 0.03);
+  int placed = 0;
+  for (int a = 0; a < nr_arms; ++a) {
+    const int in_this_arm =
+        (nr_arm_total * (a + 1)) / nr_arms - (nr_arm_total * a) / nr_arms;
+    const double arm_phase = kTwoPi * a / nr_arms;
+    for (int i = 0; i < in_this_arm; ++i, ++placed) {
+      const double t = (i + 1.0) / in_this_arm;  // (0, 1]
+      const double r = core_radius * std::exp(growth * t) *
+                       (1.0 + jitter(rng));
+      const double phi = arm_phase + 1.5 * kTwoPi * t + jitter(rng);
+      layout.push_back({r * std::cos(phi), r * std::sin(phi)});
+    }
+  }
+  IDG_ASSERT(static_cast<int>(layout.size()) == nr_stations,
+             "layout generator placed a wrong number of stations");
+  return layout;
+}
+
+StationLayout make_lofar_like_layout(int nr_stations, double max_radius,
+                                     std::uint32_t seed) {
+  IDG_CHECK(nr_stations >= 2, "need at least two stations");
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  StationLayout layout;
+  layout.reserve(static_cast<std::size_t>(nr_stations));
+
+  // "Superterp": six stations in a tight 200 m cluster.
+  const int nr_superterp = std::min(nr_stations, 6);
+  for (int i = 0; i < nr_superterp; ++i) {
+    const double phi = kTwoPi * i / nr_superterp;
+    layout.push_back({150.0 * std::cos(phi), 150.0 * std::sin(phi)});
+  }
+
+  // Remaining stations on exponentially spaced rings.
+  const int remaining = nr_stations - nr_superterp;
+  const int per_ring = 6;
+  const int nr_rings = (remaining + per_ring - 1) / per_ring;
+  int placed = 0;
+  for (int ring = 0; ring < nr_rings && placed < remaining; ++ring) {
+    const double r =
+        500.0 * std::pow(max_radius / 500.0,
+                         nr_rings == 1 ? 1.0 : static_cast<double>(ring) /
+                                                   (nr_rings - 1));
+    const double phase = kTwoPi * uniform(rng);
+    for (int i = 0; i < per_ring && placed < remaining; ++i, ++placed) {
+      const double phi = phase + kTwoPi * i / per_ring;
+      layout.push_back({r * std::cos(phi), r * std::sin(phi)});
+    }
+  }
+  return layout;
+}
+
+StationLayout make_random_layout(int nr_stations, double max_radius,
+                                 std::uint32_t seed) {
+  IDG_CHECK(nr_stations >= 2, "need at least two stations");
+  IDG_CHECK(max_radius > 0, "max_radius must be positive");
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  StationLayout layout(static_cast<std::size_t>(nr_stations));
+  for (auto& s : layout) {
+    const double r = max_radius * std::sqrt(uniform(rng));
+    const double phi = kTwoPi * uniform(rng);
+    s = {r * std::cos(phi), r * std::sin(phi)};
+  }
+  return layout;
+}
+
+double max_baseline_length(const StationLayout& layout) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    for (std::size_t j = i + 1; j < layout.size(); ++j) {
+      const double de = layout[i].east - layout[j].east;
+      const double dn = layout[i].north - layout[j].north;
+      best = std::max(best, std::hypot(de, dn));
+    }
+  }
+  return best;
+}
+
+}  // namespace idg::sim

@@ -1,0 +1,97 @@
+#include "sim/observation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+double Observation::hour_angle(int t) const {
+  constexpr double kSiderealDay = 86164.1;  // seconds
+  const double rate = 2.0 * std::numbers::pi / kSiderealDay;
+  return hour_angle_start_rad + rate * integration_time_s * t;
+}
+
+std::vector<Baseline> make_baselines(int nr_stations) {
+  IDG_CHECK(nr_stations >= 2, "need at least two stations");
+  std::vector<Baseline> baselines;
+  baselines.reserve(static_cast<std::size_t>(nr_stations) *
+                    (nr_stations - 1) / 2);
+  for (int p = 0; p < nr_stations; ++p)
+    for (int q = p + 1; q < nr_stations; ++q) baselines.push_back({p, q});
+  return baselines;
+}
+
+Array2D<UVW> compute_uvw(const StationLayout& layout,
+                         const std::vector<Baseline>& baselines,
+                         const Observation& obs) {
+  IDG_CHECK(!baselines.empty(), "baseline list is empty");
+  IDG_CHECK(obs.nr_timesteps > 0, "nr_timesteps must be positive");
+
+  // Station positions in the equatorial frame (meters). ENU -> equatorial
+  // with up = 0:  X = -sin(lat) * N,  Y = E,  Z = cos(lat) * N.
+  const double sin_lat = std::sin(obs.latitude_rad);
+  const double cos_lat = std::cos(obs.latitude_rad);
+  struct Xyz {
+    double x, y, z;
+  };
+  std::vector<Xyz> eq(layout.size());
+  for (std::size_t s = 0; s < layout.size(); ++s) {
+    eq[s] = {-sin_lat * layout[s].north, layout[s].east,
+             cos_lat * layout[s].north};
+  }
+
+  const double sin_dec = std::sin(obs.declination_rad);
+  const double cos_dec = std::cos(obs.declination_rad);
+
+  Array2D<UVW> uvw(baselines.size(),
+                   static_cast<std::size_t>(obs.nr_timesteps));
+  for (std::size_t b = 0; b < baselines.size(); ++b) {
+    const auto& bl = baselines[b];
+    IDG_CHECK(bl.station1 >= 0 &&
+                  static_cast<std::size_t>(bl.station2) < layout.size(),
+              "baseline references unknown station");
+    const double lx = eq[bl.station2].x - eq[bl.station1].x;
+    const double ly = eq[bl.station2].y - eq[bl.station1].y;
+    const double lz = eq[bl.station2].z - eq[bl.station1].z;
+    for (int t = 0; t < obs.nr_timesteps; ++t) {
+      const double h = obs.hour_angle(t);
+      const double sin_h = std::sin(h);
+      const double cos_h = std::cos(h);
+      const double u = sin_h * lx + cos_h * ly;
+      const double v = -sin_dec * cos_h * lx + sin_dec * sin_h * ly +
+                       cos_dec * lz;
+      const double w = cos_dec * cos_h * lx - cos_dec * sin_h * ly +
+                       sin_dec * lz;
+      uvw(b, static_cast<std::size_t>(t)) = {static_cast<float>(u),
+                                             static_cast<float>(v),
+                                             static_cast<float>(w)};
+    }
+  }
+  return uvw;
+}
+
+double fit_image_size(const Array2D<UVW>& uvw, const Observation& obs,
+                      std::size_t grid_size, double padding) {
+  IDG_CHECK(grid_size > 0, "grid_size must be positive");
+  IDG_CHECK(padding >= 1.0, "padding must be >= 1");
+  double max_uv_m = 0.0;
+  for (std::size_t b = 0; b < uvw.dim(0); ++b) {
+    for (std::size_t t = 0; t < uvw.dim(1); ++t) {
+      const UVW& c = uvw(b, t);
+      max_uv_m = std::max({max_uv_m, std::abs(static_cast<double>(c.u)),
+                           std::abs(static_cast<double>(c.v))});
+    }
+  }
+  IDG_CHECK(max_uv_m > 0.0, "degenerate uv coverage (all stations co-located?)");
+  // Highest frequency gives the largest uv extent in wavelengths.
+  const double max_uv_lambda = max_uv_m / obs.min_wavelength();
+  // The grid spans [-N/2, N/2) cells of size 1/image_size; require
+  // max_uv_lambda * padding <= (N/2) / image_size... i.e.
+  // image_size = N / (2 * padding * max_uv_lambda).
+  return static_cast<double>(grid_size) / (2.0 * padding * max_uv_lambda);
+}
+
+}  // namespace idg::sim

@@ -1,0 +1,68 @@
+// Observation description and uvw track synthesis.
+//
+// Earth rotation sweeps each baseline along an ellipse in the (u,v)-plane
+// (paper §IV, Fig 3). Given station positions in a local horizon frame and a
+// target at declination delta observed over an hour-angle range, the classic
+// synthesis-imaging relations produce the uvw coordinate (in meters) of
+// every (baseline, timestep):
+//
+//   [u]   [          sin H,           cos H,      0] [Lx]
+//   [v] = [-sin(d) * cos H,  sin(d) * sin H, cos(d)] [Ly]
+//   [w]   [ cos(d) * cos H, -cos(d) * sin H, sin(d)] [Lz]
+//
+// where (Lx, Ly, Lz) is the baseline vector in the equatorial frame, H the
+// hour angle and d the declination. Local east/north/up converts to the
+// equatorial frame via the array latitude.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "sim/layout.hpp"
+
+namespace idg::sim {
+
+/// Static description of one observation run.
+struct Observation {
+  double declination_rad = 0.7;      ///< target declination
+  double latitude_rad = -0.47;       ///< array latitude (SKA-low site ~ -27 deg)
+  double hour_angle_start_rad = -0.3;
+  double integration_time_s = 1.0;   ///< paper: 1 second
+  int nr_timesteps = 128;            ///< paper: 8192
+  double start_frequency_hz = 100e6; ///< SKA-low band
+  double channel_width_hz = 1e6;
+  int nr_channels = 16;              ///< paper: 16
+
+  /// Hour angle of timestep t (earth rotates 2*pi per sidereal day).
+  double hour_angle(int t) const;
+
+  /// Frequency of channel c in Hz.
+  double frequency(int c) const {
+    return start_frequency_hz + channel_width_hz * c;
+  }
+
+  /// Wavelength-normalized image resolution helper: longest wavelength.
+  double max_wavelength() const { return kSpeedOfLight / start_frequency_hz; }
+  double min_wavelength() const {
+    return kSpeedOfLight / frequency(nr_channels - 1);
+  }
+};
+
+/// Enumerates all nr*(nr-1)/2 station pairs with station1 < station2.
+std::vector<Baseline> make_baselines(int nr_stations);
+
+/// Computes uvw (meters) for every (baseline, timestep):
+/// result dims = [nr_baselines][nr_timesteps].
+Array2D<UVW> compute_uvw(const StationLayout& layout,
+                         const std::vector<Baseline>& baselines,
+                         const Observation& obs);
+
+/// Picks an image size (field of view, radians, direction-cosine extent)
+/// and grid size such that the full uv extent of the observation fits with
+/// `padding` >= 1 slack. Returns the FOV; grid size is chosen by the caller.
+double fit_image_size(const Array2D<UVW>& uvw, const Observation& obs,
+                      std::size_t grid_size, double padding = 1.25);
+
+}  // namespace idg::sim

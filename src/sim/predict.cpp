@@ -1,0 +1,103 @@
+#include "sim/predict.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+Array3D<Visibility> predict_visibilities(
+    const SkyModel& sky, const Array2D<UVW>& uvw,
+    const std::vector<Baseline>& baselines, const Observation& obs,
+    const std::optional<ATermContext>& aterms) {
+  IDG_CHECK(uvw.dim(0) == baselines.size(),
+            "uvw/baseline count mismatch: " << uvw.dim(0) << " vs "
+                                            << baselines.size());
+  IDG_CHECK(uvw.dim(1) == static_cast<std::size_t>(obs.nr_timesteps),
+            "uvw/timestep count mismatch");
+  if (aterms) {
+    IDG_CHECK(aterms->cube != nullptr && aterms->aterm_interval > 0 &&
+                  aterms->image_size > 0,
+              "incomplete ATermContext");
+  }
+
+  const std::size_t nr_baselines = baselines.size();
+  const std::size_t nr_time = static_cast<std::size_t>(obs.nr_timesteps);
+  const std::size_t nr_chan = static_cast<std::size_t>(obs.nr_channels);
+  Array3D<Visibility> vis(nr_baselines, nr_time, nr_chan);
+
+  // Per-source geometry is channel-independent; precompute (l, m, n, B).
+  struct Source {
+    double l, m, n;
+    Matrix2x2<float> b;
+  };
+  std::vector<Source> sources;
+  sources.reserve(sky.size());
+  for (const auto& s : sky) {
+    sources.push_back({static_cast<double>(s.l), static_cast<double>(s.m),
+                       static_cast<double>(compute_n(s.l, s.m)),
+                       s.brightness()});
+  }
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t b = 0; b < nr_baselines; ++b) {
+    const Baseline& bl = baselines[b];
+    for (std::size_t t = 0; t < nr_time; ++t) {
+      const UVW& c = uvw(b, t);
+      const int slot =
+          aterms ? static_cast<int>(t) / aterms->aterm_interval : 0;
+      for (std::size_t ch = 0; ch < nr_chan; ++ch) {
+        const double lambda = kSpeedOfLight / obs.frequency(static_cast<int>(ch));
+        const double scale = 2.0 * std::numbers::pi / lambda;
+        Matrix2x2<float> acc = Matrix2x2<float>::zero();
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+          const Source& src = sources[s];
+          const double phase =
+              -scale * (c.u * src.l + c.v * src.m + c.w * src.n);
+          const cfloat phasor(static_cast<float>(std::cos(phase)),
+                              static_cast<float>(std::sin(phase)));
+          Matrix2x2<float> term = src.b;
+          if (aterms) {
+            const Jones ap = sample_aterm(*aterms->cube, slot, bl.station1,
+                                          static_cast<float>(src.l),
+                                          static_cast<float>(src.m),
+                                          aterms->image_size);
+            const Jones aq = sample_aterm(*aterms->cube, slot, bl.station2,
+                                          static_cast<float>(src.l),
+                                          static_cast<float>(src.m),
+                                          aterms->image_size);
+            term = ap * term * aq.adjoint();
+          }
+          acc += term * phasor;
+        }
+        vis(b, t, ch) = acc;
+      }
+    }
+  }
+  return vis;
+}
+
+double rms_amplitude(const Array3D<Visibility>& vis) {
+  double sum = 0.0;
+  for (const auto& v : vis) sum += static_cast<double>(v.norm2());
+  const double count = static_cast<double>(vis.size()) * kNrPolarizations;
+  return count == 0 ? 0.0 : std::sqrt(sum / count);
+}
+
+double max_abs_difference(const Array3D<Visibility>& a,
+                          const Array3D<Visibility>& b) {
+  IDG_CHECK(a.dims() == b.dims(), "visibility cube shapes differ");
+  double err = 0.0;
+  const Visibility* pa = a.data();
+  const Visibility* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int p = 0; p < kNrPolarizations; ++p) {
+      err = std::max(err,
+                     static_cast<double>(std::abs(pa[i][p] - pb[i][p])));
+    }
+  }
+  return err;
+}
+
+}  // namespace idg::sim

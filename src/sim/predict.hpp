@@ -1,0 +1,51 @@
+// Exact (direct) evaluation of the measurement equation — the ground truth
+// every gridding algorithm in this repo is tested against.
+//
+// For each (baseline pq, timestep t, channel c):
+//
+//   V_pq(t,c) = sum_src A_p(l,m) B(l,m) A_q^H(l,m)
+//               * exp(-2*pi*i * (u*l + v*m + w*n) * f_c / c_light)
+//
+// with uvw in meters and n = 1 - sqrt(1 - l^2 - m^2). Phases are evaluated
+// in double precision: at 40 km baselines and meter wavelengths the phase
+// argument reaches ~1e4 radians, where float evaluation would lose several
+// significant digits.
+//
+// Complexity is O(B*T*C*S); this is a test oracle, not a production path,
+// and the tests keep the sizes small.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "sim/aterm.hpp"
+#include "sim/observation.hpp"
+#include "sim/skymodel.hpp"
+
+namespace idg::sim {
+
+/// Optional direction-dependent corruption applied inside the predictor.
+struct ATermContext {
+  const ATermCube* cube = nullptr;  ///< [slot][station][y][x]
+  int aterm_interval = 0;           ///< timesteps per slot
+  double image_size = 0.0;          ///< FOV for pixel lookup
+};
+
+/// Predicts visibilities for every (baseline, timestep, channel).
+/// Result dims = [nr_baselines][nr_timesteps][nr_channels].
+Array3D<Visibility> predict_visibilities(
+    const SkyModel& sky, const Array2D<UVW>& uvw,
+    const std::vector<Baseline>& baselines, const Observation& obs,
+    const std::optional<ATermContext>& aterms = std::nullopt);
+
+/// Root-mean-square amplitude over all visibility components; used by the
+/// accuracy tests to form relative errors.
+double rms_amplitude(const Array3D<Visibility>& vis);
+
+/// Maximum absolute component-wise difference between two visibility cubes.
+double max_abs_difference(const Array3D<Visibility>& a,
+                          const Array3D<Visibility>& b);
+
+}  // namespace idg::sim

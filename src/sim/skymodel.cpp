@@ -1,0 +1,56 @@
+#include "sim/skymodel.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace idg::sim {
+
+SkyModel make_random_sky(int nr_sources, double image_size,
+                         double fov_fraction, float min_flux, float max_flux,
+                         std::uint32_t seed) {
+  IDG_CHECK(nr_sources >= 0, "nr_sources must be non-negative");
+  IDG_CHECK(image_size > 0, "image_size must be positive");
+  IDG_CHECK(min_flux > 0 && max_flux >= min_flux, "invalid flux range");
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> pos(-0.5 * fov_fraction * image_size,
+                                             0.5 * fov_fraction * image_size);
+  std::uniform_real_distribution<double> logflux(std::log(min_flux),
+                                                 std::log(max_flux));
+  SkyModel sky;
+  sky.reserve(static_cast<std::size_t>(nr_sources));
+  for (int i = 0; i < nr_sources; ++i) {
+    PointSource s;
+    s.l = static_cast<float>(pos(rng));
+    s.m = static_cast<float>(pos(rng));
+    s.stokes_i = static_cast<float>(std::exp(logflux(rng)));
+    sky.push_back(s);
+  }
+  return sky;
+}
+
+Array3D<cfloat> render_sky_image(const SkyModel& sky, std::size_t size,
+                                 double image_size) {
+  IDG_CHECK(size > 0, "image size must be positive");
+  Array3D<cfloat> image(static_cast<std::size_t>(kNrPolarizations), size,
+                        size);
+  const double scale = static_cast<double>(size) / image_size;  // pixels/rad
+  for (const auto& src : sky) {
+    const long x = std::lround(src.l * scale) + static_cast<long>(size) / 2;
+    const long y = std::lround(src.m * scale) + static_cast<long>(size) / 2;
+    if (x < 0 || y < 0 || x >= static_cast<long>(size) ||
+        y >= static_cast<long>(size)) {
+      continue;
+    }
+    const auto b = src.brightness();
+    for (int p = 0; p < kNrPolarizations; ++p) {
+      image(static_cast<std::size_t>(p), static_cast<std::size_t>(y),
+            static_cast<std::size_t>(x)) += b[p];
+    }
+  }
+  return image;
+}
+
+}  // namespace idg::sim

@@ -1,0 +1,79 @@
+// W-kernel construction for the W-projection baseline (paper §III, §VI-E).
+//
+// W-projection corrects the non-coplanar baseline term by convolving each
+// visibility onto the grid with a w-dependent kernel: the Fourier transform
+// of the image-domain screen
+//
+//   screen_w(l, m) = taper(l, m) * exp(+2*pi*i * w * n(l, m)),
+//
+// where the taper is the same prolate spheroidal IDG uses (which makes the
+// image-plane correction identical for both algorithms and the comparison
+// in Fig 16 apples-to-apples). Kernels are precomputed for `nr_w_planes`
+// equidistant w values covering [-w_max, +w_max] and oversampled by
+// `oversampling` (paper: 8) to resolve sub-cell visibility positions.
+//
+// Construction: the screen is sampled on a C x C raster over the field of
+// view (C = 2 * support), zero-padded to (C * oversampling)^2, and
+// transformed; the central (support * oversampling + 1)^2 samples are kept.
+// Normalization is 1/C^2 — the same convention as the IDG subgrid FFT, so
+// both algorithms produce identically scaled grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+
+namespace idg::wproj {
+
+struct WKernelConfig {
+  std::size_t support = 8;      ///< N_W: kernel footprint in grid cells
+  std::size_t oversampling = 8; ///< sub-cell resolution (paper: 8)
+  int nr_w_planes = 16;         ///< quantization of the w axis
+  double w_max = 0.0;           ///< max |w| in wavelengths covered
+  double image_size = 0.0;      ///< field of view (direction cosines)
+
+  void validate() const;
+};
+
+/// Precomputed oversampled W-kernels.
+class WKernelSet {
+ public:
+  explicit WKernelSet(const WKernelConfig& config);
+
+  const WKernelConfig& config() const { return config_; }
+
+  /// Side length of one stored (oversampled) kernel:
+  /// support * oversampling + 1.
+  std::size_t oversampled_size() const { return os_size_; }
+
+  /// Plane index for a w coordinate in wavelengths (clamped).
+  int plane_of(double w_lambda) const;
+
+  /// The oversampled kernel of one w plane, row-major
+  /// [oversampled_size][oversampled_size], centre at index
+  /// (support/2 * oversampling, ...). Sample for grid-cell offset (dj, di)
+  /// from the visibility and sub-cell fraction via `at`.
+  const cfloat* plane(int p) const;
+
+  /// Kernel value for integer cell offset (dv, du) in
+  /// [-support/2, support/2) and oversample offsets (ov, ou) in
+  /// [0, oversampling).
+  cfloat at(int p, int dv, int ov, int du, int ou) const;
+
+  /// Total bytes of kernel storage — the memory footprint the paper calls
+  /// "potentially costly computation and storage of the W-kernels".
+  std::size_t storage_bytes() const;
+
+  /// Wall-clock seconds spent constructing the kernels.
+  double construction_seconds() const { return construction_seconds_; }
+
+ private:
+  WKernelConfig config_;
+  std::size_t os_size_ = 0;
+  std::vector<Array2D<cfloat>> planes_;
+  double construction_seconds_ = 0.0;
+};
+
+}  // namespace idg::wproj

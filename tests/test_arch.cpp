@@ -1,0 +1,265 @@
+// Tests for the architecture models: Table I machines, classic and
+// modified rooflines, the op-mix model, the power model and the full
+// imaging-cycle model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/cyclemodel.hpp"
+#include "arch/hostprobe.hpp"
+#include "arch/machine.hpp"
+#include "arch/opmix.hpp"
+#include "arch/power.hpp"
+#include "arch/roofline.hpp"
+#include "idg/accounting.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "sim/dataset.hpp"
+
+namespace {
+
+using namespace idg;
+using namespace idg::arch;
+
+// --- Table I ------------------------------------------------------------------
+
+TEST(MachineTest, TableOneValuesMatchPaper) {
+  const Machine h = haswell();
+  EXPECT_DOUBLE_EQ(h.peak_tflops, 2.78);
+  EXPECT_DOUBLE_EQ(h.mem_bw_gbs, 136.0);
+  EXPECT_DOUBLE_EQ(h.tdp_w, 290.0);
+  EXPECT_EQ(h.fpus, 448);
+
+  const Machine f = fiji();
+  EXPECT_DOUBLE_EQ(f.peak_tflops, 8.60);
+  EXPECT_DOUBLE_EQ(f.mem_bw_gbs, 512.0);
+  EXPECT_DOUBLE_EQ(f.tdp_w, 275.0);
+  EXPECT_EQ(f.fpus, 4096);
+
+  const Machine p = pascal();
+  EXPECT_DOUBLE_EQ(p.peak_tflops, 9.22);
+  EXPECT_DOUBLE_EQ(p.mem_bw_gbs, 320.0);
+  EXPECT_DOUBLE_EQ(p.tdp_w, 180.0);
+  EXPECT_EQ(p.fpus, 2560);
+  EXPECT_EQ(p.sincos, SincosImplementation::DedicatedSfu);
+}
+
+TEST(MachineTest, PaperMachinesInPresentationOrder) {
+  auto machines = paper_machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0].name, "HASWELL");
+  EXPECT_EQ(machines[1].name, "FIJI");
+  EXPECT_EQ(machines[2].name, "PASCAL");
+}
+
+TEST(MachineTest, HostProbeGivesPlausibleCeilings) {
+  const HostCapabilities& caps = probe_host();
+  // Any machine that can build this repo does > 1 GFMA/s and > 1 GB/s.
+  EXPECT_GT(caps.fma_per_second, 1e9);
+  EXPECT_GT(caps.sincos_per_second, 1e7);
+  EXPECT_GT(caps.mem_bw_gbs, 1.0);
+  const Machine host = host_machine();
+  EXPECT_GT(host.peak_tflops, 0.0);
+  EXPECT_GT(host.sincos_fma_slots, 1.0);
+}
+
+// --- rooflines ---------------------------------------------------------------
+
+TEST(RooflineTest, BandwidthBoundBelowRidgeComputeBoundAbove) {
+  const Machine m = pascal();
+  const double ridge = ridge_point(m);
+  EXPECT_LT(roofline_dev(m, ridge / 2.0), m.peak_ops());
+  EXPECT_DOUBLE_EQ(roofline_dev(m, ridge * 2.0), m.peak_ops());
+  // On the ridge both terms agree.
+  EXPECT_NEAR(roofline_dev(m, ridge), m.peak_ops(), 1.0);
+}
+
+TEST(RooflineTest, SharedRooflineDefaultsToPeakOnCpus) {
+  EXPECT_DOUBLE_EQ(roofline_shared(haswell(), 0.001), haswell().peak_ops());
+  EXPECT_LT(roofline_shared(pascal(), 0.1), pascal().peak_ops());
+}
+
+TEST(OpmixModelTest, LargeRhoApproachesFmaPeak) {
+  for (const Machine& m : paper_machines()) {
+    const double at_large = opmix_ceiling(m, 1e6);
+    EXPECT_NEAR(at_large / m.peak_ops(), 1.0, 0.01) << m.name;
+  }
+}
+
+TEST(OpmixModelTest, PascalStaysHighAtSmallRho) {
+  // Fig 12's key observation: hardware SFUs keep Pascal's throughput high
+  // as rho decreases, while shared-ALU machines collapse.
+  const Machine p = pascal();
+  const Machine f = fiji();
+  const double p_frac = opmix_ceiling(p, 1.0) / p.peak_ops();
+  const double f_frac = opmix_ceiling(f, 1.0) / f.peak_ops();
+  EXPECT_GT(p_frac, 0.20);
+  EXPECT_LT(f_frac, 0.15);
+}
+
+TEST(OpmixModelTest, SharedAluCurvesAreMonotonic) {
+  for (const Machine& m : {haswell(), fiji()}) {
+    double prev = 0.0;
+    for (double rho : {1.0, 2.0, 4.0, 8.0, 17.0, 64.0}) {
+      const double v = opmix_ceiling(m, rho);
+      EXPECT_GE(v, prev) << m.name << " rho=" << rho;
+      prev = v;
+    }
+  }
+}
+
+TEST(OpmixModelTest, SfuOpsCanExceedFmaPeak) {
+  // On Pascal the sincos ops issue on the SFU queue and ride along with a
+  // saturated FMA pipe, so counted op throughput can exceed the FMA-only
+  // "peak" near rho = 1/sfu_rate — which is why the paper notes that peak
+  // is only attained "if non-masked FMA instructions are used exclusively".
+  const Machine p = pascal();
+  const double at8 = opmix_ceiling(p, 8.0);
+  EXPECT_GT(at8, p.peak_ops());
+  EXPECT_LT(at8, 1.3 * p.peak_ops());
+}
+
+TEST(OpmixModelTest, Rho17CeilingsReproducePaperFig11) {
+  // At the kernels' rho = 17 the dashed ceilings of Fig 11 emerge:
+  // HASWELL and FIJI far below peak, PASCAL near peak.
+  const double h = opmix_ceiling(haswell(), 17.0) / haswell().peak_ops();
+  const double f = opmix_ceiling(fiji(), 17.0) / fiji().peak_ops();
+  const double p = opmix_ceiling(pascal(), 17.0) / pascal().peak_ops();
+  EXPECT_LT(h, 0.30);  // paper: ~0.2 of peak
+  EXPECT_GT(f, 0.40);
+  EXPECT_LT(f, 0.75);
+  EXPECT_GT(p, 0.95);  // SFUs: sincos rides along, FMA pipe saturated
+}
+
+TEST(OpmixMeasuredTest, HostCurveIsMonotonicAndPositive) {
+  auto points = measure_host_opmix({1.0, 8.0, 64.0}, 0.02);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) EXPECT_GT(p.gops, 0.0);
+  // More FMAs per sincos -> higher op throughput.
+  EXPECT_GT(points[2].gops, points[0].gops);
+}
+
+// --- power ---------------------------------------------------------------------
+
+TEST(PowerTest, DevicePowerInterpolatesIdleToTdp) {
+  const Machine m = pascal();
+  EXPECT_DOUBLE_EQ(device_power_w(m, 0.0), m.idle_w);
+  EXPECT_DOUBLE_EQ(device_power_w(m, 1.0), m.tdp_w);
+  EXPECT_GT(device_power_w(m, 0.5), m.idle_w);
+  EXPECT_LT(device_power_w(m, 0.5), m.tdp_w);
+}
+
+TEST(PowerTest, EnergyScalesWithTime) {
+  const Machine m = fiji();
+  EXPECT_DOUBLE_EQ(device_energy_j(m, 2.0, 0.9),
+                   2.0 * device_power_w(m, 0.9));
+  EXPECT_DOUBLE_EQ(host_energy_j(m, 3.0), 3.0 * m.host_busy_w);
+  EXPECT_DOUBLE_EQ(host_energy_j(haswell(), 3.0), 0.0);
+}
+
+TEST(PowerTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(device_power_w(pascal(), 1.5), Error);
+  EXPECT_THROW(device_energy_j(pascal(), -1.0), Error);
+}
+
+// --- cycle model ------------------------------------------------------------------
+
+struct ModelFixture {
+  sim::Dataset ds;
+  Parameters params;
+  Plan plan;
+
+  static ModelFixture make() {
+    sim::BenchmarkConfig cfg;
+    cfg.nr_stations = 16;
+    cfg.nr_timesteps = 128;
+    cfg.nr_channels = 16;
+    cfg.grid_size = 512;
+    cfg.subgrid_size = 24;
+    auto ds = sim::make_benchmark_dataset_no_vis(cfg);
+    Parameters params;
+    params.grid_size = cfg.grid_size;
+    params.subgrid_size = cfg.subgrid_size;
+    params.image_size = ds.image_size;
+    params.nr_stations = cfg.nr_stations;
+    params.kernel_size = 8;
+    params.aterm_interval = 64;
+    Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+    return {std::move(ds), params, std::move(plan)};
+  }
+};
+
+TEST(CycleModelTest, KernelsDominateRuntime) {
+  auto f = ModelFixture::make();
+  for (const Machine& m : paper_machines()) {
+    const CycleModel model = model_imaging_cycle(m, f.plan);
+    const double kernel_seconds =
+        model.stage(stage::kGridder).seconds +
+        model.stage(stage::kDegridder).seconds;
+    // Paper §VI-B: "runtime is dominated by the gridder and degridder
+    // kernels (more than 93%)".
+    EXPECT_GT(kernel_seconds / model.total_seconds, 0.80) << m.name;
+  }
+}
+
+TEST(CycleModelTest, GpusAreMuchFasterThanCpu) {
+  auto f = ModelFixture::make();
+  const CycleModel h = model_imaging_cycle(haswell(), f.plan);
+  const CycleModel fi = model_imaging_cycle(fiji(), f.plan);
+  const CycleModel p = model_imaging_cycle(pascal(), f.plan);
+  // Paper: "Both GPUs complete the task almost an order of magnitude
+  // faster than HASWELL."
+  EXPECT_GT(h.total_seconds / fi.total_seconds, 5.0);
+  EXPECT_GT(h.total_seconds / p.total_seconds, 8.0);
+}
+
+TEST(CycleModelTest, GpusAreMoreEnergyEfficient) {
+  auto f = ModelFixture::make();
+  const CycleModel h = model_imaging_cycle(haswell(), f.plan);
+  const CycleModel p = model_imaging_cycle(pascal(), f.plan);
+  // Fig 14: total energy an order of magnitude lower on GPUs, even with
+  // the host included.
+  EXPECT_GT(h.device_joules / (p.device_joules + p.host_joules), 5.0);
+}
+
+TEST(CycleModelTest, EfficiencyTargetsMatchPaperFig15) {
+  auto f = ModelFixture::make();
+  // Modeled GFlops/W for the gridder kernel must land near the paper's
+  // headline numbers: PASCAL ~32, FIJI ~13, HASWELL ~1.5.
+  auto gridder_eff = [&](const Machine& m) {
+    const CycleModel model = model_imaging_cycle(m, f.plan);
+    const auto& s = model.stage(stage::kGridder);
+    return gflops_per_watt(m, s.counts, s.seconds, 0.95);
+  };
+  EXPECT_NEAR(gridder_eff(pascal()), 32.0, 8.0);
+  EXPECT_NEAR(gridder_eff(fiji()), 13.0, 5.0);
+  EXPECT_NEAR(gridder_eff(haswell()), 1.5, 1.0);
+}
+
+TEST(CycleModelTest, PascalGridderNearPaperFraction) {
+  auto f = ModelFixture::make();
+  const Machine p = pascal();
+  const OpCounts counts = gridder_op_counts(f.plan);
+  const double achieved = modeled_ops_per_second(p, counts);
+  // Paper: 74% of peak for the gridder; the degridder is lower (55%).
+  EXPECT_NEAR(achieved / p.peak_ops(), 0.74, 0.10);
+  const OpCounts dg = degridder_op_counts(f.plan);
+  EXPECT_LT(modeled_ops_per_second(p, dg), achieved);
+}
+
+TEST(CycleModelTest, ThroughputScalesWithMachineSpeed) {
+  auto f = ModelFixture::make();
+  const CycleModel h = model_imaging_cycle(haswell(), f.plan);
+  const CycleModel p = model_imaging_cycle(pascal(), f.plan);
+  EXPECT_GT(p.gridding_vis_per_second(), 5.0 * h.gridding_vis_per_second());
+  EXPECT_GT(p.degridding_vis_per_second(),
+            5.0 * h.degridding_vis_per_second());
+}
+
+TEST(CycleModelTest, UnknownStageThrows) {
+  auto f = ModelFixture::make();
+  const CycleModel model = model_imaging_cycle(pascal(), f.plan);
+  EXPECT_THROW(model.stage("nonexistent"), Error);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Tests for the CLEAN deconvolution substrate: minor-cycle behaviour and
+// the full major-cycle imaging loop with IDG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clean/hogbom.hpp"
+#include "clean/major_cycle.hpp"
+#include "idg/image.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+#include "sim/predict.hpp"
+
+namespace {
+
+using namespace idg;
+using namespace idg::clean;
+
+// Builds a synthetic [4][n][n] cube with given Stokes-I pixel values.
+Array3D<cfloat> cube_with_peak(std::size_t n, std::size_t y, std::size_t x,
+                               float flux) {
+  Array3D<cfloat> cube(kNrPolarizations, n, n);
+  cube(0, y, x) = {flux, 0.0f};
+  cube(3, y, x) = {flux, 0.0f};
+  return cube;
+}
+
+// A delta-function PSF (unit peak at centre, zero elsewhere).
+Array3D<cfloat> delta_psf(std::size_t n) {
+  return cube_with_peak(n, n / 2, n / 2, 1.0f);
+}
+
+TEST(HogbomTest, SingleDeltaCleansCompletely) {
+  const std::size_t n = 32;
+  auto residual = cube_with_peak(n, 10, 20, 2.0f);
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+
+  CleanConfig cfg;
+  cfg.gain = 1.0f;  // full subtraction in one step with a delta PSF
+  cfg.max_iterations = 5;
+  auto result = hogbom_clean(residual.view(), psf.cview(), model.view(), cfg);
+
+  EXPECT_EQ(result.iterations, 1);
+  EXPECT_NEAR(result.final_peak, 0.0f, 1e-6f);
+  EXPECT_NEAR(model(0, 10, 20).real(), 2.0f, 1e-6f);
+  EXPECT_NEAR(stokes_i(residual.cview(), 10, 20), 0.0f, 1e-6f);
+}
+
+TEST(HogbomTest, GainControlsSubtractionRate) {
+  const std::size_t n = 16;
+  auto residual = cube_with_peak(n, 8, 8, 1.0f);
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+
+  CleanConfig cfg;
+  cfg.gain = 0.5f;
+  cfg.max_iterations = 1;
+  hogbom_clean(residual.view(), psf.cview(), model.view(), cfg);
+  EXPECT_NEAR(stokes_i(residual.cview(), 8, 8), 0.5f, 1e-6f);
+  EXPECT_NEAR(model(0, 8, 8).real(), 0.5f, 1e-6f);
+}
+
+TEST(HogbomTest, ThresholdStopsIteration) {
+  const std::size_t n = 16;
+  auto residual = cube_with_peak(n, 4, 4, 0.1f);
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+
+  CleanConfig cfg;
+  cfg.threshold = 0.5f;
+  auto result = hogbom_clean(residual.view(), psf.cview(), model.view(), cfg);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_NEAR(result.final_peak, 0.1f, 1e-6f);
+}
+
+TEST(HogbomTest, TwoSourcesFoundInBrightnessOrder) {
+  const std::size_t n = 32;
+  auto residual = cube_with_peak(n, 5, 6, 1.0f);
+  residual(0, 20, 25) = {3.0f, 0.0f};
+  residual(3, 20, 25) = {3.0f, 0.0f};
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+
+  CleanConfig cfg;
+  cfg.gain = 1.0f;
+  cfg.max_iterations = 2;
+  auto result = hogbom_clean(residual.view(), psf.cview(), model.view(), cfg);
+  ASSERT_EQ(result.components.size(), 2u);
+  EXPECT_EQ(result.components[0].y, 20u);
+  EXPECT_EQ(result.components[0].x, 25u);
+  EXPECT_EQ(result.components[1].y, 5u);
+  EXPECT_EQ(result.components[1].x, 6u);
+}
+
+TEST(HogbomTest, NegativeArtifactsAreCleaned) {
+  const std::size_t n = 16;
+  auto residual = cube_with_peak(n, 3, 3, -2.0f);
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+
+  CleanConfig cfg;
+  cfg.gain = 1.0f;
+  cfg.max_iterations = 1;
+  auto result = hogbom_clean(residual.view(), psf.cview(), model.view(), cfg);
+  EXPECT_EQ(result.iterations, 1);
+  EXPECT_NEAR(model(0, 3, 3).real(), -2.0f, 1e-6f);
+}
+
+TEST(HogbomTest, InvalidGainThrows) {
+  const std::size_t n = 8;
+  auto residual = delta_psf(n);
+  auto psf = delta_psf(n);
+  Array3D<cfloat> model(kNrPolarizations, n, n);
+  CleanConfig cfg;
+  cfg.gain = 0.0f;
+  EXPECT_THROW(
+      hogbom_clean(residual.view(), psf.cview(), model.view(), cfg), Error);
+}
+
+// --- major cycle with IDG -------------------------------------------------------
+
+struct CycleFixture {
+  sim::Dataset ds;
+  Parameters params;
+  Plan plan;
+  sim::ATermCube aterms;
+
+  static CycleFixture make() {
+    sim::BenchmarkConfig cfg;
+    cfg.nr_stations = 14;
+    cfg.nr_timesteps = 64;
+    cfg.nr_channels = 4;
+    cfg.grid_size = 256;
+    cfg.subgrid_size = 32;
+    auto ds = sim::make_benchmark_dataset_no_vis(cfg);
+
+    Parameters params;
+    params.grid_size = cfg.grid_size;
+    params.subgrid_size = cfg.subgrid_size;
+    params.image_size = ds.image_size;
+    params.nr_stations = cfg.nr_stations;
+    params.kernel_size = 16;
+    Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+    auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
+                                            cfg.subgrid_size);
+    return {std::move(ds), params, std::move(plan), std::move(aterms)};
+  }
+};
+
+TEST(MajorCycleTest, PsfPeaksAtUnityAtCenter) {
+  auto f = CycleFixture::make();
+  Processor proc(f.params);
+  auto psf = make_psf(proc, f.plan, f.ds.uvw.cview(), f.aterms.cview());
+  const std::size_t c = f.params.grid_size / 2;
+  EXPECT_NEAR(psf(0, c, c).real(), 1.0f, 0.02f);
+  // Off-centre PSF values are strictly smaller.
+  EXPECT_LT(std::abs(psf(0, c + 30, c + 40)), 0.9f);
+}
+
+TEST(MajorCycleTest, RecoversTwoPointSources) {
+  auto f = CycleFixture::make();
+  const double dl =
+      f.params.image_size / static_cast<double>(f.params.grid_size);
+  sim::SkyModel sky = {
+      sim::PointSource{static_cast<float>(22 * dl), static_cast<float>(-11 * dl), 1.0f},
+      sim::PointSource{static_cast<float>(-15 * dl), static_cast<float>(18 * dl), 0.6f},
+  };
+  auto vis =
+      sim::predict_visibilities(sky, f.ds.uvw, f.ds.baselines, f.ds.obs);
+
+  Processor proc(f.params);
+  MajorCycleConfig cfg;
+  cfg.nr_major_cycles = 3;
+  cfg.minor.gain = 0.2f;
+  cfg.minor.max_iterations = 100;
+  auto result = run_major_cycles(proc, f.plan, f.ds.uvw.cview(), vis.cview(),
+                                 f.aterms.cview(), cfg);
+
+  // The model must contain flux concentrated at both source pixels.
+  const std::size_t cx1 = f.params.grid_size / 2 + 22;
+  const std::size_t cy1 = f.params.grid_size / 2 - 11;
+  const std::size_t cx2 = f.params.grid_size / 2 - 15;
+  const std::size_t cy2 = f.params.grid_size / 2 + 18;
+
+  auto flux_around = [&](std::size_t cy, std::size_t cx) {
+    float sum = 0.0f;
+    for (std::size_t y = cy - 3; y <= cy + 3; ++y)
+      for (std::size_t x = cx - 3; x <= cx + 3; ++x)
+        sum += result.model_image(0, y, x).real();
+    return sum;
+  };
+  EXPECT_NEAR(flux_around(cy1, cx1), 1.0f, 0.25f);
+  EXPECT_NEAR(flux_around(cy2, cx2), 0.6f, 0.25f);
+
+  // Total recovered flux matches the injected 1.6 Jy.
+  float total = 0.0f;
+  for (std::size_t y = 0; y < f.params.grid_size; ++y)
+    for (std::size_t x = 0; x < f.params.grid_size; ++x)
+      total += result.model_image(0, y, x).real();
+  EXPECT_NEAR(total, 1.6f, 0.15f);
+
+  // The model's brightest pixel is at the brightest source.
+  float best = -1.0f;
+  std::size_t by = 0, bx = 0;
+  for (std::size_t y = 0; y < f.params.grid_size; ++y)
+    for (std::size_t x = 0; x < f.params.grid_size; ++x)
+      if (result.model_image(0, y, x).real() > best) {
+        best = result.model_image(0, y, x).real();
+        by = y;
+        bx = x;
+      }
+  EXPECT_NEAR(static_cast<double>(by), static_cast<double>(cy1), 1.0);
+  EXPECT_NEAR(static_cast<double>(bx), static_cast<double>(cx1), 1.0);
+
+  // Residual peak must decrease across cycles.
+  ASSERT_GE(result.peak_history.size(), 2u);
+  EXPECT_LT(result.peak_history.back(), result.peak_history.front());
+  EXPECT_LT(result.peak_history.back(), 0.05f);
+  EXPECT_GT(result.total_components, 0);
+
+  // Stage times must cover the full cycle (Fig 9's stages).
+  EXPECT_GT(result.times.get(stage::kGridder), 0.0);
+  EXPECT_GT(result.times.get(stage::kDegridder), 0.0);
+  EXPECT_GT(result.times.get(stage::kGridFft), 0.0);
+}
+
+}  // namespace

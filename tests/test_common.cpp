@@ -1,0 +1,291 @@
+// Unit tests for the common substrate: types, arrays, allocator, counters,
+// reporting and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <sstream>
+
+#include "common/aligned.hpp"
+#include "common/array.hpp"
+#include "common/cli.hpp"
+#include "common/counters.hpp"
+#include "common/error.hpp"
+#include "common/report.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace {
+
+using idg::cfloat;
+using idg::Matrix2x2;
+
+// --- types -----------------------------------------------------------------
+
+TEST(Matrix2x2Test, IdentityIsMultiplicativeNeutral) {
+  Matrix2x2<float> a{{1, 2}, {3, -4}, {0.5f, 0}, {-1, 1}};
+  auto i = Matrix2x2<float>::identity();
+  auto ai = a * i;
+  auto ia = i * a;
+  EXPECT_EQ(ai.xx, a.xx);
+  EXPECT_EQ(ai.yy, a.yy);
+  EXPECT_EQ(ia.xy, a.xy);
+  EXPECT_EQ(ia.yx, a.yx);
+}
+
+TEST(Matrix2x2Test, AdjointIsInvolution) {
+  Matrix2x2<float> a{{1, 2}, {3, -4}, {0.5f, 0.25f}, {-1, 1}};
+  auto b = a.adjoint().adjoint();
+  EXPECT_EQ(b.xx, a.xx);
+  EXPECT_EQ(b.xy, a.xy);
+  EXPECT_EQ(b.yx, a.yx);
+  EXPECT_EQ(b.yy, a.yy);
+}
+
+TEST(Matrix2x2Test, AdjointOfProductReversesOrder) {
+  Matrix2x2<float> a{{1, 2}, {3, -4}, {0.5f, 0.25f}, {-1, 1}};
+  Matrix2x2<float> b{{0, 1}, {2, 0}, {1, 1}, {3, -2}};
+  auto lhs = (a * b).adjoint();
+  auto rhs = b.adjoint() * a.adjoint();
+  EXPECT_NEAR(std::abs(lhs.xx - rhs.xx), 0.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(lhs.xy - rhs.xy), 0.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(lhs.yx - rhs.yx), 0.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(lhs.yy - rhs.yy), 0.0f, 1e-6f);
+}
+
+TEST(Matrix2x2Test, IndexOperatorMatchesMembers) {
+  Matrix2x2<float> a{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  EXPECT_EQ(a[0], a.xx);
+  EXPECT_EQ(a[1], a.xy);
+  EXPECT_EQ(a[2], a.yx);
+  EXPECT_EQ(a[3], a.yy);
+}
+
+TEST(TypesTest, ComputeNIsZeroAtPhaseCenter) {
+  EXPECT_FLOAT_EQ(idg::compute_n(0.0f, 0.0f), 0.0f);
+}
+
+TEST(TypesTest, ComputeNMatchesAnalyticValue) {
+  const float l = 0.3f, m = -0.4f;
+  EXPECT_NEAR(idg::compute_n(l, m), 1.0f - std::sqrt(1.0f - 0.25f), 1e-6f);
+}
+
+TEST(TypesTest, ComputeNClampsBeyondHorizon) {
+  EXPECT_FLOAT_EQ(idg::compute_n(1.0f, 1.0f), 1.0f);
+}
+
+// --- aligned allocator -------------------------------------------------------
+
+TEST(AlignedTest, VectorDataIs64ByteAligned) {
+  for (std::size_t n : {1, 3, 17, 1000}) {
+    idg::AlignedVector<float> v(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % idg::kAlignment, 0u);
+  }
+}
+
+TEST(AlignedTest, ComplexVectorAligned) {
+  idg::AlignedVector<cfloat> v(123);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % idg::kAlignment, 0u);
+}
+
+// --- arrays ------------------------------------------------------------------
+
+TEST(ArrayTest, RowMajorLayout) {
+  idg::Array3D<int> a(2, 3, 4);
+  int value = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 4; ++k) a(i, j, k) = value++;
+  EXPECT_EQ(a.data()[0], 0);
+  EXPECT_EQ(a.data()[4 * 3], 12);  // (1,0,0)
+  EXPECT_EQ(a.data()[2 * 3 * 4 - 1], 23);
+}
+
+TEST(ArrayTest, ZeroInitialized) {
+  idg::Array2D<cfloat> a(5, 5);
+  for (auto v : a) EXPECT_EQ(v, cfloat{});
+}
+
+TEST(ArrayTest, FillAndZero) {
+  idg::Array1D<float> a(10);
+  a.fill(3.5f);
+  for (auto v : a) EXPECT_EQ(v, 3.5f);
+  a.zero();
+  for (auto v : a) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ArrayTest, OutOfRangeIndexThrows) {
+  idg::Array2D<int> a(2, 2);
+  EXPECT_THROW(a(2, 0), idg::Error);
+  EXPECT_THROW(a(0, 5), idg::Error);
+}
+
+TEST(ArrayTest, BytesAndSize) {
+  idg::Array2D<cfloat> a(8, 16);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(a.bytes(), 128u * sizeof(cfloat));
+}
+
+TEST(ArrayTest, ViewSharesStorage) {
+  idg::Array2D<int> a(3, 3);
+  auto v = a.view();
+  v(1, 1) = 42;
+  EXPECT_EQ(a(1, 1), 42);
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(OpCountsTest, OpsDefinitionMatchesPaper) {
+  // One gridder inner iteration: 17 FMAs + 1 sincos = 36 ops, rho = 17.
+  idg::OpCounts c;
+  c.fma = 17;
+  c.sincos = 1;
+  EXPECT_EQ(c.ops(), 36u);
+  EXPECT_EQ(c.flops(), 34u);
+  EXPECT_DOUBLE_EQ(c.rho(), 17.0);
+}
+
+TEST(OpCountsTest, AdditionAndScaling) {
+  idg::OpCounts a;
+  a.fma = 10;
+  a.dev_bytes = 100;
+  a.visibilities = 5;
+  idg::OpCounts b = a + a;
+  EXPECT_EQ(b.fma, 20u);
+  EXPECT_EQ(b.dev_bytes, 200u);
+  b *= 3;
+  EXPECT_EQ(b.visibilities, 30u);
+}
+
+TEST(OpCountsTest, IntensityComputation) {
+  idg::OpCounts c;
+  c.fma = 50;  // 100 ops
+  c.dev_bytes = 25;
+  c.shared_bytes = 200;
+  EXPECT_DOUBLE_EQ(c.intensity_dev(), 4.0);
+  EXPECT_DOUBLE_EQ(c.intensity_shared(), 0.5);
+}
+
+TEST(OpCountsTest, ZeroByteIntensityIsZero) {
+  idg::OpCounts c;
+  c.fma = 10;
+  EXPECT_DOUBLE_EQ(c.intensity_dev(), 0.0);
+}
+
+// --- timer ---------------------------------------------------------------------
+
+TEST(TimerTest, StageAccumulation) {
+  idg::StageTimes times;
+  times.add("gridder", 1.0);
+  times.add("gridder", 0.5);
+  times.add("adder", 0.25);
+  EXPECT_DOUBLE_EQ(times.get("gridder"), 1.5);
+  EXPECT_DOUBLE_EQ(times.get("adder"), 0.25);
+  EXPECT_DOUBLE_EQ(times.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(times.total(), 1.75);
+}
+
+TEST(TimerTest, MergeStageTimes) {
+  idg::StageTimes a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(TimerTest, ScopedTimerAddsNonNegativeTime) {
+  idg::StageTimes times;
+  { idg::ScopedStageTimer t(times, "scope"); }
+  EXPECT_GE(times.get("scope"), 0.0);
+}
+
+// --- report --------------------------------------------------------------------
+
+TEST(ReportTest, TablePrintsAlignedColumns) {
+  idg::Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(std::uint64_t{42});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, TooManyCellsThrows) {
+  idg::Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), idg::Error);
+}
+
+TEST(ReportTest, AddBeforeRowThrows) {
+  idg::Table t({"a"});
+  EXPECT_THROW(t.add("x"), idg::Error);
+}
+
+TEST(ReportTest, SiFormat) {
+  EXPECT_EQ(idg::si_format(1500.0, 1), "1.5 k");
+  EXPECT_EQ(idg::si_format(2.5e9, 2), "2.50 G");
+  EXPECT_EQ(idg::si_format(12.0, 0), "12 ");
+}
+
+TEST(ReportTest, AsciiBar) {
+  EXPECT_EQ(idg::ascii_bar(1.0, 4), "####");
+  EXPECT_EQ(idg::ascii_bar(0.0, 4), "....");
+  EXPECT_EQ(idg::ascii_bar(0.5, 4), "##..");
+  EXPECT_EQ(idg::ascii_bar(2.0, 4), "####");  // clamped
+}
+
+// --- cli -----------------------------------------------------------------------
+
+TEST(CliTest, ParsesValuesAndFlags) {
+  const char* argv[] = {"prog", "--stations", "20", "--paper", "--scale=0.5",
+                        "pos1"};
+  idg::Options opts(6, argv);
+  EXPECT_EQ(opts.get("stations", 0L), 20);
+  EXPECT_TRUE(opts.flag("paper"));
+  EXPECT_DOUBLE_EQ(opts.get("scale", 1.0), 0.5);
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "pos1");
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  idg::Options opts(1, argv);
+  EXPECT_EQ(opts.get("stations", 42L), 42);
+  EXPECT_EQ(opts.get("name", std::string("dflt")), "dflt");
+  EXPECT_FALSE(opts.flag("paper"));
+}
+
+TEST(CliTest, MissingValueThrows) {
+  const char* argv[] = {"prog", "--stations"};
+  EXPECT_THROW(idg::Options(2, argv), idg::Error);
+}
+
+TEST(CliTest, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--stations", "abc"};
+  idg::Options opts(3, argv);
+  EXPECT_THROW(opts.get("stations", 0L), idg::Error);
+}
+
+TEST(CliTest, EnvironmentFallback) {
+  ::setenv("IDG_BENCH_GRID_SIZE", "128", 1);
+  const char* argv[] = {"prog"};
+  idg::Options opts(1, argv);
+  EXPECT_EQ(opts.get("grid-size", 0L), 128);
+  ::unsetenv("IDG_BENCH_GRID_SIZE");
+}
+
+TEST(CliTest, CommandLineBeatsEnvironment) {
+  ::setenv("IDG_BENCH_GRID_SIZE", "128", 1);
+  const char* argv[] = {"prog", "--grid-size", "256"};
+  idg::Options opts(3, argv);
+  EXPECT_EQ(opts.get("grid-size", 0L), 256);
+  ::unsetenv("IDG_BENCH_GRID_SIZE");
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// Unit and property tests for the FFT substrate (src/fft).
+//
+// Ground truth is the O(n^2) naive DFT. Tolerances scale with transform
+// length because rounding error grows ~ O(sqrt(log n)) per butterfly level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace {
+
+using idg::fft::Direction;
+using idg::fft::Plan;
+using idg::fft::Plan2D;
+using idg::fft::Workspace;
+
+std::vector<std::complex<float>> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<std::complex<float>> x(n);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+  return x;
+}
+
+double max_abs_error(const std::vector<std::complex<float>>& a,
+                     const std::vector<std::complex<float>>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    err = std::max(err, static_cast<double>(std::abs(a[i] - b[i])));
+  return err;
+}
+
+double tolerance(std::size_t n) { return 2e-5 * std::sqrt(static_cast<double>(n)) * std::max(1.0, std::log2(static_cast<double>(n))); }
+
+// ---------------------------------------------------------------------------
+// Parameterized over transform length: smooth sizes, primes (Bluestein),
+// and the sizes the pipelines actually use (24, 32, 48, 2048, ...).
+class Fft1DSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fft1DSizes, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 42 + static_cast<unsigned>(n));
+  auto expected = idg::fft::naive_dft(x, Direction::Forward);
+
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+
+  EXPECT_LT(max_abs_error(out, expected), tolerance(n)) << "n=" << n;
+}
+
+TEST_P(Fft1DSizes, BackwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 1000 + static_cast<unsigned>(n));
+  auto expected = idg::fft::naive_dft(x, Direction::Backward);
+
+  Plan<float> plan(n, Direction::Backward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+
+  EXPECT_LT(max_abs_error(out, expected), tolerance(n)) << "n=" << n;
+}
+
+TEST_P(Fft1DSizes, RoundTripIsIdentityUpToScale) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 7 + static_cast<unsigned>(n));
+
+  Plan<float> fwd(n, Direction::Forward);
+  Plan<float> bwd(n, Direction::Backward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> mid(n), back(n);
+  fwd.execute(x.data(), 1, mid.data(), ws);
+  bwd.execute(mid.data(), 1, back.data(), ws);
+
+  for (auto& v : back) v /= static_cast<float>(n);
+  EXPECT_LT(max_abs_error(back, x), tolerance(n)) << "n=" << n;
+}
+
+TEST_P(Fft1DSizes, ParsevalEnergyConservation) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 99 + static_cast<unsigned>(n));
+
+  Plan<float> fwd(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  fwd.execute(x.data(), 1, out.data(), ws);
+
+  double e_time = 0.0, e_freq = 0.0;
+  for (auto v : x) e_time += std::norm(std::complex<double>(v));
+  for (auto v : out) e_freq += std::norm(std::complex<double>(v));
+  e_freq /= static_cast<double>(n);
+  EXPECT_NEAR(e_freq, e_time, 1e-3 * e_time + 1e-6) << "n=" << n;
+}
+
+TEST_P(Fft1DSizes, InplaceMatchesOutOfPlace) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 5 + static_cast<unsigned>(n));
+
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+
+  auto inplace = x;
+  plan.execute_inplace(inplace.data(), ws);
+  EXPECT_LT(max_abs_error(inplace, out), 1e-6) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Fft1DSizes,
+    ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 21, 24,
+                      25, 27, 32, 35, 48, 49, 64, 96, 100, 105, 128, 240, 256,
+                      // primes and prime-ish sizes exercise Bluestein:
+                      11, 13, 17, 31, 97, 101, 211,
+                      // pipeline sizes:
+                      512, 1024, 2048));
+
+// ---------------------------------------------------------------------------
+
+TEST(Fft1D, LinearityHolds) {
+  const std::size_t n = 48;
+  auto x = random_signal(n, 1);
+  auto y = random_signal(n, 2);
+  const std::complex<float> alpha{0.7f, -1.3f};
+
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> fx(n), fy(n), fz(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + alpha * y[i];
+  plan.execute(x.data(), 1, fx.data(), ws);
+  plan.execute(y.data(), 1, fy.data(), ws);
+  plan.execute(z.data(), 1, fz.data(), ws);
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(fz[i] - (fx[i] + alpha * fy[i])), 1e-4f);
+}
+
+TEST(Fft1D, DeltaTransformsToConstant) {
+  const std::size_t n = 24;
+  std::vector<std::complex<float>> x(n, {0.0f, 0.0f});
+  x[0] = {1.0f, 0.0f};
+
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+  for (auto v : out) EXPECT_LT(std::abs(v - std::complex<float>{1.0f, 0.0f}), 1e-5f);
+}
+
+TEST(Fft1D, SingleToneLandsOnOneBin) {
+  const std::size_t n = 32;
+  const std::size_t k0 = 5;
+  std::vector<std::complex<float>> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(k0 * j) /
+                         static_cast<double>(n);
+    x[j] = {static_cast<float>(std::cos(angle)),
+            static_cast<float>(std::sin(angle))};
+  }
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+  for (std::size_t k = 0; k < n; ++k) {
+    const float expected = k == k0 ? static_cast<float>(n) : 0.0f;
+    EXPECT_NEAR(std::abs(out[k]), expected, 2e-4f) << "bin " << k;
+  }
+}
+
+TEST(Fft1D, StridedInputReadsCorrectElements) {
+  const std::size_t n = 24, stride = 3;
+  auto packed = random_signal(n, 12);
+  std::vector<std::complex<float>> strided(n * stride, {-99.0f, -99.0f});
+  for (std::size_t i = 0; i < n; ++i) strided[i * stride] = packed[i];
+
+  Plan<float> plan(n, Direction::Forward);
+  Workspace<float> ws;
+  std::vector<std::complex<float>> a(n), b(n);
+  plan.execute(packed.data(), 1, a.data(), ws);
+  plan.execute(strided.data(), stride, b.data(), ws);
+  EXPECT_LT(max_abs_error(a, b), 1e-6);
+}
+
+TEST(Fft1D, ThrowsOnZeroLength) {
+  EXPECT_THROW(Plan<float>(0, Direction::Forward), idg::Error);
+}
+
+TEST(Fft1D, DoublePrecisionIsMoreAccurate) {
+  const std::size_t n = 101;  // Bluestein path
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+
+  auto expected = idg::fft::naive_dft(x, Direction::Forward);
+  Plan<double> plan(n, Direction::Forward);
+  Workspace<double> ws;
+  std::vector<std::complex<double>> out(n);
+  plan.execute(x.data(), 1, out.data(), ws);
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(out[i] - expected[i]));
+  EXPECT_LT(err, 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+
+class Fft2DSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(Fft2DSizes, MatchesRowColumnNaiveDft) {
+  const auto [rows, cols] = GetParam();
+  auto x = random_signal(rows * cols, 17);
+
+  // Ground truth: naive DFT on rows, then on columns.
+  std::vector<std::complex<float>> expected = x;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::complex<float>> row(expected.begin() + r * cols,
+                                         expected.begin() + (r + 1) * cols);
+    auto t = idg::fft::naive_dft(row, Direction::Forward);
+    std::copy(t.begin(), t.end(), expected.begin() + r * cols);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::vector<std::complex<float>> col(rows);
+    for (std::size_t r = 0; r < rows; ++r) col[r] = expected[r * cols + c];
+    auto t = idg::fft::naive_dft(col, Direction::Forward);
+    for (std::size_t r = 0; r < rows; ++r) expected[r * cols + c] = t[r];
+  }
+
+  Plan2D<float> plan(rows, cols, Direction::Forward);
+  Workspace<float> ws;
+  auto data = x;
+  plan.execute_inplace(data.data(), ws);
+  EXPECT_LT(max_abs_error(data, expected), tolerance(rows * cols));
+}
+
+TEST_P(Fft2DSizes, RoundTrip) {
+  const auto [rows, cols] = GetParam();
+  auto x = random_signal(rows * cols, 23);
+
+  Plan2D<float> fwd(rows, cols, Direction::Forward);
+  Plan2D<float> bwd(rows, cols, Direction::Backward);
+  Workspace<float> ws;
+  auto data = x;
+  fwd.execute_inplace(data.data(), ws);
+  bwd.execute_inplace(data.data(), ws);
+  const float scale = 1.0f / static_cast<float>(rows * cols);
+  for (auto& v : data) v *= scale;
+  EXPECT_LT(max_abs_error(data, x), tolerance(rows * cols));
+}
+
+using Dims = std::pair<std::size_t, std::size_t>;
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft2DSizes,
+                         ::testing::Values(Dims{1, 1}, Dims{2, 2}, Dims{4, 4},
+                                           Dims{8, 8}, Dims{24, 24},
+                                           Dims{32, 32}, Dims{48, 48},
+                                           Dims{64, 64}, Dims{16, 24},
+                                           Dims{5, 7}, Dims{128, 128}));
+
+// ---------------------------------------------------------------------------
+
+TEST(FftShift, EvenSizeIsInvolution) {
+  const std::size_t n = 24;
+  auto x = random_signal(n * n, 31);
+  auto y = x;
+  idg::fft::fftshift2d(y.data(), n, n, +1);
+  EXPECT_NE(max_abs_error(x, y), 0.0);  // actually moved something
+  idg::fft::fftshift2d(y.data(), n, n, +1);
+  EXPECT_EQ(max_abs_error(x, y), 0.0);
+}
+
+TEST(FftShift, OddSizeForwardBackwardCancel) {
+  const std::size_t n = 5;
+  auto x = random_signal(n * n, 37);
+  auto y = x;
+  idg::fft::fftshift2d(y.data(), n, n, +1);
+  idg::fft::fftshift2d(y.data(), n, n, -1);
+  EXPECT_EQ(max_abs_error(x, y), 0.0);
+}
+
+TEST(FftShift, MovesCenterToOrigin) {
+  const std::size_t n = 8;
+  std::vector<std::complex<float>> x(n * n, {0.0f, 0.0f});
+  x[(n / 2) * n + (n / 2)] = {1.0f, 0.0f};
+  idg::fft::fftshift2d(x.data(), n, n, +1);
+  EXPECT_FLOAT_EQ(x[0].real(), 1.0f);
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Tests for imaging weights (natural / uniform / Briggs) and the image
+// output substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/imageio.hpp"
+#include "idg/image.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "idg/weighting.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+
+namespace {
+
+using namespace idg;
+
+struct WeightFixture {
+  sim::Dataset ds;
+
+  static WeightFixture make() {
+    sim::BenchmarkConfig cfg;
+    cfg.nr_stations = 10;
+    cfg.nr_timesteps = 64;
+    cfg.nr_channels = 4;
+    cfg.grid_size = 256;
+    cfg.subgrid_size = 24;
+    return {sim::make_benchmark_dataset(cfg)};
+  }
+};
+
+TEST(WeightingTest, NaturalWeightsAreAllOne) {
+  auto f = WeightFixture::make();
+  auto w = compute_imaging_weights(Weighting::Natural, f.ds.uvw,
+                                   f.ds.frequencies, f.ds.grid_size,
+                                   f.ds.image_size);
+  for (const float v : w) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(WeightingTest, UniformWeightsFlattenCellDensity) {
+  auto f = WeightFixture::make();
+  auto w = compute_imaging_weights(Weighting::Uniform, f.ds.uvw,
+                                   f.ds.frequencies, f.ds.grid_size,
+                                   f.ds.image_size);
+  // Summing the weights of all samples that share a grid cell must give 1
+  // per occupied cell; total = number of occupied cells <= total samples.
+  double total = 0.0;
+  for (const float v : w) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, static_cast<double>(w.size()));
+}
+
+TEST(WeightingTest, BriggsInterpolatesBetweenSchemes) {
+  auto f = WeightFixture::make();
+  auto natural = compute_imaging_weights(Weighting::Natural, f.ds.uvw,
+                                         f.ds.frequencies, f.ds.grid_size,
+                                         f.ds.image_size);
+  auto uniform = compute_imaging_weights(Weighting::Uniform, f.ds.uvw,
+                                         f.ds.frequencies, f.ds.grid_size,
+                                         f.ds.image_size);
+  auto robust_pos = compute_imaging_weights(Weighting::Briggs, f.ds.uvw,
+                                            f.ds.frequencies, f.ds.grid_size,
+                                            f.ds.image_size, +2.0);
+  auto robust_neg = compute_imaging_weights(Weighting::Briggs, f.ds.uvw,
+                                            f.ds.frequencies, f.ds.grid_size,
+                                            f.ds.image_size, -2.0);
+
+  // R = +2 approaches natural (f^2 -> 0).
+  double err_nat = 0.0;
+  for (std::size_t i = 0; i < natural.size(); ++i) {
+    err_nat = std::max(err_nat,
+                       std::abs(static_cast<double>(robust_pos.data()[i]) -
+                                natural.data()[i]));
+  }
+  EXPECT_LT(err_nat, 0.1);
+
+  // R = -2 approaches uniform *up to an overall scale* (weights are
+  // relative): for samples in dense cells (where d * f^2 >> 1),
+  // briggs = 1/(1 + d f^2) ~ uniform / f^2, so the ratio briggs/uniform
+  // must be nearly constant across those samples.
+  double ratio_min = 1e30, ratio_max = 0.0;
+  for (std::size_t i = 0; i < natural.size(); ++i) {
+    const float u = uniform.data()[i];
+    const float r = robust_neg.data()[i];
+    if (u <= 0.0f || u > 0.01f) continue;  // keep dense cells (d >= 100)
+    const double ratio = static_cast<double>(r) / u;
+    ratio_min = std::min(ratio_min, ratio);
+    ratio_max = std::max(ratio_max, ratio);
+  }
+  ASSERT_LT(ratio_min, ratio_max);  // some dense cells existed
+  EXPECT_LT(ratio_max / ratio_min, 1.2);
+
+  // ... and it clearly departs from natural weighting.
+  double mean_neg = 0.0;
+  for (std::size_t i = 0; i < natural.size(); ++i)
+    mean_neg += robust_neg.data()[i];
+  mean_neg /= static_cast<double>(natural.size());
+  EXPECT_LT(mean_neg, 0.5);
+}
+
+TEST(WeightingTest, ApplyScalesVisibilitiesAndReturnsSum) {
+  auto f = WeightFixture::make();
+  Array3D<float> weights(f.ds.nr_baselines(), f.ds.nr_timesteps(),
+                         f.ds.nr_channels());
+  weights.fill(0.5f);
+  const Visibility before = f.ds.visibilities(0, 0, 0);
+  const double sum =
+      apply_imaging_weights(f.ds.visibilities.view(), weights.cview());
+  EXPECT_DOUBLE_EQ(sum, 0.5 * static_cast<double>(weights.size()));
+  EXPECT_FLOAT_EQ(f.ds.visibilities(0, 0, 0).xx.real(),
+                  0.5f * before.xx.real());
+}
+
+TEST(WeightingTest, ShapeMismatchThrows) {
+  auto f = WeightFixture::make();
+  Array3D<float> weights(1, 1, 1);
+  EXPECT_THROW(
+      apply_imaging_weights(f.ds.visibilities.view(), weights.cview()),
+      Error);
+}
+
+TEST(WeightingTest, UniformWeightingSharpensPsf) {
+  // The classic property: uniform weighting narrows the PSF main lobe
+  // relative to natural weighting (less weight on the dense short-spacing
+  // core -> more resolution).
+  auto f = WeightFixture::make();
+
+  Parameters params;
+  params.grid_size = f.ds.grid_size;
+  params.subgrid_size = 24;
+  params.image_size = f.ds.image_size;
+  params.nr_stations = 10;
+  params.kernel_size = 8;
+  Plan plan(params, f.ds.uvw, f.ds.frequencies, f.ds.baselines);
+  auto aterms = sim::make_identity_aterms(1, 10, 24);
+  Processor proc(params);
+
+  auto psf_width = [&](Weighting scheme) {
+    Array3D<Visibility> unit(f.ds.nr_baselines(), f.ds.nr_timesteps(),
+                             f.ds.nr_channels());
+    const Visibility one{{1.0f, 0.0f}, {}, {}, {1.0f, 0.0f}};
+    unit.fill(one);
+    auto weights = compute_imaging_weights(scheme, f.ds.uvw,
+                                           f.ds.frequencies, f.ds.grid_size,
+                                           f.ds.image_size);
+    const double wsum =
+        apply_imaging_weights(unit.view(), weights.cview());
+    Array3D<cfloat> grid(4, params.grid_size, params.grid_size);
+    proc.grid_visibilities(plan, f.ds.uvw.cview(), unit.cview(),
+                           aterms.cview(), grid.view());
+    auto psf = make_dirty_image(grid, wsum);
+    // Second moment of |I| within a small box around the peak.
+    const long c = static_cast<long>(params.grid_size) / 2;
+    double m2 = 0.0, m0 = 0.0;
+    for (long dy = -12; dy <= 12; ++dy) {
+      for (long dx = -12; dx <= 12; ++dx) {
+        const double v = std::abs(
+            psf(0, static_cast<std::size_t>(c + dy),
+                static_cast<std::size_t>(c + dx)).real());
+        m0 += v;
+        m2 += v * (dx * dx + dy * dy);
+      }
+    }
+    return m2 / m0;
+  };
+
+  const double natural = psf_width(Weighting::Natural);
+  const double uniform = psf_width(Weighting::Uniform);
+  EXPECT_LT(uniform, natural);
+}
+
+// --- image I/O -----------------------------------------------------------------
+
+TEST(ImageIoTest, StokesIPlaneExtraction) {
+  Array3D<cfloat> cube(4, 4, 4);
+  cube(0, 1, 2) = {3.0f, 1.0f};
+  cube(3, 1, 2) = {1.0f, -1.0f};
+  auto plane = stokes_i_plane(cube);
+  EXPECT_FLOAT_EQ(plane(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(plane(0, 0), 0.0f);
+}
+
+TEST(ImageIoTest, PgmRoundtripHeader) {
+  Array2D<float> plane(16, 24);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 24; ++x)
+      plane(y, x) = static_cast<float>(x + y);
+  const std::string path = "/tmp/idg_test_image.pgm";
+  write_pgm(path, plane);
+  auto header = read_pgm_header(path);
+  EXPECT_EQ(header.width, 24u);
+  EXPECT_EQ(header.height, 16u);
+  EXPECT_EQ(header.maxval, 255);
+  // File size: header + w*h payload bytes.
+  EXPECT_GE(std::filesystem::file_size(path), 24u * 16u);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoTest, PgmConstantImageDoesNotDivideByZero) {
+  Array2D<float> plane(4, 4);
+  plane.fill(7.0f);
+  const std::string path = "/tmp/idg_test_flat.pgm";
+  write_pgm(path, plane);
+  EXPECT_EQ(read_pgm_header(path).width, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoTest, CsvContainsAllRows) {
+  Array2D<float> plane(3, 2);
+  plane(2, 1) = 5.5f;
+  const std::string path = "/tmp/idg_test_plane.csv";
+  write_plane_csv(path, plane);
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  std::string last;
+  while (std::getline(in, line)) {
+    ++rows;
+    last = line;
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(last.find("5.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoTest, BadPathThrows) {
+  Array2D<float> plane(2, 2);
+  EXPECT_THROW(write_pgm("/nonexistent-dir/x.pgm", plane), Error);
+  EXPECT_THROW(read_pgm_header("/nonexistent-dir/x.pgm"), Error);
+}
+
+}  // namespace
