@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_plan.dir/bench_ablation_plan.cpp.o"
+  "CMakeFiles/bench_ablation_plan.dir/bench_ablation_plan.cpp.o.d"
+  "bench_ablation_plan"
+  "bench_ablation_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

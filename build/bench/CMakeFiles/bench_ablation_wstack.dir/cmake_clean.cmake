@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wstack.dir/bench_ablation_wstack.cpp.o"
+  "CMakeFiles/bench_ablation_wstack.dir/bench_ablation_wstack.cpp.o.d"
+  "bench_ablation_wstack"
+  "bench_ablation_wstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_runtime.dir/bench_fig09_runtime.cpp.o"
+  "CMakeFiles/bench_fig09_runtime.dir/bench_fig09_runtime.cpp.o.d"
+  "bench_fig09_runtime"
+  "bench_fig09_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_opmix.dir/bench_fig12_opmix.cpp.o"
+  "CMakeFiles/bench_fig12_opmix.dir/bench_fig12_opmix.cpp.o.d"
+  "bench_fig12_opmix"
+  "bench_fig12_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

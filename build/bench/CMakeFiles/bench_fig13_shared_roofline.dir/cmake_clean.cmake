@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_shared_roofline.dir/bench_fig13_shared_roofline.cpp.o"
+  "CMakeFiles/bench_fig13_shared_roofline.dir/bench_fig13_shared_roofline.cpp.o.d"
+  "bench_fig13_shared_roofline"
+  "bench_fig13_shared_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_shared_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

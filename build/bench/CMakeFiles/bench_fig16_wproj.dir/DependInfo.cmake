@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_wproj.cpp" "bench/CMakeFiles/bench_fig16_wproj.dir/bench_fig16_wproj.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_wproj.dir/bench_fig16_wproj.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wproj/CMakeFiles/idg_wproj.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/idg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/idg/CMakeFiles/idg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

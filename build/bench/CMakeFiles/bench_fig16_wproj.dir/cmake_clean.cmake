@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_wproj.dir/bench_fig16_wproj.cpp.o"
+  "CMakeFiles/bench_fig16_wproj.dir/bench_fig16_wproj.cpp.o.d"
+  "bench_fig16_wproj"
+  "bench_fig16_wproj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_wproj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

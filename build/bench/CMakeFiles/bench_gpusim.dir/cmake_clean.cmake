@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpusim.dir/bench_gpusim.cpp.o"
+  "CMakeFiles/bench_gpusim.dir/bench_gpusim.cpp.o.d"
+  "bench_gpusim"
+  "bench_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

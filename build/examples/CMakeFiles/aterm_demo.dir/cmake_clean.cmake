@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aterm_demo.dir/aterm_demo.cpp.o"
+  "CMakeFiles/aterm_demo.dir/aterm_demo.cpp.o.d"
+  "aterm_demo"
+  "aterm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aterm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

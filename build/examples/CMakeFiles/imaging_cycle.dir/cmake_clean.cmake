@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_cycle.dir/imaging_cycle.cpp.o"
+  "CMakeFiles/imaging_cycle.dir/imaging_cycle.cpp.o.d"
+  "imaging_cycle"
+  "imaging_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wproj_vs_idg.dir/wproj_vs_idg.cpp.o"
+  "CMakeFiles/wproj_vs_idg.dir/wproj_vs_idg.cpp.o.d"
+  "wproj_vs_idg"
+  "wproj_vs_idg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wproj_vs_idg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wproj_vs_idg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wproj_vs_idg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wstacking_demo.dir/wstacking_demo.cpp.o"
+  "CMakeFiles/wstacking_demo.dir/wstacking_demo.cpp.o.d"
+  "wstacking_demo"
+  "wstacking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wstacking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--stations" "6" "--time" "16" "--grid" "256")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_imaging_cycle "/root/repo/build/examples/imaging_cycle" "--stations" "8" "--time" "24" "--cycles" "2")
+set_tests_properties(example_imaging_cycle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aterm_demo "/root/repo/build/examples/aterm_demo" "--stations" "6" "--time" "32")
+set_tests_properties(example_aterm_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wproj_vs_idg "/root/repo/build/examples/wproj_vs_idg" "--stations" "6" "--time" "24")
+set_tests_properties(example_wproj_vs_idg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wstacking_demo "/root/repo/build/examples/wstacking_demo" "--stations" "6" "--time" "24")
+set_tests_properties(example_wstacking_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cyclemodel.cpp" "src/arch/CMakeFiles/idg_arch.dir/cyclemodel.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/cyclemodel.cpp.o.d"
+  "/root/repo/src/arch/gpusim.cpp" "src/arch/CMakeFiles/idg_arch.dir/gpusim.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/gpusim.cpp.o.d"
+  "/root/repo/src/arch/hostprobe.cpp" "src/arch/CMakeFiles/idg_arch.dir/hostprobe.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/hostprobe.cpp.o.d"
+  "/root/repo/src/arch/machine.cpp" "src/arch/CMakeFiles/idg_arch.dir/machine.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/machine.cpp.o.d"
+  "/root/repo/src/arch/opmix.cpp" "src/arch/CMakeFiles/idg_arch.dir/opmix.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/opmix.cpp.o.d"
+  "/root/repo/src/arch/power.cpp" "src/arch/CMakeFiles/idg_arch.dir/power.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/power.cpp.o.d"
+  "/root/repo/src/arch/roofline.cpp" "src/arch/CMakeFiles/idg_arch.dir/roofline.cpp.o" "gcc" "src/arch/CMakeFiles/idg_arch.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idg/CMakeFiles/idg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/idg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

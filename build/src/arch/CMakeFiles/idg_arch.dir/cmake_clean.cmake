@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_arch.dir/cyclemodel.cpp.o"
+  "CMakeFiles/idg_arch.dir/cyclemodel.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/gpusim.cpp.o"
+  "CMakeFiles/idg_arch.dir/gpusim.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/hostprobe.cpp.o"
+  "CMakeFiles/idg_arch.dir/hostprobe.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/machine.cpp.o"
+  "CMakeFiles/idg_arch.dir/machine.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/opmix.cpp.o"
+  "CMakeFiles/idg_arch.dir/opmix.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/power.cpp.o"
+  "CMakeFiles/idg_arch.dir/power.cpp.o.d"
+  "CMakeFiles/idg_arch.dir/roofline.cpp.o"
+  "CMakeFiles/idg_arch.dir/roofline.cpp.o.d"
+  "libidg_arch.a"
+  "libidg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

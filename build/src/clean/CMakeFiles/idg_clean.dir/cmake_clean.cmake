@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_clean.dir/hogbom.cpp.o"
+  "CMakeFiles/idg_clean.dir/hogbom.cpp.o.d"
+  "CMakeFiles/idg_clean.dir/major_cycle.cpp.o"
+  "CMakeFiles/idg_clean.dir/major_cycle.cpp.o.d"
+  "libidg_clean.a"
+  "libidg_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

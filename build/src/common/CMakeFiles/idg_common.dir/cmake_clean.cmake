@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_common.dir/cli.cpp.o"
+  "CMakeFiles/idg_common.dir/cli.cpp.o.d"
+  "CMakeFiles/idg_common.dir/imageio.cpp.o"
+  "CMakeFiles/idg_common.dir/imageio.cpp.o.d"
+  "CMakeFiles/idg_common.dir/report.cpp.o"
+  "CMakeFiles/idg_common.dir/report.cpp.o.d"
+  "libidg_common.a"
+  "libidg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idg/accounting.cpp" "src/idg/CMakeFiles/idg_core.dir/accounting.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/accounting.cpp.o.d"
+  "/root/repo/src/idg/adder.cpp" "src/idg/CMakeFiles/idg_core.dir/adder.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/adder.cpp.o.d"
+  "/root/repo/src/idg/image.cpp" "src/idg/CMakeFiles/idg_core.dir/image.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/image.cpp.o.d"
+  "/root/repo/src/idg/kernels_ref.cpp" "src/idg/CMakeFiles/idg_core.dir/kernels_ref.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/kernels_ref.cpp.o.d"
+  "/root/repo/src/idg/pipelined.cpp" "src/idg/CMakeFiles/idg_core.dir/pipelined.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/pipelined.cpp.o.d"
+  "/root/repo/src/idg/plan.cpp" "src/idg/CMakeFiles/idg_core.dir/plan.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/plan.cpp.o.d"
+  "/root/repo/src/idg/processor.cpp" "src/idg/CMakeFiles/idg_core.dir/processor.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/processor.cpp.o.d"
+  "/root/repo/src/idg/subgrid_fft.cpp" "src/idg/CMakeFiles/idg_core.dir/subgrid_fft.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/subgrid_fft.cpp.o.d"
+  "/root/repo/src/idg/taper.cpp" "src/idg/CMakeFiles/idg_core.dir/taper.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/taper.cpp.o.d"
+  "/root/repo/src/idg/weighting.cpp" "src/idg/CMakeFiles/idg_core.dir/weighting.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/weighting.cpp.o.d"
+  "/root/repo/src/idg/wplane.cpp" "src/idg/CMakeFiles/idg_core.dir/wplane.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/wplane.cpp.o.d"
+  "/root/repo/src/idg/wstack.cpp" "src/idg/CMakeFiles/idg_core.dir/wstack.cpp.o" "gcc" "src/idg/CMakeFiles/idg_core.dir/wstack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

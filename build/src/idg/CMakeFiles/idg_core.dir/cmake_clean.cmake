@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_core.dir/accounting.cpp.o"
+  "CMakeFiles/idg_core.dir/accounting.cpp.o.d"
+  "CMakeFiles/idg_core.dir/adder.cpp.o"
+  "CMakeFiles/idg_core.dir/adder.cpp.o.d"
+  "CMakeFiles/idg_core.dir/image.cpp.o"
+  "CMakeFiles/idg_core.dir/image.cpp.o.d"
+  "CMakeFiles/idg_core.dir/kernels_ref.cpp.o"
+  "CMakeFiles/idg_core.dir/kernels_ref.cpp.o.d"
+  "CMakeFiles/idg_core.dir/pipelined.cpp.o"
+  "CMakeFiles/idg_core.dir/pipelined.cpp.o.d"
+  "CMakeFiles/idg_core.dir/plan.cpp.o"
+  "CMakeFiles/idg_core.dir/plan.cpp.o.d"
+  "CMakeFiles/idg_core.dir/processor.cpp.o"
+  "CMakeFiles/idg_core.dir/processor.cpp.o.d"
+  "CMakeFiles/idg_core.dir/subgrid_fft.cpp.o"
+  "CMakeFiles/idg_core.dir/subgrid_fft.cpp.o.d"
+  "CMakeFiles/idg_core.dir/taper.cpp.o"
+  "CMakeFiles/idg_core.dir/taper.cpp.o.d"
+  "CMakeFiles/idg_core.dir/weighting.cpp.o"
+  "CMakeFiles/idg_core.dir/weighting.cpp.o.d"
+  "CMakeFiles/idg_core.dir/wplane.cpp.o"
+  "CMakeFiles/idg_core.dir/wplane.cpp.o.d"
+  "CMakeFiles/idg_core.dir/wstack.cpp.o"
+  "CMakeFiles/idg_core.dir/wstack.cpp.o.d"
+  "libidg_core.a"
+  "libidg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

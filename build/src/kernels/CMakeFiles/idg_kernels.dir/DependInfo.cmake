@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/internal.cpp" "src/kernels/CMakeFiles/idg_kernels.dir/internal.cpp.o" "gcc" "src/kernels/CMakeFiles/idg_kernels.dir/internal.cpp.o.d"
+  "/root/repo/src/kernels/jit.cpp" "src/kernels/CMakeFiles/idg_kernels.dir/jit.cpp.o" "gcc" "src/kernels/CMakeFiles/idg_kernels.dir/jit.cpp.o.d"
+  "/root/repo/src/kernels/optimized.cpp" "src/kernels/CMakeFiles/idg_kernels.dir/optimized.cpp.o" "gcc" "src/kernels/CMakeFiles/idg_kernels.dir/optimized.cpp.o.d"
+  "/root/repo/src/kernels/phasor.cpp" "src/kernels/CMakeFiles/idg_kernels.dir/phasor.cpp.o" "gcc" "src/kernels/CMakeFiles/idg_kernels.dir/phasor.cpp.o.d"
+  "/root/repo/src/kernels/vmath.cpp" "src/kernels/CMakeFiles/idg_kernels.dir/vmath.cpp.o" "gcc" "src/kernels/CMakeFiles/idg_kernels.dir/vmath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idg/CMakeFiles/idg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

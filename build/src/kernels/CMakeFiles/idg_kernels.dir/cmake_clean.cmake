@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_kernels.dir/internal.cpp.o"
+  "CMakeFiles/idg_kernels.dir/internal.cpp.o.d"
+  "CMakeFiles/idg_kernels.dir/jit.cpp.o"
+  "CMakeFiles/idg_kernels.dir/jit.cpp.o.d"
+  "CMakeFiles/idg_kernels.dir/optimized.cpp.o"
+  "CMakeFiles/idg_kernels.dir/optimized.cpp.o.d"
+  "CMakeFiles/idg_kernels.dir/phasor.cpp.o"
+  "CMakeFiles/idg_kernels.dir/phasor.cpp.o.d"
+  "CMakeFiles/idg_kernels.dir/vmath.cpp.o"
+  "CMakeFiles/idg_kernels.dir/vmath.cpp.o.d"
+  "libidg_kernels.a"
+  "libidg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

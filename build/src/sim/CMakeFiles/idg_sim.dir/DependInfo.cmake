@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/aterm.cpp" "src/sim/CMakeFiles/idg_sim.dir/aterm.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/aterm.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/idg_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/dataset_io.cpp" "src/sim/CMakeFiles/idg_sim.dir/dataset_io.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/sim/layout.cpp" "src/sim/CMakeFiles/idg_sim.dir/layout.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/layout.cpp.o.d"
+  "/root/repo/src/sim/observation.cpp" "src/sim/CMakeFiles/idg_sim.dir/observation.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/observation.cpp.o.d"
+  "/root/repo/src/sim/predict.cpp" "src/sim/CMakeFiles/idg_sim.dir/predict.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/predict.cpp.o.d"
+  "/root/repo/src/sim/skymodel.cpp" "src/sim/CMakeFiles/idg_sim.dir/skymodel.cpp.o" "gcc" "src/sim/CMakeFiles/idg_sim.dir/skymodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

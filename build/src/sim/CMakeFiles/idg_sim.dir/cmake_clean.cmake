@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_sim.dir/aterm.cpp.o"
+  "CMakeFiles/idg_sim.dir/aterm.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/dataset.cpp.o"
+  "CMakeFiles/idg_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/dataset_io.cpp.o"
+  "CMakeFiles/idg_sim.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/layout.cpp.o"
+  "CMakeFiles/idg_sim.dir/layout.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/observation.cpp.o"
+  "CMakeFiles/idg_sim.dir/observation.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/predict.cpp.o"
+  "CMakeFiles/idg_sim.dir/predict.cpp.o.d"
+  "CMakeFiles/idg_sim.dir/skymodel.cpp.o"
+  "CMakeFiles/idg_sim.dir/skymodel.cpp.o.d"
+  "libidg_sim.a"
+  "libidg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidg_sim.a"
+)

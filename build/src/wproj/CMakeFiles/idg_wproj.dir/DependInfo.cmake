@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wproj/gridder.cpp" "src/wproj/CMakeFiles/idg_wproj.dir/gridder.cpp.o" "gcc" "src/wproj/CMakeFiles/idg_wproj.dir/gridder.cpp.o.d"
+  "/root/repo/src/wproj/wkernel.cpp" "src/wproj/CMakeFiles/idg_wproj.dir/wkernel.cpp.o" "gcc" "src/wproj/CMakeFiles/idg_wproj.dir/wkernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idg/CMakeFiles/idg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idg_wproj.dir/gridder.cpp.o"
+  "CMakeFiles/idg_wproj.dir/gridder.cpp.o.d"
+  "CMakeFiles/idg_wproj.dir/wkernel.cpp.o"
+  "CMakeFiles/idg_wproj.dir/wkernel.cpp.o.d"
+  "libidg_wproj.a"
+  "libidg_wproj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idg_wproj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

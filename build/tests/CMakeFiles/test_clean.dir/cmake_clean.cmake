@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clean.dir/test_clean.cpp.o"
+  "CMakeFiles/test_clean.dir/test_clean.cpp.o.d"
+  "test_clean"
+  "test_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

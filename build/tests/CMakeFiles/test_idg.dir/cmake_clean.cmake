@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idg.dir/test_idg.cpp.o"
+  "CMakeFiles/test_idg.dir/test_idg.cpp.o.d"
+  "test_idg"
+  "test_idg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wproj.dir/test_wproj.cpp.o"
+  "CMakeFiles/test_wproj.dir/test_wproj.cpp.o.d"
+  "test_wproj"
+  "test_wproj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wproj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wstack.dir/test_wstack.cpp.o"
+  "CMakeFiles/test_wstack.dir/test_wstack.cpp.o.d"
+  "test_wstack"
+  "test_wstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fft "/root/repo/build/tests/test_fft")
+set_tests_properties(test_fft PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_idg "/root/repo/build/tests/test_idg")
+set_tests_properties(test_idg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kernels "/root/repo/build/tests/test_kernels")
+set_tests_properties(test_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wproj "/root/repo/build/tests/test_wproj")
+set_tests_properties(test_wproj PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_clean "/root/repo/build/tests/test_clean")
+set_tests_properties(test_clean PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_arch "/root/repo/build/tests/test_arch")
+set_tests_properties(test_arch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wstack "/root/repo/build/tests/test_wstack")
+set_tests_properties(test_wstack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_weighting "/root/repo/build/tests/test_weighting")
+set_tests_properties(test_weighting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gpusim "/root/repo/build/tests/test_gpusim")
+set_tests_properties(test_gpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;idg_add_test;/root/repo/tests/CMakeLists.txt;0;")
