@@ -5,15 +5,25 @@
 //   --aterm-interval A --kernel-size K --paper --csv <path>
 // plus IDG_BENCH_* environment equivalents. Defaults are sized to finish in
 // seconds on a single core; --paper selects the full 2017 configuration.
+//
+// Benches that measure pipeline stages additionally accept
+//   --backend <name>   execution backend (idg::make_backend names)
+//   --json <path>      per-stage metrics in the idg-obs/v1 JSON schema
+// so downstream plotting reads one stable schema instead of scraping
+// per-bench table formats.
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/report.hpp"
+#include "idg/backend.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
 
@@ -85,6 +95,25 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
     table.write_csv(path);
     std::cout << "\n(wrote " << path << ")\n";
   }
+}
+
+/// Writes the per-stage metrics snapshot as idg-obs/v1 JSON when --json
+/// <path> was given.
+inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
+                             const Options& opts) {
+  if (opts.has("json")) {
+    const std::string path = opts.get("json", std::string{});
+    obs::write_json_file(path, snapshot);
+    std::cout << "\n(wrote " << path << ")\n";
+  }
+}
+
+/// Creates the execution backend selected by --backend (default:
+/// synchronous). The KernelSet must outlive the returned backend.
+inline std::unique_ptr<GridderBackend> backend_from_options(
+    const Options& opts, const Parameters& params, const KernelSet& kernels) {
+  return make_backend(opts.get("backend", std::string("synchronous")), params,
+                      kernels);
 }
 
 }  // namespace idg::bench

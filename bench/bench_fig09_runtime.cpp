@@ -2,6 +2,11 @@
 // for one full imaging cycle (gridding + degridding with all supporting
 // steps), measured on this host and modeled for the paper's three machines.
 //
+// The measured breakdown comes from the observability layer: the selected
+// backend (--backend synchronous|pipelined) records every stage span into
+// an obs::AggregateSink, and --json <path> exports the per-stage metrics in
+// the stable idg-obs/v1 schema.
+//
 // Expected shape (paper §VI-B): "For all architectures, runtime is
 // dominated by the gridder and degridder kernels (more than 93%)."
 #include <iostream>
@@ -9,10 +14,11 @@
 #include "arch/cyclemodel.hpp"
 #include "arch/machine.hpp"
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "idg/image.hpp"
 #include "idg/processor.hpp"
 #include "kernels/optimized.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace idg;
@@ -28,33 +34,40 @@ int main(int argc, char** argv) {
   // --- measured on this host ------------------------------------------------
   const KernelSet& kernels =
       kernels::kernel_set(opts.get("kernels", std::string("optimized")));
-  Processor proc(setup.params, kernels);
+  auto backend = bench::backend_from_options(opts, setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
 
-  StageTimes times;
-  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                         setup.dataset.visibilities.cview(),
-                         setup.aterms.cview(), grid.view(), &times);
+  obs::AggregateSink sink;
+  backend->grid(setup.plan, setup.dataset.uvw.cview(),
+                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                grid.view(), sink);
   {
-    ScopedStageTimer t(times, stage::kGridFft);
+    obs::Span span(sink, stage::kGridFft);
     auto dirty = make_dirty_image(grid, setup.plan.nr_planned_visibilities());
     (void)dirty;
     auto model_grid = model_image_to_grid(dirty);
     (void)model_grid;
   }
-  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                           grid.cview(), setup.aterms.cview(),
-                           setup.dataset.visibilities.view(), &times);
+  backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
+                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  sink);
+
+  const obs::MetricsSnapshot metrics = sink.snapshot();
+  const double host_total = obs::total_seconds(metrics);
+  const auto stage_seconds = [&](const std::string& s) {
+    auto it = metrics.find(s);
+    return it == metrics.end() ? 0.0 : it->second.seconds;
+  };
 
   Table table({"architecture", "stage", "seconds", "% of cycle", "bar"});
-  const double host_total = times.total();
   for (const auto& s : stages) {
+    const double sec = stage_seconds(s);
     table.row()
-        .add("HOST (measured)")
+        .add("HOST (measured, " + backend->name() + ")")
         .add(s)
-        .add(times.get(s), 4)
-        .add(100.0 * times.get(s) / host_total, 1)
-        .add(ascii_bar(times.get(s) / host_total, 30));
+        .add(sec, 4)
+        .add(100.0 * sec / host_total, 1)
+        .add(ascii_bar(sec / host_total, 30));
   }
 
   // --- modeled for the paper's machines ---------------------------------------
@@ -73,11 +86,12 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   const double kernel_frac =
-      (times.get(stage::kGridder) + times.get(stage::kDegridder)) /
+      (stage_seconds(stage::kGridder) + stage_seconds(stage::kDegridder)) /
       host_total;
   std::cout << "\nhost cycle total: " << host_total << " s; gridder+degridder"
             << " = " << 100.0 * kernel_frac
             << " % (paper: >93 % on all architectures)\n";
   bench::maybe_write_csv(table, opts);
+  bench::maybe_write_json(metrics, opts);
   return 0;
 }

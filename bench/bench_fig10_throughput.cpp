@@ -1,15 +1,19 @@
 // Regenerates Fig 10: gridding and degridding throughput in MVisibilities/s
 // per architecture (host measured; 2017 machines modeled).
 //
+// The measured numbers come from two obs::AggregateSinks (one per
+// direction) fed by the selected backend (--backend synchronous|pipelined);
+// --json <path> exports the combined per-stage metrics (idg-obs/v1).
+//
 // Expected shape: both GPUs almost an order of magnitude above the CPU.
 #include <iostream>
 
 #include "arch/cyclemodel.hpp"
 #include "arch/machine.hpp"
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "idg/processor.hpp"
 #include "kernels/optimized.hpp"
+#include "obs/sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace idg;
@@ -19,27 +23,27 @@ int main(int argc, char** argv) {
 
   const KernelSet& kernels =
       kernels::kernel_set(opts.get("kernels", std::string("optimized")));
-  Processor proc(setup.params, kernels);
+  auto backend = bench::backend_from_options(opts, setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
 
   // Measured: gridding path (gridder + subgrid FFT + adder) and degridding
   // path (splitter + subgrid FFT + degridder).
-  StageTimes grid_times, degrid_times;
-  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                         setup.dataset.visibilities.cview(),
-                         setup.aterms.cview(), grid.view(), &grid_times);
-  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                           grid.cview(), setup.aterms.cview(),
-                           setup.dataset.visibilities.view(), &degrid_times);
+  obs::AggregateSink grid_sink, degrid_sink;
+  backend->grid(setup.plan, setup.dataset.uvw.cview(),
+                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                grid.view(), grid_sink);
+  backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
+                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  degrid_sink);
 
   const double nvis =
       static_cast<double>(setup.plan.nr_planned_visibilities());
 
   Table table({"architecture", "gridding (MVis/s)", "degridding (MVis/s)"});
   table.row()
-      .add("HOST (measured, " + kernels.name() + ")")
-      .add(nvis / grid_times.total() / 1e6, 3)
-      .add(nvis / degrid_times.total() / 1e6, 3);
+      .add("HOST (measured, " + kernels.name() + ", " + backend->name() + ")")
+      .add(nvis / grid_sink.total_seconds() / 1e6, 3)
+      .add(nvis / degrid_sink.total_seconds() / 1e6, 3);
 
   for (const auto& machine : arch::paper_machines()) {
     const auto model = arch::model_imaging_cycle(machine, setup.plan);
@@ -52,5 +56,10 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape: GPUs ~an order of magnitude above the "
                "CPU (paper Fig 10).\n";
   bench::maybe_write_csv(table, opts);
+
+  obs::AggregateSink combined;
+  combined.merge(grid_sink.snapshot());
+  combined.merge(degrid_sink.snapshot());
+  bench::maybe_write_json(combined.snapshot(), opts);
   return 0;
 }

@@ -2,6 +2,10 @@
 // pipeline stages for one imaging cycle — modeled for the 2017 machines
 // (TDP-based power model, DESIGN.md §2), measured-time-based for this host.
 //
+// Host stage times come from the observability layer (obs::AggregateSink
+// fed by the selected --backend); --json <path> exports the per-stage
+// metrics in the stable idg-obs/v1 schema.
+//
 // Expected shape: most energy in the gridder and degridder; GPUs an order
 // of magnitude below the CPU in total, even including host power.
 #include <iostream>
@@ -10,10 +14,11 @@
 #include "arch/machine.hpp"
 #include "arch/power.hpp"
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "idg/image.hpp"
 #include "idg/processor.hpp"
 #include "kernels/optimized.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace idg;
@@ -51,28 +56,34 @@ int main(int argc, char** argv) {
   // Host: measured stage times x host power model.
   const KernelSet& kernels =
       kernels::kernel_set(opts.get("kernels", std::string("optimized")));
-  Processor proc(setup.params, kernels);
+  auto backend = bench::backend_from_options(opts, setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
-  StageTimes times;
-  proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                         setup.dataset.visibilities.cview(),
-                         setup.aterms.cview(), grid.view(), &times);
+  obs::AggregateSink sink;
+  backend->grid(setup.plan, setup.dataset.uvw.cview(),
+                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                grid.view(), sink);
   {
-    ScopedStageTimer t(times, stage::kGridFft);
+    obs::Span span(sink, stage::kGridFft);
     auto dirty = make_dirty_image(grid, setup.plan.nr_planned_visibilities());
     (void)dirty;
   }
-  proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
-                           grid.cview(), setup.aterms.cview(),
-                           setup.dataset.visibilities.view(), &times);
+  backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
+                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  sink);
+
+  const obs::MetricsSnapshot metrics = sink.snapshot();
+  const auto stage_seconds = [&](const std::string& s) {
+    auto it = metrics.find(s);
+    return it == metrics.end() ? 0.0 : it->second.seconds;
+  };
   const arch::Machine host = arch::host_machine();
   double host_total = 0.0;
   for (const auto& s : stages)
-    host_total += arch::device_energy_j(host, times.get(s), 0.9);
+    host_total += arch::device_energy_j(host, stage_seconds(s), 0.9);
   for (const auto& s : stages) {
-    const double j = arch::device_energy_j(host, times.get(s), 0.9);
+    const double j = arch::device_energy_j(host, stage_seconds(s), 0.9);
     table.row()
-        .add("HOST (measured time)")
+        .add("HOST (measured time, " + backend->name() + ")")
         .add(s)
         .add(j, 2)
         .add(100.0 * j / host_total, 1)
@@ -84,5 +95,6 @@ int main(int argc, char** argv) {
                "degridder; GPU totals an order of magnitude below the CPU "
                "(paper Fig 14).\n";
   bench::maybe_write_csv(table, opts);
+  bench::maybe_write_json(metrics, opts);
   return 0;
 }

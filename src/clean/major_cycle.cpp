@@ -4,12 +4,14 @@
 
 #include "common/error.hpp"
 #include "idg/image.hpp"
+#include "obs/span.hpp"
 
 namespace idg::clean {
 
 Array3D<cfloat> make_psf(const Processor& processor, const Plan& plan,
                          ArrayView<const UVW, 2> uvw,
-                         ArrayView<const Jones, 4> aterms, StageTimes* times) {
+                         ArrayView<const Jones, 4> aterms,
+                         obs::MetricsSink& sink) {
   const std::size_t g = processor.parameters().grid_size;
   Array3D<Visibility> unit(uvw.dim(0), uvw.dim(1),
                            plan.wavenumbers().size());
@@ -18,7 +20,7 @@ Array3D<cfloat> make_psf(const Processor& processor, const Plan& plan,
 
   Array3D<cfloat> grid(kNrPolarizations, g, g);
   processor.grid_visibilities(plan, uvw, unit.cview(), aterms, grid.view(),
-                              times);
+                              sink);
   return make_dirty_image(grid, plan.nr_planned_visibilities());
 }
 
@@ -33,8 +35,8 @@ MajorCycleResult run_major_cycles(const Processor& processor, const Plan& plan,
   MajorCycleResult result;
   result.model_image = Array3D<cfloat>(kNrPolarizations, g, g);
 
-  const Array3D<cfloat> psf =
-      make_psf(processor, plan, uvw, aterms, &result.times);
+  obs::AggregateSink sink;
+  const Array3D<cfloat> psf = make_psf(processor, plan, uvw, aterms, sink);
 
   // Residual visibilities start as a copy of the input.
   Array3D<Visibility> residual_vis(visibilities.dim(0), visibilities.dim(1),
@@ -48,9 +50,9 @@ MajorCycleResult run_major_cycles(const Processor& processor, const Plan& plan,
     // --- image the residual (gridding + grid FFT) -------------------------
     Array3D<cfloat> grid(kNrPolarizations, g, g);
     processor.grid_visibilities(plan, uvw, residual_vis.cview(), aterms,
-                                grid.view(), &result.times);
+                                grid.view(), sink);
     Array3D<cfloat> dirty = [&] {
-      ScopedStageTimer timer(result.times, stage::kGridFft);
+      obs::Span span(sink, stage::kGridFft);
       return make_dirty_image(grid, plan.nr_planned_visibilities());
     }();
 
@@ -65,16 +67,19 @@ MajorCycleResult run_major_cycles(const Processor& processor, const Plan& plan,
     // --- predict the model and subtract (FFT + degridding) -----------------
     if (minor.iterations == 0 && cycle > 0) break;  // converged
     Array3D<cfloat> model_grid = [&] {
-      ScopedStageTimer timer(result.times, stage::kGridFft);
+      obs::Span span(sink, stage::kGridFft);
       return model_image_to_grid(result.model_image);
     }();
     processor.degrid_visibilities(plan, uvw, model_grid.cview(), aterms,
-                                  model_vis.view(), &result.times);
+                                  model_vis.view(), sink);
     for (std::size_t i = 0; i < residual_vis.size(); ++i) {
       residual_vis.data()[i] = visibilities.data()[i];
       residual_vis.data()[i] -= model_vis.data()[i];
     }
   }
+  result.metrics = sink.snapshot();
+  for (const auto& [stage_name, m] : result.metrics)
+    result.times.add(stage_name, m.seconds);
   return result;
 }
 

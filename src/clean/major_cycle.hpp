@@ -10,6 +10,8 @@
 #include "common/types.hpp"
 #include "idg/plan.hpp"
 #include "idg/processor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 
 namespace idg::clean {
 
@@ -23,7 +25,9 @@ struct MajorCycleResult {
   Array3D<cfloat> residual_image;  ///< dirty image after the last cycle
   std::vector<float> peak_history; ///< residual Stokes-I peak per cycle
   int total_components = 0;
-  StageTimes times;                ///< per-stage wall clock (Fig 9 input)
+  obs::MetricsSnapshot metrics;    ///< per-stage metrics (Fig 9 input)
+  StageTimes times;                ///< DEPRECATED: wall-clock view of
+                                   ///< `metrics`, kept for one release
 };
 
 /// PSF from the plan's uv coverage: grid unit visibilities and image them.
@@ -31,7 +35,7 @@ struct MajorCycleResult {
 Array3D<cfloat> make_psf(const Processor& processor, const Plan& plan,
                          ArrayView<const UVW, 2> uvw,
                          ArrayView<const Jones, 4> aterms,
-                         StageTimes* times = nullptr);
+                         obs::MetricsSink& sink = obs::null_sink());
 
 /// Runs `nr_major_cycles` of image / clean / predict / subtract on a copy
 /// of `visibilities`.

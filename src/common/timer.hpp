@@ -2,8 +2,15 @@
 //
 // The benches time each IDG stage (gridder, degridder, subgrid FFT, adder,
 // splitter, grid FFT) separately to reproduce the runtime-distribution and
-// energy figures (Figs 9, 14). `StageTimes` is the accumulator shared by the
-// pipelines and the bench harness.
+// energy figures (Figs 9, 14).
+//
+// DEPRECATED: `StageTimes` (and the `StageTimes*` out-parameter overloads
+// of the pipelines) are superseded by the observability layer in src/obs/
+// — inject an `obs::MetricsSink` (e.g. `obs::AggregateSink`) instead, which
+// additionally captures invocation counts and op/byte counters and is safe
+// to share across the pipeline threads. The adapter `obs::StageTimesSink`
+// bridges old call sites; both will be removed one release after the obs
+// layer landed.
 #pragma once
 
 #include <chrono>

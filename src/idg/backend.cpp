@@ -1,0 +1,28 @@
+#include "idg/backend.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "idg/pipelined.hpp"
+#include "idg/processor.hpp"
+
+namespace idg {
+
+std::vector<std::string> backend_names() { return {"synchronous", "pipelined"}; }
+
+std::unique_ptr<GridderBackend> make_backend(const std::string& name,
+                                             const Parameters& params,
+                                             const KernelSet& kernels) {
+  if (name == "synchronous" || name == "sync" || name == "processor") {
+    return std::make_unique<Processor>(params, kernels);
+  }
+  if (name == "pipelined" || name == "async") {
+    return std::make_unique<PipelinedProcessor>(params, kernels);
+  }
+  std::ostringstream oss;
+  oss << "unknown gridder backend '" << name << "'; valid backends:";
+  for (const auto& known : backend_names()) oss << " '" << known << "'";
+  throw Error(oss.str());
+}
+
+}  // namespace idg

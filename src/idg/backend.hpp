@@ -1,0 +1,76 @@
+// Unified execution-backend interface.
+//
+// The paper evaluates one algorithm (IDG) under several execution
+// strategies: the synchronous three-stage pipeline of Fig 4 and the
+// triple-buffered asynchronous pipeline of Fig 7. `GridderBackend`
+// abstracts "grid/degrid all planned visibilities" over those strategies so
+// benches, examples and the future service layer select an implementation
+// by name (`make_backend`) instead of hard-coding a concrete type, and so
+// every backend reports into the same observability layer (obs::MetricsSink).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/array.hpp"
+#include "common/types.hpp"
+#include "idg/kernels.hpp"
+#include "idg/parameters.hpp"
+#include "idg/plan.hpp"
+#include "obs/sink.hpp"
+
+namespace idg {
+
+/// Gridding/degridding over a Plan, metrics reported into a MetricsSink.
+class GridderBackend {
+ public:
+  virtual ~GridderBackend() = default;
+
+  /// Backend name as accepted by make_backend().
+  virtual std::string name() const = 0;
+
+  virtual const Parameters& parameters() const = 0;
+
+  /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated);
+  /// per-stage wall time and op counts are recorded into `sink`.
+  virtual void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                    ArrayView<const Visibility, 3> visibilities,
+                    ArrayView<const Jones, 4> aterms,
+                    ArrayView<cfloat, 3> grid,
+                    obs::MetricsSink& sink) const = 0;
+
+  /// Predicts all planned visibilities from `grid` (overwrites the covered
+  /// entries of `visibilities`); metrics are recorded into `sink`.
+  virtual void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                      ArrayView<const cfloat, 3> grid,
+                      ArrayView<const Jones, 4> aterms,
+                      ArrayView<Visibility, 3> visibilities,
+                      obs::MetricsSink& sink) const = 0;
+
+  /// Convenience overloads that discard metrics.
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid) const {
+    this->grid(plan, uvw, visibilities, aterms, grid, obs::null_sink());
+  }
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities) const {
+    this->degrid(plan, uvw, grid, aterms, visibilities, obs::null_sink());
+  }
+};
+
+/// Names accepted by make_backend(), in preference order:
+/// "synchronous" (Processor) and "pipelined" (PipelinedProcessor).
+std::vector<std::string> backend_names();
+
+/// Creates the backend registered under `name` ("sync" and "async" are
+/// accepted as aliases). Throws idg::Error for unknown names, listing the
+/// valid ones. The KernelSet must outlive the returned backend.
+std::unique_ptr<GridderBackend> make_backend(
+    const std::string& name, const Parameters& params,
+    const KernelSet& kernels = reference_kernels());
+
+}  // namespace idg

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -36,19 +38,41 @@ struct Parameters {
   /// gridder/degridder kernels are invoked on, Fig 6).
   std::size_t work_group_size = 256;
 
+  /// Checks every setting for consistency and returns a descriptive
+  /// idg::Error for the first violation, or std::nullopt when the
+  /// configuration is valid. Lets callers report bad configurations at the
+  /// API boundary instead of tripping an assert deep in the kernels.
+  std::optional<Error> validated() const {
+    const auto fail = [](const auto&... parts) {
+      std::ostringstream oss;
+      oss << "invalid idg::Parameters: ";
+      (oss << ... << parts);
+      return std::optional<Error>(Error(oss.str()));
+    };
+    if (grid_size < 2) return fail("grid_size (", grid_size, ") must be >= 2");
+    if (subgrid_size < 4)
+      return fail("subgrid_size (", subgrid_size, ") must be >= 4");
+    if (subgrid_size >= grid_size)
+      return fail("subgrid_size (", subgrid_size,
+                  ") must be smaller than grid_size (", grid_size, ")");
+    if (!(image_size > 0.0))
+      return fail("image_size (", image_size, ") must be positive");
+    if (kernel_size < 1 || kernel_size >= subgrid_size)
+      return fail("kernel_size (", kernel_size,
+                  ") must satisfy 1 <= kernel_size < subgrid_size (",
+                  subgrid_size, ")");
+    if (max_timesteps_per_subgrid <= 0)
+      return fail("max_timesteps_per_subgrid (", max_timesteps_per_subgrid,
+                  ") must be positive");
+    if (aterm_interval <= 0)
+      return fail("aterm_interval (", aterm_interval, ") must be positive");
+    if (work_group_size == 0) return fail("work_group_size must be positive");
+    return std::nullopt;
+  }
+
+  /// Throws the validated() error, if any.
   void validate() const {
-    IDG_CHECK(grid_size >= 2, "grid_size must be >= 2");
-    IDG_CHECK(subgrid_size >= 4, "subgrid_size must be >= 4");
-    IDG_CHECK(subgrid_size < grid_size,
-              "subgrid (" << subgrid_size << ") must be smaller than grid ("
-                          << grid_size << ")");
-    IDG_CHECK(image_size > 0.0, "image_size must be positive");
-    IDG_CHECK(kernel_size >= 1 && kernel_size < subgrid_size,
-              "require 1 <= kernel_size < subgrid_size");
-    IDG_CHECK(max_timesteps_per_subgrid > 0,
-              "max_timesteps_per_subgrid must be positive");
-    IDG_CHECK(aterm_interval > 0, "aterm_interval must be positive");
-    IDG_CHECK(work_group_size > 0, "work_group_size must be positive");
+    if (auto error = validated()) throw *error;
   }
 
   /// uv cell size in wavelengths.

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "idg/accounting.hpp"
 #include "idg/adder.hpp"
 #include "idg/processor.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
+#include "obs/span.hpp"
 
 namespace idg {
 
@@ -35,10 +37,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
                                          ArrayView<const Visibility, 3> visibilities,
                                          ArrayView<const Jones, 4> aterms,
                                          ArrayView<cfloat, 3> grid,
-                                         StageTimes* times) const {
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
+                                         obs::MetricsSink& sink) const {
   const std::size_t n = params_.subgrid_size;
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
@@ -52,7 +51,6 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   }
 
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
-  std::mutex merge_mutex;  // guards merging per-thread StageTimes into t
 
   // Queues between the stages; free_buffers recycles finished buffers back
   // to the head of the pipeline (the CUDA-event "input buffer may be
@@ -62,44 +60,39 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   BoundedQueue<Ticket> to_adder(nr_buffers_);
   for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
 
-  // Stage X: gridder kernel + subgrid FFT per work group.
+  // Stage X: gridder kernel + subgrid FFT per work group. Both stage
+  // threads record spans directly into the shared sink (thread-safe).
   std::thread kernel_thread([&] {
     Ticket ticket;
-    StageTimes kt;
     while (to_kernel.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        ScopedStageTimer timer(kt, stage::kGridder);
+        obs::Span span(sink, stage::kGridder);
         kernels_->grid(params_, data, items, visibilities,
                        buffers[ticket.buffer].view());
       }
       {
-        ScopedStageTimer timer(kt, stage::kSubgridFft);
+        obs::Span span(sink, stage::kSubgridFft);
         subgrid_fft(SubgridFftDirection::ToFourier,
                     buffers[ticket.buffer].view(), items.size());
       }
       to_adder.push(ticket);
     }
     to_adder.close();
-    std::lock_guard lock(merge_mutex);
-    t += kt;
   });
 
   // Stage S: adder into the shared grid (single consumer, no races).
   std::thread adder_thread([&] {
     Ticket ticket;
-    StageTimes at;
     while (to_adder.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        ScopedStageTimer timer(at, stage::kAdder);
+        obs::Span span(sink, stage::kAdder);
         add_subgrids_to_grid(params_, items,
                              buffers[ticket.buffer].cview(), grid);
       }
       free_buffers.push(ticket.buffer);
     }
-    std::lock_guard lock(merge_mutex);
-    t += at;
   });
 
   // Stage L (this thread): acquire a free buffer and dispatch the group.
@@ -116,6 +109,26 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
 
   kernel_thread.join();
   adder_thread.join();
+
+  // Same plan, same analytic counters as the synchronous Processor.
+  sink.record_ops(stage::kGridder, gridder_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kAdder, adder_op_counts(plan));
+}
+
+void PipelinedGridder::grid_visibilities(const Plan& plan,
+                                         ArrayView<const UVW, 2> uvw,
+                                         ArrayView<const Visibility, 3> visibilities,
+                                         ArrayView<const Jones, 4> aterms,
+                                         ArrayView<cfloat, 3> grid,
+                                         StageTimes* times) const {
+  if (times == nullptr) {
+    grid_visibilities(plan, uvw, visibilities, aterms, grid,
+                      obs::null_sink());
+    return;
+  }
+  obs::StageTimesSink adapter(*times);
+  grid_visibilities(plan, uvw, visibilities, aterms, grid, adapter);
 }
 
 PipelinedDegridder::PipelinedDegridder(Parameters params,
@@ -132,10 +145,7 @@ PipelinedDegridder::PipelinedDegridder(Parameters params,
 void PipelinedDegridder::degrid_visibilities(
     const Plan& plan, ArrayView<const UVW, 2> uvw,
     ArrayView<const cfloat, 3> grid, ArrayView<const Jones, 4> aterms,
-    ArrayView<Visibility, 3> visibilities, StageTimes* times) const {
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
+    ArrayView<Visibility, 3> visibilities, obs::MetricsSink& sink) const {
   const std::size_t n = params_.subgrid_size;
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
@@ -148,7 +158,6 @@ void PipelinedDegridder::degrid_visibilities(
   }
 
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
-  std::mutex merge_mutex;  // guards merging per-thread StageTimes into t
 
   BoundedQueue<std::size_t> free_buffers(nr_buffers_);
   BoundedQueue<Ticket> to_fft(nr_buffers_);
@@ -158,63 +167,73 @@ void PipelinedDegridder::degrid_visibilities(
   // Stage: subgrid IFFT (device-side "kernel stream" #1).
   std::thread fft_thread([&] {
     Ticket ticket;
-    StageTimes ft;
     while (to_fft.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        ScopedStageTimer timer(ft, stage::kSubgridFft);
+        obs::Span span(sink, stage::kSubgridFft);
         subgrid_fft(SubgridFftDirection::ToImage,
                     buffers[ticket.buffer].view(), items.size());
       }
       to_kernel.push(ticket);
     }
     to_kernel.close();
-    std::lock_guard lock(merge_mutex);
-    t += ft;
   });
 
   // Stage: degridder kernel; disjoint (baseline, time, channel) blocks per
   // work item make concurrent writes to `visibilities` race-free.
   std::thread kernel_thread([&] {
     Ticket ticket;
-    StageTimes kt;
     while (to_kernel.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        ScopedStageTimer timer(kt, stage::kDegridder);
+        obs::Span span(sink, stage::kDegridder);
         kernels_->degrid(params_, data, items, buffers[ticket.buffer].cview(),
                          visibilities);
       }
       free_buffers.push(ticket.buffer);
     }
-    std::lock_guard lock(merge_mutex);
-    t += kt;
   });
 
   // This thread: splitter (reads the immutable grid into a free buffer).
-  {
-    StageTimes st;
-    for (std::size_t g = 0; g < nr_groups; ++g) {
-      std::size_t buffer = 0;
-      const bool ok = free_buffers.pop(buffer);
-      IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
-      const auto items = plan.work_group(g);
-      {
-        ScopedStageTimer timer(st, stage::kSplitter);
-        split_subgrids_from_grid(params_, items, grid,
-                                 buffers[buffer].view());
-      }
-      to_fft.push({g, buffer});
-    }
-    to_fft.close();
+  for (std::size_t g = 0; g < nr_groups; ++g) {
+    std::size_t buffer = 0;
+    const bool ok = free_buffers.pop(buffer);
+    IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
+    const auto items = plan.work_group(g);
     {
-      std::lock_guard lock(merge_mutex);
-      t += st;
+      obs::Span span(sink, stage::kSplitter);
+      split_subgrids_from_grid(params_, items, grid,
+                               buffers[buffer].view());
     }
+    to_fft.push({g, buffer});
   }
+  to_fft.close();
 
   fft_thread.join();
   kernel_thread.join();
+
+  sink.record_ops(stage::kSplitter, splitter_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
 }
+
+void PipelinedDegridder::degrid_visibilities(
+    const Plan& plan, ArrayView<const UVW, 2> uvw,
+    ArrayView<const cfloat, 3> grid, ArrayView<const Jones, 4> aterms,
+    ArrayView<Visibility, 3> visibilities, StageTimes* times) const {
+  if (times == nullptr) {
+    degrid_visibilities(plan, uvw, grid, aterms, visibilities,
+                        obs::null_sink());
+    return;
+  }
+  obs::StageTimesSink adapter(*times);
+  degrid_visibilities(plan, uvw, grid, aterms, visibilities, adapter);
+}
+
+PipelinedProcessor::PipelinedProcessor(Parameters params,
+                                       const KernelSet& kernels,
+                                       std::size_t nr_buffers)
+    : gridder_(params, kernels, nr_buffers),
+      degridder_(params, kernels, nr_buffers) {}
 
 }  // namespace idg

@@ -17,7 +17,10 @@
 // On a machine with enough cores the stages overlap exactly like Fig 7;
 // the output is bit-identical to the synchronous Processor (verified by
 // tests). The buffer pool size (default 3 = triple buffering) bounds
-// memory exactly like the paper's three device buffer sets.
+// memory exactly like the paper's three device buffer sets. All stage
+// threads record their spans into one shared obs::MetricsSink, so the
+// aggregated per-stage view is directly comparable to the synchronous
+// Processor's.
 #pragma once
 
 #include <condition_variable>
@@ -28,9 +31,11 @@
 #include "common/array.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "idg/backend.hpp"
 #include "idg/kernels.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
+#include "obs/sink.hpp"
 
 namespace idg {
 
@@ -82,6 +87,18 @@ class PipelinedGridder {
                    const KernelSet& kernels = reference_kernels(),
                    std::size_t nr_buffers = 3);
 
+  const Parameters& parameters() const { return params_; }
+
+  /// Grids all planned visibilities; the three stage threads record their
+  /// spans concurrently into `sink` (thread-safe accumulation).
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 3> grid,
+                         obs::MetricsSink& sink) const;
+
+  /// DEPRECATED: StageTimes out-parameter variant, kept for one release;
+  /// inject an obs::MetricsSink instead.
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
@@ -104,6 +121,16 @@ class PipelinedDegridder {
                      const KernelSet& kernels = reference_kernels(),
                      std::size_t nr_buffers = 3);
 
+  const Parameters& parameters() const { return params_; }
+
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink) const;
+
+  /// DEPRECATED: StageTimes out-parameter variant, kept for one release;
+  /// inject an obs::MetricsSink instead.
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
@@ -115,6 +142,41 @@ class PipelinedDegridder {
   const KernelSet* kernels_;
   std::size_t nr_buffers_;
   Array2D<float> taper_;
+};
+
+/// The asynchronous execution backend: PipelinedGridder + PipelinedDegridder
+/// behind the unified GridderBackend interface.
+class PipelinedProcessor : public GridderBackend {
+ public:
+  explicit PipelinedProcessor(Parameters params,
+                              const KernelSet& kernels = reference_kernels(),
+                              std::size_t nr_buffers = 3);
+
+  std::string name() const override { return "pipelined"; }
+  const Parameters& parameters() const override {
+    return gridder_.parameters();
+  }
+
+  using GridderBackend::grid;
+  using GridderBackend::degrid;
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
+            obs::MetricsSink& sink) const override {
+    gridder_.grid_visibilities(plan, uvw, visibilities, aterms, grid, sink);
+  }
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities,
+              obs::MetricsSink& sink) const override {
+    degridder_.degrid_visibilities(plan, uvw, grid, aterms, visibilities,
+                                   sink);
+  }
+
+ private:
+  PipelinedGridder gridder_;
+  PipelinedDegridder degridder_;
 };
 
 }  // namespace idg

@@ -1,9 +1,11 @@
 #include "idg/processor.hpp"
 
 #include "common/error.hpp"
+#include "idg/accounting.hpp"
 #include "idg/adder.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
+#include "obs/span.hpp"
 
 namespace idg {
 
@@ -17,10 +19,7 @@ void Processor::grid_visibilities(const Plan& plan,
                                   ArrayView<const Visibility, 3> visibilities,
                                   ArrayView<const Jones, 4> aterms,
                                   ArrayView<cfloat, 3> grid,
-                                  StageTimes* times) const {
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
+                                  obs::MetricsSink& sink) const {
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
@@ -29,19 +28,72 @@ void Processor::grid_visibilities(const Plan& plan,
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
     {
-      ScopedStageTimer timer(t, stage::kGridder);
+      obs::Span span(sink, stage::kGridder);
       kernels_->grid(params_, data, items, visibilities, subgrids.view());
     }
     {
-      ScopedStageTimer timer(t, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft);
       subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
                   items.size());
     }
     {
-      ScopedStageTimer timer(t, stage::kAdder);
+      obs::Span span(sink, stage::kAdder);
       add_subgrids_to_grid(params_, items, subgrids.cview(), grid);
     }
   }
+
+  // Analytic op/byte counters for the whole call (derived from the plan,
+  // identical for every backend executing it).
+  sink.record_ops(stage::kGridder, gridder_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kAdder, adder_op_counts(plan));
+}
+
+void Processor::degrid_visibilities(const Plan& plan,
+                                    ArrayView<const UVW, 2> uvw,
+                                    ArrayView<const cfloat, 3> grid,
+                                    ArrayView<const Jones, 4> aterms,
+                                    ArrayView<Visibility, 3> visibilities,
+                                    obs::MetricsSink& sink) const {
+  const std::size_t n = params_.subgrid_size;
+  Array4D<cfloat> subgrids(params_.work_group_size,
+                           static_cast<std::size_t>(kNrPolarizations), n, n);
+  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
+
+  for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    const auto items = plan.work_group(g);
+    {
+      obs::Span span(sink, stage::kSplitter);
+      split_subgrids_from_grid(params_, items, grid, subgrids.view());
+    }
+    {
+      obs::Span span(sink, stage::kSubgridFft);
+      subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
+    }
+    {
+      obs::Span span(sink, stage::kDegridder);
+      kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+    }
+  }
+
+  sink.record_ops(stage::kSplitter, splitter_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
+}
+
+void Processor::grid_visibilities(const Plan& plan,
+                                  ArrayView<const UVW, 2> uvw,
+                                  ArrayView<const Visibility, 3> visibilities,
+                                  ArrayView<const Jones, 4> aterms,
+                                  ArrayView<cfloat, 3> grid,
+                                  StageTimes* times) const {
+  if (times == nullptr) {
+    grid_visibilities(plan, uvw, visibilities, aterms, grid,
+                      obs::null_sink());
+    return;
+  }
+  obs::StageTimesSink adapter(*times);
+  grid_visibilities(plan, uvw, visibilities, aterms, grid, adapter);
 }
 
 void Processor::degrid_visibilities(const Plan& plan,
@@ -50,29 +102,13 @@ void Processor::degrid_visibilities(const Plan& plan,
                                     ArrayView<const Jones, 4> aterms,
                                     ArrayView<Visibility, 3> visibilities,
                                     StageTimes* times) const {
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
-  const std::size_t n = params_.subgrid_size;
-  Array4D<cfloat> subgrids(params_.work_group_size,
-                           static_cast<std::size_t>(kNrPolarizations), n, n);
-  KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
-
-  for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
-    const auto items = plan.work_group(g);
-    {
-      ScopedStageTimer timer(t, stage::kSplitter);
-      split_subgrids_from_grid(params_, items, grid, subgrids.view());
-    }
-    {
-      ScopedStageTimer timer(t, stage::kSubgridFft);
-      subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
-    }
-    {
-      ScopedStageTimer timer(t, stage::kDegridder);
-      kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
-    }
+  if (times == nullptr) {
+    degrid_visibilities(plan, uvw, grid, aterms, visibilities,
+                        obs::null_sink());
+    return;
   }
+  obs::StageTimesSink adapter(*times);
+  degrid_visibilities(plan, uvw, grid, aterms, visibilities, adapter);
 }
 
 }  // namespace idg

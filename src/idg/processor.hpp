@@ -8,8 +8,9 @@
 //
 // The subgrid buffer is sized for one work group and reused, mirroring the
 // bounded device buffers of the paper's GPU implementation. Per-stage wall
-// times are accumulated into an optional StageTimes for the runtime and
-// energy distribution figures (Figs 9, 14).
+// times, invocation counts and analytic op/byte counters are recorded into
+// an injected obs::MetricsSink — the measurement substrate for the runtime
+// and energy distribution figures (Figs 9, 14).
 #pragma once
 
 #include <functional>
@@ -17,9 +18,11 @@
 #include "common/array.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "idg/backend.hpp"
 #include "idg/kernels.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
+#include "obs/sink.hpp"
 
 namespace idg {
 
@@ -33,21 +36,23 @@ inline constexpr const char* kSplitter = "splitter";
 inline constexpr const char* kGridFft = "grid-fft";
 }  // namespace stage
 
-class Processor {
+class Processor : public GridderBackend {
  public:
   explicit Processor(Parameters params,
                      const KernelSet& kernels = reference_kernels());
 
-  const Parameters& parameters() const { return params_; }
+  std::string name() const override { return "synchronous"; }
+  const Parameters& parameters() const override { return params_; }
   const KernelSet& kernels() const { return *kernels_; }
   const Array2D<float>& taper() const { return taper_; }
 
   /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated).
+  /// Per-stage wall time and op counts are recorded into `sink`.
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         StageTimes* times = nullptr) const;
+                         obs::MetricsSink& sink) const;
 
   /// Predicts all planned visibilities from `grid` (overwrites the covered
   /// entries of `visibilities`; un-planned entries are left untouched).
@@ -55,7 +60,38 @@ class Processor {
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink) const;
+
+  /// DEPRECATED: StageTimes out-parameter variants, kept for one release.
+  /// They wrap `times` in an obs::StageTimesSink, so op counts and
+  /// invocation counts are lost. Inject an obs::MetricsSink instead.
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 3> grid,
+                         StageTimes* times = nullptr) const;
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
                            StageTimes* times = nullptr) const;
+
+  // GridderBackend: forwards to grid_/degrid_visibilities.
+  using GridderBackend::grid;
+  using GridderBackend::degrid;
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
+            obs::MetricsSink& sink) const override {
+    grid_visibilities(plan, uvw, visibilities, aterms, grid, sink);
+  }
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities,
+              obs::MetricsSink& sink) const override {
+    degrid_visibilities(plan, uvw, grid, aterms, visibilities, sink);
+  }
 
  private:
   Parameters params_;

@@ -11,6 +11,11 @@ WPlaneModel::WPlaneModel(int nr_planes, double w_max_lambda)
     : nr_planes_(nr_planes), w_max_(w_max_lambda) {
   IDG_CHECK(nr_planes >= 1, "need at least one w-plane");
   IDG_CHECK(w_max_lambda >= 0.0, "w_max must be non-negative");
+  // More than one plane implies a plane spacing (w_step) of
+  // 2*w_max/(nr_planes-1); it must be positive or plane_of() degenerates.
+  IDG_CHECK(nr_planes == 1 || w_max_lambda > 0.0,
+            "w-plane spacing must be positive: nr_planes = "
+                << nr_planes << " requires w_max > 0");
 }
 
 float WPlaneModel::center(int p) const {

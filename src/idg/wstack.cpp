@@ -4,10 +4,12 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "idg/accounting.hpp"
 #include "idg/image.hpp"
 #include "idg/processor.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
+#include "obs/span.hpp"
 
 namespace idg {
 
@@ -73,12 +75,9 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
                                         ArrayView<const Visibility, 3> visibilities,
                                         ArrayView<const Jones, 4> aterms,
                                         ArrayView<cfloat, 4> grids,
-                                        StageTimes* times) const {
+                                        obs::MetricsSink& sink) const {
   IDG_CHECK(grids.dim(0) == static_cast<std::size_t>(wplanes_.nr_planes()),
             "plane-grid stack has wrong number of planes");
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
@@ -87,11 +86,11 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
     {
-      ScopedStageTimer timer(t, stage::kGridder);
+      obs::Span span(sink, stage::kGridder);
       kernels_->grid(params_, data, items, visibilities, subgrids.view());
     }
     {
-      ScopedStageTimer timer(t, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft);
       subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
                   items.size());
     }
@@ -99,7 +98,7 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
       // Route each subgrid to its plane's grid. Items are processed
       // serially (overlapping patches on the same plane must not race);
       // each patch add is SIMD over rows.
-      ScopedStageTimer timer(t, stage::kAdder);
+      obs::Span span(sink, stage::kAdder);
       for (std::size_t i = 0; i < items.size(); ++i) {
         auto plane = plane_slice(grids, items[i].w_plane);
         const std::size_t y0 = static_cast<std::size_t>(items[i].coord_y);
@@ -114,6 +113,25 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
       }
     }
   }
+
+  sink.record_ops(stage::kGridder, gridder_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kAdder, adder_op_counts(plan));
+}
+
+void WStackProcessor::grid_visibilities(const Plan& plan,
+                                        ArrayView<const UVW, 2> uvw,
+                                        ArrayView<const Visibility, 3> visibilities,
+                                        ArrayView<const Jones, 4> aterms,
+                                        ArrayView<cfloat, 4> grids,
+                                        StageTimes* times) const {
+  if (times == nullptr) {
+    grid_visibilities(plan, uvw, visibilities, aterms, grids,
+                      obs::null_sink());
+    return;
+  }
+  obs::StageTimesSink adapter(*times);
+  grid_visibilities(plan, uvw, visibilities, aterms, grids, adapter);
 }
 
 void WStackProcessor::degrid_visibilities(const Plan& plan,
@@ -121,12 +139,9 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
                                           ArrayView<const cfloat, 4> grids,
                                           ArrayView<const Jones, 4> aterms,
                                           ArrayView<Visibility, 3> visibilities,
-                                          StageTimes* times) const {
+                                          obs::MetricsSink& sink) const {
   IDG_CHECK(grids.dim(0) == static_cast<std::size_t>(wplanes_.nr_planes()),
             "plane-grid stack has wrong number of planes");
-  StageTimes local;
-  StageTimes& t = times != nullptr ? *times : local;
-
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
@@ -135,7 +150,7 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
     {
-      ScopedStageTimer timer(t, stage::kSplitter);
+      obs::Span span(sink, stage::kSplitter);
 #pragma omp parallel for schedule(static)
       for (std::size_t i = 0; i < items.size(); ++i) {
         auto plane = plane_slice(grids, items[i].w_plane);
@@ -151,14 +166,33 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
       }
     }
     {
-      ScopedStageTimer timer(t, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft);
       subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
     }
     {
-      ScopedStageTimer timer(t, stage::kDegridder);
+      obs::Span span(sink, stage::kDegridder);
       kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
     }
   }
+
+  sink.record_ops(stage::kSplitter, splitter_op_counts(plan));
+  sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
+  sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
+}
+
+void WStackProcessor::degrid_visibilities(const Plan& plan,
+                                          ArrayView<const UVW, 2> uvw,
+                                          ArrayView<const cfloat, 4> grids,
+                                          ArrayView<const Jones, 4> aterms,
+                                          ArrayView<Visibility, 3> visibilities,
+                                          StageTimes* times) const {
+  if (times == nullptr) {
+    degrid_visibilities(plan, uvw, grids, aterms, visibilities,
+                        obs::null_sink());
+    return;
+  }
+  obs::StageTimesSink adapter(*times);
+  degrid_visibilities(plan, uvw, grids, aterms, visibilities, adapter);
 }
 
 Array3D<cfloat> WStackProcessor::make_dirty_image(

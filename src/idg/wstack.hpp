@@ -25,6 +25,7 @@
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
 #include "idg/wplane.hpp"
+#include "obs/sink.hpp"
 
 namespace idg {
 
@@ -47,14 +48,28 @@ class WStackProcessor {
   /// Allocates the plane-grid stack: [nr_planes][4][grid][grid].
   Array4D<cfloat> make_grids() const;
 
-  /// Grids all planned visibilities onto the plane stack.
+  /// Grids all planned visibilities onto the plane stack; per-stage wall
+  /// time and op counts are recorded into `sink`.
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 4> grids,
+                         obs::MetricsSink& sink) const;
+
+  /// Predicts all planned visibilities from the plane stack.
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 4> grids,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink) const;
+
+  /// DEPRECATED: StageTimes out-parameter variants, kept for one release;
+  /// inject an obs::MetricsSink instead.
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 4> grids,
                          StageTimes* times = nullptr) const;
-
-  /// Predicts all planned visibilities from the plane stack.
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 4> grids,
                            ArrayView<const Jones, 4> aterms,

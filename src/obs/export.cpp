@@ -1,0 +1,116 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace idg::obs {
+
+namespace {
+
+/// Fixed 9-decimal rendering: byte-deterministic across platforms for the
+/// golden-file tests and stable for downstream parsers.
+std::string fixed9(double value) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(9) << value;
+  return oss.str();
+}
+
+/// Minimal JSON string escaping (stage names are identifiers in practice,
+/// but the schema must never emit invalid JSON).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream oss;
+          oss << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += oss.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\n";
+  os << "  \"schema\": \"idg-obs/v1\",\n";
+  os << "  \"total_seconds\": " << fixed9(total_seconds(snapshot)) << ",\n";
+  os << "  \"stages\": [";
+  bool first = true;
+  for (const auto& [stage, m] : snapshot) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(stage) << "\",\n";
+    os << "      \"seconds\": " << fixed9(m.seconds) << ",\n";
+    os << "      \"invocations\": " << m.invocations << ",\n";
+    os << "      \"ops\": {\n";
+    os << "        \"fma\": " << m.ops.fma << ",\n";
+    os << "        \"mul\": " << m.ops.mul << ",\n";
+    os << "        \"add\": " << m.ops.add << ",\n";
+    os << "        \"sincos\": " << m.ops.sincos << ",\n";
+    os << "        \"dev_bytes\": " << m.ops.dev_bytes << ",\n";
+    os << "        \"shared_bytes\": " << m.ops.shared_bytes << ",\n";
+    os << "        \"visibilities\": " << m.ops.visibilities << ",\n";
+    os << "        \"total\": " << m.ops.ops() << ",\n";
+    os << "        \"flops\": " << m.ops.flops() << "\n";
+    os << "      }\n";
+    os << "    }";
+  }
+  os << (first ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+void write_csv(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "stage,seconds,invocations,fma,mul,add,sincos,dev_bytes,"
+        "shared_bytes,visibilities,total_ops,flops\n";
+  for (const auto& [stage, m] : snapshot) {
+    os << stage << ',' << fixed9(m.seconds) << ',' << m.invocations << ','
+       << m.ops.fma << ',' << m.ops.mul << ',' << m.ops.add << ','
+       << m.ops.sincos << ',' << m.ops.dev_bytes << ',' << m.ops.shared_bytes
+       << ',' << m.ops.visibilities << ',' << m.ops.ops() << ','
+       << m.ops.flops() << '\n';
+  }
+}
+
+void write_json_file(const std::string& path,
+                     const MetricsSnapshot& snapshot) {
+  std::ofstream os(path);
+  IDG_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  write_json(os, snapshot);
+}
+
+void write_csv_file(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream os(path);
+  IDG_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  write_csv(os, snapshot);
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream oss;
+  write_json(oss, snapshot);
+  return oss.str();
+}
+
+std::string to_csv(const MetricsSnapshot& snapshot) {
+  std::ostringstream oss;
+  write_csv(oss, snapshot);
+  return oss.str();
+}
+
+}  // namespace idg::obs

@@ -1,0 +1,53 @@
+// Metric exporters: stable JSON and CSV serializations of a
+// MetricsSnapshot.
+//
+// JSON schema "idg-obs/v1" (pinned by tests/golden/metrics.json; the
+// figure benches emit it via --json and downstream plotting consumes it):
+//
+//   {
+//     "schema": "idg-obs/v1",
+//     "total_seconds": <fixed 9-decimal>,
+//     "stages": [                       // sorted by stage name
+//       {
+//         "name": "<stage>",
+//         "seconds": <fixed 9-decimal>,
+//         "invocations": <uint>,
+//         "ops": {
+//           "fma": <uint>, "mul": <uint>, "add": <uint>, "sincos": <uint>,
+//           "dev_bytes": <uint>, "shared_bytes": <uint>,
+//           "visibilities": <uint>, "total": <uint>, "flops": <uint>
+//         }
+//       }, ...
+//     ]
+//   }
+//
+// "total" and "flops" are derived (paper op definition: FMA = 2 ops,
+// sincos = 2 ops; flops excludes the transcendentals). All floating-point
+// fields use fixed 9-decimal notation so the output is byte-deterministic.
+//
+// CSV schema (pinned by tests/golden/metrics.csv): one row per stage,
+// sorted by name, with the same fields flattened:
+//
+//   stage,seconds,invocations,fma,mul,add,sincos,dev_bytes,shared_bytes,
+//   visibilities,total_ops,flops
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace idg::obs {
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+void write_csv(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Convenience wrappers; throw idg::Error when the file cannot be opened.
+void write_json_file(const std::string& path, const MetricsSnapshot& snapshot);
+void write_csv_file(const std::string& path, const MetricsSnapshot& snapshot);
+
+/// The serialized forms as strings (used by the golden-file tests).
+std::string to_json(const MetricsSnapshot& snapshot);
+std::string to_csv(const MetricsSnapshot& snapshot);
+
+}  // namespace idg::obs

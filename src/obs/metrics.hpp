@@ -1,0 +1,56 @@
+// Core record types of the observability layer (DESIGN.md §8).
+//
+// The paper's headline results (Figs 9-15) are all *measurements*: per-stage
+// runtimes, operation mixes and energy distributions. `obs` collects those
+// measurements once, for every execution backend, instead of each pipeline
+// and bench re-inventing its own accounting:
+//
+//   * `StageMetrics`  — what one pipeline stage accumulated: wall seconds,
+//     invocation count, and the analytic op/byte counters derived from the
+//     execution plan (src/idg/accounting.cpp).
+//   * `MetricsSnapshot` — a point-in-time copy of a sink's aggregated
+//     state, keyed by stage name. This is what the exporters
+//     (obs/export.hpp) serialize and what the benches read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/counters.hpp"
+
+namespace idg::obs {
+
+/// Aggregated measurements for one named pipeline stage.
+struct StageMetrics {
+  double seconds = 0.0;           ///< accumulated wall-clock time
+  std::uint64_t invocations = 0;  ///< completed spans
+  OpCounts ops;                   ///< analytic op/byte counters (may be zero)
+
+  StageMetrics& operator+=(const StageMetrics& other) {
+    seconds += other.seconds;
+    invocations += other.invocations;
+    ops += other.ops;
+    return *this;
+  }
+};
+
+/// Stage name -> aggregated metrics (std::map: stable, sorted iteration
+/// order — the exporters rely on it for a deterministic schema).
+using MetricsSnapshot = std::map<std::string, StageMetrics>;
+
+/// Sum of the wall seconds over all stages.
+inline double total_seconds(const MetricsSnapshot& snapshot) {
+  double sum = 0.0;
+  for (const auto& [_, m] : snapshot) sum += m.seconds;
+  return sum;
+}
+
+/// Sum of the op/byte counters over all stages.
+inline OpCounts total_ops(const MetricsSnapshot& snapshot) {
+  OpCounts sum;
+  for (const auto& [_, m] : snapshot) sum += m.ops;
+  return sum;
+}
+
+}  // namespace idg::obs

@@ -1,0 +1,54 @@
+#include "obs/registry.hpp"
+
+namespace idg::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+AggregateSink& Registry::sink(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = sinks_[name];
+  if (!slot) slot = std::make_unique<AggregateSink>();
+  return *slot;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(sinks_.size());
+  for (const auto& [name, _] : sinks_) out.push_back(name);
+  return out;
+}
+
+MetricsSnapshot Registry::combined_snapshot() const {
+  // Copy the sink pointers under the registry lock, then snapshot each sink
+  // under its own lock (sinks are never destroyed, so the pointers stay
+  // valid after the registry lock is released).
+  std::vector<const AggregateSink*> sinks;
+  {
+    std::lock_guard lock(mutex_);
+    sinks.reserve(sinks_.size());
+    for (const auto& [_, sink] : sinks_) sinks.push_back(sink.get());
+  }
+  MetricsSnapshot combined;
+  for (const AggregateSink* sink : sinks) {
+    for (const auto& [stage, m] : sink->snapshot()) combined[stage] += m;
+  }
+  return combined;
+}
+
+void Registry::clear() {
+  std::vector<AggregateSink*> sinks;
+  {
+    std::lock_guard lock(mutex_);
+    sinks.reserve(sinks_.size());
+    for (const auto& [_, sink] : sinks_) sinks.push_back(sink.get());
+  }
+  for (AggregateSink* sink : sinks) sink->clear();
+}
+
+AggregateSink& default_sink() { return Registry::instance().sink(); }
+
+}  // namespace idg::obs

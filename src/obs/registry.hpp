@@ -1,0 +1,50 @@
+// Process-wide metrics registry.
+//
+// Long-running processes (the future service front-end of ROADMAP.md) need
+// one place where every pipeline's metrics accumulate regardless of which
+// thread or backend produced them. The registry owns named AggregateSinks;
+// `registry().sink("gridding")` from any thread returns the same sink, and
+// accumulation into it is thread-safe. `default_sink()` is the conventional
+// catch-all scope.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace idg::obs {
+
+class Registry {
+ public:
+  /// The process-wide instance.
+  static Registry& instance();
+
+  /// Returns (creating on first use) the sink registered under `name`.
+  /// The reference stays valid for the process lifetime.
+  AggregateSink& sink(const std::string& name = "default");
+
+  /// Names of all sinks created so far, sorted.
+  std::vector<std::string> names() const;
+
+  /// Union of all sinks' snapshots (stages of same-named sinks merged).
+  MetricsSnapshot combined_snapshot() const;
+
+  /// Clears the contents of every registered sink (the sinks themselves
+  /// stay registered — outstanding references remain valid).
+  void clear();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<AggregateSink>> sinks_;
+};
+
+/// Shorthand for Registry::instance().sink("default").
+AggregateSink& default_sink();
+
+}  // namespace idg::obs

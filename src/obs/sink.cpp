@@ -1,0 +1,49 @@
+#include "obs/sink.hpp"
+
+namespace idg::obs {
+
+MetricsSink& null_sink() {
+  static NullSink sink;
+  return sink;
+}
+
+void AggregateSink::record(std::string_view stage, double seconds,
+                           std::uint64_t invocations) {
+  std::lock_guard lock(mutex_);
+  StageMetrics& m = metrics_[std::string(stage)];
+  m.seconds += seconds;
+  m.invocations += invocations;
+}
+
+void AggregateSink::record_ops(std::string_view stage, const OpCounts& ops) {
+  std::lock_guard lock(mutex_);
+  metrics_[std::string(stage)].ops += ops;
+}
+
+MetricsSnapshot AggregateSink::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return metrics_;
+}
+
+void AggregateSink::merge(const MetricsSnapshot& other) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [stage, m] : other) metrics_[stage] += m;
+}
+
+double AggregateSink::seconds(const std::string& stage) const {
+  std::lock_guard lock(mutex_);
+  auto it = metrics_.find(stage);
+  return it == metrics_.end() ? 0.0 : it->second.seconds;
+}
+
+double AggregateSink::total_seconds() const {
+  std::lock_guard lock(mutex_);
+  return obs::total_seconds(metrics_);
+}
+
+void AggregateSink::clear() {
+  std::lock_guard lock(mutex_);
+  metrics_.clear();
+}
+
+}  // namespace idg::obs

@@ -1,0 +1,96 @@
+// Pluggable metric sinks.
+//
+// A `MetricsSink` receives the measurements of completed `obs::Span`s and
+// the analytic op/byte counters the pipelines attribute to each stage. All
+// bundled sinks are thread-safe: the three stage threads of
+// `PipelinedProcessor` record into one shared sink concurrently and the
+// result is a single coherent view (the paper's Fig 7 pipeline reports the
+// same per-stage totals as the synchronous Fig 4 pipeline).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace idg::obs {
+
+/// Receiver interface for span measurements and op counters.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  /// Records one completed span: `seconds` of wall time attributed to
+  /// `stage`, counted as `invocations` invocations.
+  virtual void record(std::string_view stage, double seconds,
+                      std::uint64_t invocations = 1) = 0;
+
+  /// Attributes analytic op/byte counters to `stage` (does not count as an
+  /// invocation; call alongside record()).
+  virtual void record_ops(std::string_view stage, const OpCounts& ops) = 0;
+};
+
+/// Discards everything. Used as the default when a caller does not care
+/// about metrics.
+class NullSink final : public MetricsSink {
+ public:
+  void record(std::string_view, double, std::uint64_t = 1) override {}
+  void record_ops(std::string_view, const OpCounts&) override {}
+};
+
+/// The process-wide shared NullSink instance (stateless, safe to share).
+MetricsSink& null_sink();
+
+/// In-memory aggregate: accumulates per-stage metrics under a mutex and
+/// hands out consistent snapshots.
+class AggregateSink : public MetricsSink {
+ public:
+  void record(std::string_view stage, double seconds,
+              std::uint64_t invocations = 1) override;
+  void record_ops(std::string_view stage, const OpCounts& ops) override;
+
+  /// Consistent copy of the current aggregated state.
+  MetricsSnapshot snapshot() const;
+
+  /// Merges a whole snapshot in one critical section (bulk hand-off from a
+  /// thread-local accumulator).
+  void merge(const MetricsSnapshot& other);
+
+  /// Accumulated wall seconds of one stage (0 if never recorded).
+  double seconds(const std::string& stage) const;
+
+  /// Sum of wall seconds over all stages.
+  double total_seconds() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot metrics_;
+};
+
+/// Adapter for the legacy `StageTimes` accumulator: forwards wall time into
+/// the wrapped StageTimes and drops everything else.
+///
+/// DEPRECATED: exists only so the `StageTimes*` out-parameter overloads of
+/// the pipelines can keep working for one release; new code should inject
+/// an AggregateSink (or the registry) instead.
+class StageTimesSink final : public MetricsSink {
+ public:
+  explicit StageTimesSink(StageTimes& times) : times_(&times) {}
+
+  void record(std::string_view stage, double seconds,
+              std::uint64_t = 1) override {
+    std::lock_guard lock(mutex_);
+    times_->add(std::string(stage), seconds);
+  }
+  void record_ops(std::string_view, const OpCounts&) override {}
+
+ private:
+  StageTimes* times_;
+  std::mutex mutex_;
+};
+
+}  // namespace idg::obs

@@ -1,0 +1,42 @@
+// RAII tracing spans.
+//
+// A `Span` measures the wall time of one scope and records it (plus one
+// invocation) into a MetricsSink on destruction — the obs replacement for
+// the old ScopedStageTimer. Spans are cheap enough to wrap one work-group
+// stage execution (one mutex acquisition per span on the bundled sinks);
+// they are NOT meant for per-visibility scopes.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "obs/sink.hpp"
+
+namespace idg::obs {
+
+/// Records the scope's wall time into `sink` under `stage`.
+class Span {
+ public:
+  Span(MetricsSink& sink, std::string stage)
+      : sink_(&sink), stage_(std::move(stage)) {}
+
+  ~Span() { stop(); }
+
+  /// Ends the span early (idempotent; the destructor becomes a no-op).
+  void stop() {
+    if (sink_ == nullptr) return;
+    sink_->record(stage_, timer_.seconds());
+    sink_ = nullptr;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  MetricsSink* sink_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace idg::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace idg::wproj {
 
@@ -61,7 +62,9 @@ Tap locate(const UVW& coord, double freq, double image_size,
 void WprojGridder::grid_visibilities(ArrayView<const UVW, 2> uvw,
                                      ArrayView<const Visibility, 3> visibilities,
                                      const std::vector<double>& frequencies,
-                                     ArrayView<cfloat, 3> grid) {
+                                     ArrayView<cfloat, 3> grid,
+                                     obs::MetricsSink& sink) {
+  obs::Span span(sink, stage::kGridder);
   IDG_CHECK(grid.dim(0) == kNrPolarizations &&
                 grid.dim(1) == params_.grid_size &&
                 grid.dim(2) == params_.grid_size,
@@ -131,12 +134,18 @@ void WprojGridder::grid_visibilities(ArrayView<const UVW, 2> uvw,
     }
   }
   nr_skipped_ = skipped;
+  span.stop();
+  const std::uint64_t gridded =
+      static_cast<std::uint64_t>(nr_bl) * nr_time * nr_chan - skipped;
+  sink.record_ops(stage::kGridder, op_counts(gridded));
 }
 
 void WprojGridder::degrid_visibilities(ArrayView<const UVW, 2> uvw,
                                        ArrayView<const cfloat, 3> grid,
                                        const std::vector<double>& frequencies,
-                                       ArrayView<Visibility, 3> visibilities) {
+                                       ArrayView<Visibility, 3> visibilities,
+                                       obs::MetricsSink& sink) {
+  obs::Span span(sink, stage::kDegridder);
   IDG_CHECK(grid.dim(1) == params_.grid_size,
             "grid must be [4][grid_size][grid_size]");
   const std::size_t nr_bl = uvw.dim(0);
@@ -177,6 +186,10 @@ void WprojGridder::degrid_visibilities(ArrayView<const UVW, 2> uvw,
     }
   }
   nr_skipped_ = skipped;
+  span.stop();
+  const std::uint64_t degridded =
+      static_cast<std::uint64_t>(nr_bl) * nr_time * nr_chan - skipped;
+  sink.record_ops(stage::kDegridder, op_counts(degridded));
 }
 
 OpCounts WprojGridder::op_counts(std::uint64_t nr_visibilities) const {

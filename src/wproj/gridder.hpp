@@ -18,9 +18,17 @@
 #include "common/array.hpp"
 #include "common/counters.hpp"
 #include "common/types.hpp"
+#include "obs/sink.hpp"
 #include "wproj/wkernel.hpp"
 
 namespace idg::wproj {
+
+/// Stage names the wproj gridder reports under (kept distinct from the IDG
+/// stage names so mixed pipelines stay tell-apart-able in one sink).
+namespace stage {
+inline constexpr const char* kGridder = "wproj-gridder";
+inline constexpr const char* kDegridder = "wproj-degridder";
+}  // namespace stage
 
 struct WprojParameters {
   std::size_t grid_size = 512;
@@ -39,17 +47,20 @@ class WprojGridder {
 
   /// Grids all visibilities onto `grid` ([4][N][N], accumulated).
   /// Visibilities whose kernel footprint would leave the grid are skipped
-  /// and counted in nr_skipped().
+  /// and counted in nr_skipped(). Wall time and op counts are recorded
+  /// into `sink` under stage::kGridder.
   void grid_visibilities(ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          const std::vector<double>& frequencies,
-                         ArrayView<cfloat, 3> grid);
+                         ArrayView<cfloat, 3> grid,
+                         obs::MetricsSink& sink = obs::null_sink());
 
   /// Predicts all visibilities from `grid` (overwrites `visibilities`).
   void degrid_visibilities(ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 3> grid,
                            const std::vector<double>& frequencies,
-                           ArrayView<Visibility, 3> visibilities);
+                           ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink = obs::null_sink());
 
   std::size_t nr_skipped() const { return nr_skipped_; }
 

@@ -1,0 +1,451 @@
+// Tests for the observability layer (src/obs/): sinks, spans, registry,
+// exporters (golden-file schema pin), the BoundedQueue pipeline primitive,
+// backend factory/parity, and descriptive parameter validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "idg/backend.hpp"
+#include "idg/parameters.hpp"
+#include "idg/pipelined.hpp"
+#include "idg/plan.hpp"
+#include "idg/processor.hpp"
+#include "idg/wplane.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "sim/aterm.hpp"
+#include "sim/dataset.hpp"
+
+namespace {
+
+using namespace idg;
+
+// --- AggregateSink ------------------------------------------------------------
+
+TEST(AggregateSinkTest, AccumulatesSecondsInvocationsAndOps) {
+  obs::AggregateSink sink;
+  sink.record("gridder", 1.0);
+  sink.record("gridder", 0.5, 2);
+  OpCounts ops;
+  ops.fma = 17;
+  ops.sincos = 1;
+  sink.record_ops("gridder", ops);
+  sink.record_ops("gridder", ops);
+
+  const auto snapshot = sink.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const auto& m = snapshot.at("gridder");
+  EXPECT_DOUBLE_EQ(m.seconds, 1.5);
+  EXPECT_EQ(m.invocations, 3u);
+  EXPECT_EQ(m.ops.fma, 34u);
+  EXPECT_EQ(m.ops.sincos, 2u);
+  EXPECT_DOUBLE_EQ(sink.seconds("gridder"), 1.5);
+  EXPECT_DOUBLE_EQ(sink.seconds("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(sink.total_seconds(), 1.5);
+}
+
+TEST(AggregateSinkTest, MergeCombinesSnapshots) {
+  obs::AggregateSink a, b;
+  a.record("x", 1.0);
+  b.record("x", 2.0);
+  b.record("y", 3.0);
+  a.merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds("y"), 3.0);
+  a.clear();
+  EXPECT_TRUE(a.snapshot().empty());
+}
+
+TEST(AggregateSinkTest, ConcurrentRecordingIsLossless) {
+  obs::AggregateSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink] {
+      for (int i = 0; i < kRecords; ++i) sink.record("stage", 0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snapshot = sink.snapshot();
+  EXPECT_EQ(snapshot.at("stage").invocations,
+            static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_NEAR(snapshot.at("stage").seconds, kThreads * kRecords * 0.001,
+              1e-9);
+}
+
+// --- Span ---------------------------------------------------------------------
+
+TEST(SpanTest, RecordsOneInvocationWithNonNegativeTime) {
+  obs::AggregateSink sink;
+  { obs::Span span(sink, "work"); }
+  const auto snapshot = sink.snapshot();
+  EXPECT_EQ(snapshot.at("work").invocations, 1u);
+  EXPECT_GE(snapshot.at("work").seconds, 0.0);
+}
+
+TEST(SpanTest, StopIsIdempotent) {
+  obs::AggregateSink sink;
+  {
+    obs::Span span(sink, "work");
+    span.stop();
+    span.stop();  // second stop and the destructor must both be no-ops
+  }
+  EXPECT_EQ(sink.snapshot().at("work").invocations, 1u);
+}
+
+// --- StageTimesSink adapter ----------------------------------------------------
+
+TEST(StageTimesSinkTest, ForwardsSecondsIntoStageTimes) {
+  StageTimes times;
+  obs::StageTimesSink adapter(times);
+  adapter.record("gridder", 0.75);
+  adapter.record("gridder", 0.25);
+  OpCounts ops;
+  ops.fma = 1;
+  adapter.record_ops("gridder", ops);  // dropped by design
+  EXPECT_DOUBLE_EQ(times.get("gridder"), 1.0);
+}
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(RegistryTest, NamedSinksAreProcessWideAndThreadSafe) {
+  obs::AggregateSink& sink = obs::Registry::instance().sink("test-registry");
+  sink.clear();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      // Same name from any thread resolves to the same sink.
+      obs::Registry::instance().sink("test-registry").record("s", 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.snapshot().at("s").invocations, 4u);
+  EXPECT_DOUBLE_EQ(sink.seconds("s"), 4.0);
+
+  const auto names = obs::Registry::instance().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-registry"),
+            names.end());
+  sink.clear();
+}
+
+TEST(RegistryTest, CombinedSnapshotMergesAllSinks) {
+  obs::Registry::instance().sink("combine-a").clear();
+  obs::Registry::instance().sink("combine-b").clear();
+  obs::Registry::instance().sink("combine-a").record("shared", 1.0);
+  obs::Registry::instance().sink("combine-b").record("shared", 2.0);
+  const auto combined = obs::Registry::instance().combined_snapshot();
+  EXPECT_DOUBLE_EQ(combined.at("shared").seconds, 3.0);
+  obs::Registry::instance().sink("combine-a").clear();
+  obs::Registry::instance().sink("combine-b").clear();
+}
+
+// --- exporters (golden files) --------------------------------------------------
+
+obs::MetricsSnapshot golden_snapshot() {
+  obs::AggregateSink sink;
+  sink.record("gridder", 1.5, 3);
+  sink.record("adder", 0.25);
+  OpCounts ops;
+  ops.fma = 17;
+  ops.mul = 8;
+  ops.add = 4;
+  ops.sincos = 1;
+  ops.dev_bytes = 1024;
+  ops.shared_bytes = 2048;
+  ops.visibilities = 42;
+  sink.record_ops("gridder", ops);
+  return sink.snapshot();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(ExportTest, JsonMatchesGoldenFile) {
+  const std::string golden =
+      read_file(std::string(IDG_TEST_GOLDEN_DIR) + "/metrics.json");
+  EXPECT_EQ(obs::to_json(golden_snapshot()), golden);
+}
+
+TEST(ExportTest, CsvMatchesGoldenFile) {
+  const std::string golden =
+      read_file(std::string(IDG_TEST_GOLDEN_DIR) + "/metrics.csv");
+  EXPECT_EQ(obs::to_csv(golden_snapshot()), golden);
+}
+
+TEST(ExportTest, EmptySnapshotIsValidJson) {
+  const std::string json = obs::to_json({});
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\": 0.000000000"), std::string::npos);
+}
+
+TEST(ExportTest, EscapesStageNames) {
+  obs::AggregateSink sink;
+  sink.record("weird\"stage\\name", 1.0);
+  const std::string json = obs::to_json(sink.snapshot());
+  EXPECT_NE(json.find("\"weird\\\"stage\\\\name\""), std::string::npos);
+}
+
+// --- BoundedQueue --------------------------------------------------------------
+
+TEST(BoundedQueueTest, DrainsRemainingItemsAfterClose) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  queue.close();
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queue.pop(out));  // drained + closed
+  EXPECT_FALSE(queue.pop(out));  // stays closed
+}
+
+TEST(BoundedQueueTest, PopUnblocksOnClose) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.pop(out));
+    returned = true;
+  });
+  // The consumer is (very likely) blocked in pop(); close() must wake it.
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(3);  // small capacity forces back-pressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        queue.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      int value = 0;
+      while (queue.pop(value)) seen[static_cast<std::size_t>(value)]++;
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "item " << i;
+}
+
+// --- backend factory and parity -------------------------------------------------
+
+struct Setup {
+  sim::Dataset ds;
+  Parameters params;
+  Plan plan;
+  sim::ATermCube aterms;
+
+  static Setup make() {
+    sim::BenchmarkConfig cfg;
+    cfg.nr_stations = 6;
+    cfg.nr_timesteps = 32;
+    cfg.nr_channels = 4;
+    cfg.grid_size = 256;
+    cfg.subgrid_size = 16;
+    auto ds = sim::make_benchmark_dataset(cfg);
+
+    Parameters params;
+    params.grid_size = cfg.grid_size;
+    params.subgrid_size = cfg.subgrid_size;
+    params.image_size = ds.image_size;
+    params.nr_stations = cfg.nr_stations;
+    params.kernel_size = 4;
+    params.work_group_size = 4;  // several work groups in flight
+    Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+    auto aterms =
+        sim::make_identity_aterms(1, cfg.nr_stations, cfg.subgrid_size);
+    return {std::move(ds), params, std::move(plan), std::move(aterms)};
+  }
+};
+
+TEST(BackendTest, FactoryCreatesEveryListedBackend) {
+  Parameters params;
+  params.image_size = 0.01;
+  for (const auto& name : backend_names()) {
+    auto backend = make_backend(name, params);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_EQ(backend->parameters().grid_size, params.grid_size);
+  }
+}
+
+TEST(BackendTest, FactoryAcceptsAliases) {
+  Parameters params;
+  params.image_size = 0.01;
+  EXPECT_EQ(make_backend("sync", params)->name(), "synchronous");
+  EXPECT_EQ(make_backend("async", params)->name(), "pipelined");
+}
+
+TEST(BackendTest, FactoryRejectsUnknownNamesDescriptively) {
+  Parameters params;
+  params.image_size = 0.01;
+  try {
+    make_backend("gpu", params);
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gpu"), std::string::npos);
+    EXPECT_NE(what.find("pipelined"), std::string::npos);
+    EXPECT_NE(what.find("synchronous"), std::string::npos);
+  }
+}
+
+TEST(BackendTest, ProcessorAndPipelinedReportIdenticalOpCounts) {
+  auto s = Setup::make();
+  ASSERT_GT(s.plan.nr_work_groups(), 1u);
+
+  auto sync = make_backend("synchronous", s.params);
+  auto pipelined = make_backend("pipelined", s.params);
+
+  Array3D<cfloat> grid_sync(4, s.params.grid_size, s.params.grid_size);
+  Array3D<cfloat> grid_async(4, s.params.grid_size, s.params.grid_size);
+  obs::AggregateSink sink_sync, sink_async;
+
+  // Grid both from the same input, then degrid into separate buffers
+  // (degridding overwrites the covered visibility entries).
+  sync->grid(s.plan, s.ds.uvw.cview(), s.ds.visibilities.cview(),
+             s.aterms.cview(), grid_sync.view(), sink_sync);
+  pipelined->grid(s.plan, s.ds.uvw.cview(), s.ds.visibilities.cview(),
+                  s.aterms.cview(), grid_async.view(), sink_async);
+  Array3D<Visibility> vis_sync(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                               s.ds.nr_channels());
+  Array3D<Visibility> vis_async(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                                s.ds.nr_channels());
+  sync->degrid(s.plan, s.ds.uvw.cview(), grid_sync.cview(), s.aterms.cview(),
+               vis_sync.view(), sink_sync);
+  pipelined->degrid(s.plan, s.ds.uvw.cview(), grid_async.cview(),
+                    s.aterms.cview(), vis_async.view(), sink_async);
+
+  const auto a = sink_sync.snapshot();
+  const auto b = sink_async.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [stage_name, ma] : a) {
+    ASSERT_TRUE(b.count(stage_name)) << stage_name;
+    const auto& mb = b.at(stage_name);
+    // Analytic counters derive from the plan alone: bit-for-bit identical
+    // regardless of execution strategy.
+    EXPECT_EQ(ma.ops.fma, mb.ops.fma) << stage_name;
+    EXPECT_EQ(ma.ops.mul, mb.ops.mul) << stage_name;
+    EXPECT_EQ(ma.ops.add, mb.ops.add) << stage_name;
+    EXPECT_EQ(ma.ops.sincos, mb.ops.sincos) << stage_name;
+    EXPECT_EQ(ma.ops.dev_bytes, mb.ops.dev_bytes) << stage_name;
+    EXPECT_EQ(ma.ops.shared_bytes, mb.ops.shared_bytes) << stage_name;
+    EXPECT_EQ(ma.ops.visibilities, mb.ops.visibilities) << stage_name;
+    EXPECT_EQ(ma.invocations, mb.invocations) << stage_name;
+  }
+
+  // And so are the gridded pixels (same kernels, same accumulation order).
+  for (std::size_t i = 0; i < grid_sync.size(); ++i) {
+    ASSERT_EQ(grid_sync.data()[i], grid_async.data()[i]) << "pixel " << i;
+  }
+}
+
+TEST(BackendTest, PipelinedThreadsAccumulateIntoOneSink) {
+  auto s = Setup::make();
+  auto pipelined = make_backend("pipelined", s.params);
+  Array3D<cfloat> grid(4, s.params.grid_size, s.params.grid_size);
+  obs::AggregateSink sink;
+  pipelined->grid(s.plan, s.ds.uvw.cview(), s.ds.visibilities.cview(),
+                  s.aterms.cview(), grid.view(), sink);
+  const auto snapshot = sink.snapshot();
+  // Each of the three stages ran once per work group, reported from its own
+  // thread into the shared sink.
+  const auto groups = s.plan.nr_work_groups();
+  EXPECT_EQ(snapshot.at(stage::kGridder).invocations, groups);
+  EXPECT_EQ(snapshot.at(stage::kSubgridFft).invocations, groups);
+  EXPECT_EQ(snapshot.at(stage::kAdder).invocations, groups);
+}
+
+// --- Parameters::validated ------------------------------------------------------
+
+TEST(ParametersTest, ValidConfigurationHasNoError) {
+  Parameters params;
+  params.image_size = 0.01;
+  EXPECT_FALSE(params.validated().has_value());
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(ParametersTest, SubgridLargerThanGridIsDescriptive) {
+  Parameters params;
+  params.image_size = 0.01;
+  params.grid_size = 64;
+  params.subgrid_size = 128;
+  auto error = params.validated();
+  ASSERT_TRUE(error.has_value());
+  const std::string what = error->what();
+  EXPECT_NE(what.find("subgrid_size (128)"), std::string::npos);
+  EXPECT_NE(what.find("grid_size (64)"), std::string::npos);
+  EXPECT_THROW(params.validate(), Error);
+}
+
+TEST(ParametersTest, EveryInconsistencyIsCaught) {
+  const auto error_of = [](auto&& mutate) {
+    Parameters params;
+    params.image_size = 0.01;
+    mutate(params);
+    return params.validated();
+  };
+  EXPECT_TRUE(error_of([](Parameters& p) { p.grid_size = 1; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.subgrid_size = 2; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.image_size = 0.0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.image_size = -1.0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.kernel_size = 0; }));
+  EXPECT_TRUE(
+      error_of([](Parameters& p) { p.kernel_size = p.subgrid_size; }));
+  EXPECT_TRUE(
+      error_of([](Parameters& p) { p.max_timesteps_per_subgrid = 0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.aterm_interval = -1; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.work_group_size = 0; }));
+}
+
+TEST(ParametersTest, ProcessorRejectsBadParametersAtConstruction) {
+  Parameters params;
+  params.image_size = 0.01;
+  params.subgrid_size = params.grid_size;  // inconsistent
+  EXPECT_THROW(Processor{params}, Error);
+  EXPECT_THROW(make_backend("pipelined", params), Error);
+}
+
+TEST(WPlaneModelTest, RejectsNonPositiveSpacing) {
+  EXPECT_THROW(WPlaneModel(8, 0.0), Error);  // nr_planes > 1 needs w_max > 0
+  EXPECT_THROW(WPlaneModel(0, 100.0), Error);
+  EXPECT_NO_THROW(WPlaneModel(1, 0.0));
+  EXPECT_NO_THROW(WPlaneModel(8, 100.0));
+}
+
+TEST(PlanTest, RejectsZeroChannelsDescriptively) {
+  auto s = Setup::make();
+  EXPECT_THROW(Plan(s.params, s.ds.uvw, {}, s.ds.baselines), Error);
+}
+
+}  // namespace
