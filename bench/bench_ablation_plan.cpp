@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
     Processor proc(p, kernels::optimized_kernels());
 
     grid.zero();
-    StageTimes gt;
+    obs::AggregateSink gt;
     proc.grid_visibilities(plan, ds.uvw.cview(), ds.visibilities.cview(),
-                           setup.aterms.cview(), grid.view(), &gt);
+                           setup.aterms.cview(), grid.view(), gt);
     proc.degrid_visibilities(plan, ds.uvw.cview(), model_grid.cview(),
                              setup.aterms.cview(), predicted.view());
     const double err =
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
         .add(static_cast<std::uint64_t>(plan.nr_subgrids()))
         .add(plan.avg_visibilities_per_subgrid(), 1)
         .add(static_cast<double>(plan.nr_planned_visibilities()) /
-                 gt.total() / 1e6,
+                 gt.total_seconds() / 1e6,
              3)
         .add(err, 5);
   };

@@ -8,7 +8,11 @@
 //
 // Benches that measure pipeline stages additionally accept
 //   --backend <name>   execution backend (idg::make_backend names)
-//   --json <path>      per-stage metrics in the idg-obs/v1 JSON schema
+//   --json <path>      per-stage metrics in the idg-obs/v2 JSON schema
+//   --sorted | --unsorted   plan tile-locality ordering ablation (default
+//                      sorted; grids are bit-identical, only adder locality
+//                      changes)
+//   --tile-size N      adder tile side in grid pixels (multiple of 8)
 // so downstream plotting reads one stable schema instead of scraping
 // per-bench table formats.
 #pragma once
@@ -60,6 +64,13 @@ inline Parameters params_from(const sim::BenchmarkConfig& cfg,
   params.aterm_interval = cfg.aterm_interval;
   params.max_timesteps_per_subgrid =
       static_cast<int>(opts.get("max-timesteps", 128L));
+  // --sorted / --unsorted ablation of the plan's tile-locality ordering
+  // (sorted is the default; results are bit-identical either way, only the
+  // adder's access locality changes).
+  params.plan_ordering = opts.flag("unsorted") ? PlanOrdering::kArrival
+                                               : PlanOrdering::kTileSorted;
+  params.adder_tile_size =
+      static_cast<std::size_t>(opts.get("tile-size", 64L));
   return params;
 }
 
@@ -97,7 +108,7 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
   }
 }
 
-/// Writes the per-stage metrics snapshot as idg-obs/v1 JSON when --json
+/// Writes the per-stage metrics snapshot as idg-obs/v2 JSON when --json
 /// <path> was given.
 inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
                              const Options& opts) {

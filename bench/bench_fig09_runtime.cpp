@@ -5,7 +5,7 @@
 // The measured breakdown comes from the observability layer: the selected
 // backend (--backend synchronous|pipelined) records every stage span into
 // an obs::AggregateSink, and --json <path> exports the per-stage metrics in
-// the stable idg-obs/v1 schema.
+// the stable idg-obs/v2 schema.
 //
 // Expected shape (paper §VI-B): "For all architectures, runtime is
 // dominated by the gridder and degridder kernels (more than 93%)."
@@ -91,6 +91,12 @@ int main(int argc, char** argv) {
   std::cout << "\nhost cycle total: " << host_total << " s; gridder+degridder"
             << " = " << 100.0 * kernel_frac
             << " % (paper: >93 % on all architectures)\n";
+  std::cout << "adder: " << stage_seconds(stage::kAdder) << " s, plan "
+            << (setup.params.plan_ordering == PlanOrdering::kTileSorted
+                    ? "tile-sorted"
+                    : "arrival-ordered")
+            << ", tile " << setup.params.adder_tile_size
+            << " px (ablate with --sorted/--unsorted)\n";
   bench::maybe_write_csv(table, opts);
   bench::maybe_write_json(metrics, opts);
   return 0;

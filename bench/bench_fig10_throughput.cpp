@@ -3,7 +3,7 @@
 //
 // The measured numbers come from two obs::AggregateSinks (one per
 // direction) fed by the selected backend (--backend synchronous|pipelined);
-// --json <path> exports the combined per-stage metrics (idg-obs/v1).
+// --json <path> exports the combined per-stage metrics (idg-obs/v2).
 //
 // Expected shape: both GPUs almost an order of magnitude above the CPU.
 #include <iostream>
@@ -55,6 +55,14 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nexpected shape: GPUs ~an order of magnitude above the "
                "CPU (paper Fig 10).\n";
+  std::cout << "adder: " << grid_sink.seconds(stage::kAdder)
+            << " s, splitter: " << degrid_sink.seconds(stage::kSplitter)
+            << " s, plan "
+            << (setup.params.plan_ordering == PlanOrdering::kTileSorted
+                    ? "tile-sorted"
+                    : "arrival-ordered")
+            << ", tile " << setup.params.adder_tile_size
+            << " px (ablate with --sorted/--unsorted)\n";
   bench::maybe_write_csv(table, opts);
 
   obs::AggregateSink combined;

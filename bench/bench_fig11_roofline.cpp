@@ -54,13 +54,13 @@ int main(int argc, char** argv) {
       kernels::kernel_set(opts.get("kernels", std::string("optimized")));
   Processor proc(setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
-  StageTimes gt, dt;
+  obs::AggregateSink gt, dt;
   proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
                          setup.dataset.visibilities.cview(),
-                         setup.aterms.cview(), grid.view(), &gt);
+                         setup.aterms.cview(), grid.view(), gt);
   proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
                            grid.cview(), setup.aterms.cview(),
-                           setup.dataset.visibilities.view(), &dt);
+                           setup.dataset.visibilities.view(), dt);
 
   const arch::Machine host = arch::host_machine();
   auto add_measured = [&](const char* kernel, const OpCounts& counts,
@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
         .add(achieved / 1e12, 3)
         .add(100.0 * achieved / host.peak_ops(), 1);
   };
-  add_measured("gridder", gridder, gt.get(stage::kGridder));
-  add_measured("degridder", degridder, dt.get(stage::kDegridder));
+  add_measured("gridder", gridder, gt.seconds(stage::kGridder));
+  add_measured("degridder", degridder, dt.seconds(stage::kDegridder));
 
   table.print(std::cout);
   std::cout << "\nexpected shape: intensity >> ridge everywhere (compute "

@@ -36,21 +36,21 @@ int main(int argc, char** argv) {
       kernels::kernel_set(opts.get("kernels", std::string("optimized")));
   Processor proc(setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
-  StageTimes gt, dt;
+  obs::AggregateSink gt, dt;
   proc.grid_visibilities(setup.plan, setup.dataset.uvw.cview(),
                          setup.dataset.visibilities.cview(),
-                         setup.aterms.cview(), grid.view(), &gt);
+                         setup.aterms.cview(), grid.view(), gt);
   proc.degrid_visibilities(setup.plan, setup.dataset.uvw.cview(),
                            grid.cview(), setup.aterms.cview(),
-                           setup.dataset.visibilities.view(), &dt);
+                           setup.dataset.visibilities.view(), dt);
   const arch::Machine host = arch::host_machine();
   table.row()
       .add("HOST (measured)")
       .add(arch::gflops_per_watt(host, gridder_op_counts(setup.plan),
-                                 gt.get(stage::kGridder), 0.9),
+                                 gt.seconds(stage::kGridder), 0.9),
            2)
       .add(arch::gflops_per_watt(host, degridder_op_counts(setup.plan),
-                                 dt.get(stage::kDegridder), 0.9),
+                                 dt.seconds(stage::kDegridder), 0.9),
            2);
 
   table.print(std::cout);

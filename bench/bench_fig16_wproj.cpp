@@ -82,18 +82,18 @@ int main(int argc, char** argv) {
     Processor proc(p, kernels);
 
     Array3D<cfloat> grid(4, p.grid_size, p.grid_size);
-    StageTimes gt, dt;
+    obs::AggregateSink gt, dt;
     proc.grid_visibilities(plan, ds.uvw.cview(), ds.visibilities.cview(),
-                           aterms.cview(), grid.view(), &gt);
+                           aterms.cview(), grid.view(), gt);
     proc.degrid_visibilities(plan, ds.uvw.cview(), grid.cview(),
-                             aterms.cview(), scratch_vis.view(), &dt);
+                             aterms.cview(), scratch_vis.view(), dt);
     const double planned =
         static_cast<double>(plan.nr_planned_visibilities());
     table.row()
         .add("IDG (N~=" + std::to_string(n) + ")")
         .add(static_cast<int>(n))
-        .add(planned / gt.total() / 1e6, 3)
-        .add(planned / dt.total() / 1e6, 3)
+        .add(planned / gt.total_seconds() / 1e6, 3)
+        .add(planned / dt.total_seconds() / 1e6, 3)
         .add(0.0, 1)   // IDG stores no convolution kernels
         .add(0.0, 2);  // ... and computes none
   }

@@ -19,8 +19,8 @@ class Options {
   /// Parses argv; unknown options are an error (listed in what()).
   /// Recognized flags take a value except those in `flag_names`.
   Options(int argc, const char* const* argv,
-          const std::vector<std::string>& flag_names = {"paper", "help",
-                                                        "verbose"});
+          const std::vector<std::string>& flag_names = {
+              "paper", "help", "verbose", "sorted", "unsorted"});
 
   bool has(const std::string& name) const;
   bool flag(const std::string& name) const { return has(name); }

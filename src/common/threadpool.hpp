@@ -1,0 +1,116 @@
+// A small pool of persistent worker threads for index-parallel jobs.
+//
+// The pipelined backend's adder stage runs inside a dedicated std::thread,
+// where an OpenMP parallel region would spawn (and possibly oversubscribe)
+// a whole separate team per work group. WorkerPool keeps a few long-lived
+// threads instead: `parallel_for(n, fn)` hands out indices [0, n) through
+// an atomic cursor, the calling thread participates, and the call returns
+// once every fn(i) has completed. Per-job state lives in a shared_ptr so a
+// worker that wakes late simply finds an exhausted cursor and goes back to
+// sleep — jobs never bleed into each other.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idg {
+
+class WorkerPool {
+ public:
+  /// Spawns `nr_workers` threads; 0 makes parallel_for run serially on the
+  /// calling thread.
+  explicit WorkerPool(std::size_t nr_workers) {
+    workers_.reserve(nr_workers);
+    for (std::size_t w = 0; w < nr_workers; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    start_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Worker threads plus the calling thread.
+  std::size_t nr_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all calls finished.
+  /// Not reentrant: one job at a time per pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->pending = n;
+    {
+      std::lock_guard lock(mutex_);
+      job_ = job;
+      ++generation_;
+    }
+    start_.notify_all();
+    run(*job);
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return job->pending == 0; });
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t pending = 0;  // guarded by mutex_; last decrement signals
+  };
+
+  void run(Job& job) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      (*job.fn)(i);
+      std::lock_guard lock(mutex_);
+      if (--job.pending == 0) done_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock lock(mutex_);
+        start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      run(*job);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace idg

@@ -130,6 +130,20 @@ OpCounts splitter_op_counts(const Plan& plan) {
   return c;
 }
 
+std::uint64_t adder_moved_bytes(const Parameters& params,
+                                std::size_t nr_items) {
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(params.subgrid_size) * params.subgrid_size;
+  return static_cast<std::uint64_t>(nr_items) * n2 * 4 * kPixelBytes * 3;
+}
+
+std::uint64_t splitter_moved_bytes(const Parameters& params,
+                                   std::size_t nr_items) {
+  const std::uint64_t n2 =
+      static_cast<std::uint64_t>(params.subgrid_size) * params.subgrid_size;
+  return static_cast<std::uint64_t>(nr_items) * n2 * 4 * kPixelBytes * 2;
+}
+
 OpCounts grid_fft_op_counts(const Parameters& params) {
   const std::uint64_t g = params.grid_size;
   OpCounts c;

@@ -48,6 +48,15 @@ OpCounts subgrid_fft_op_counts(const Plan& plan);
 OpCounts adder_op_counts(const Plan& plan);
 OpCounts splitter_op_counts(const Plan& plan);
 
+/// Bytes moved per work group of `nr_items` subgrids — the quantity the
+/// pipelines feed to MetricsSink::record_bytes so the bench JSON can report
+/// effective adder/splitter bandwidth. The adder reads each subgrid pixel
+/// and read-modify-writes the grid pixel (3x); the splitter reads the grid
+/// and writes the subgrid (2x). Consistent with {adder,splitter}_op_counts.
+std::uint64_t adder_moved_bytes(const Parameters& params, std::size_t nr_items);
+std::uint64_t splitter_moved_bytes(const Parameters& params,
+                                   std::size_t nr_items);
+
 /// Grid FFT: one 2-D transform of the full [4][G][G] cube.
 OpCounts grid_fft_op_counts(const Parameters& params);
 

@@ -9,6 +9,12 @@
 
 namespace idg {
 
+/// Order of the work items inside each work group.
+enum class PlanOrdering {
+  kArrival,     ///< greedy planner emission order (baseline-major)
+  kTileSorted,  ///< Morton order of the grid tile each patch starts in
+};
+
 /// Static configuration of one gridding/degridding run.
 ///
 /// Geometry convention (DESIGN.md §6): the master grid has `grid_size`
@@ -37,6 +43,18 @@ struct Parameters {
   /// Number of work items grouped into one work group (the unit the
   /// gridder/degridder kernels are invoked on, Fig 6).
   std::size_t work_group_size = 256;
+
+  /// Within-group item order. Tile sorting makes consecutive subgrids land
+  /// in nearby grid rows so the adder's per-tile item lists stay short and
+  /// its grid traffic stays local; kArrival reproduces the pre-sorting
+  /// behaviour for ablation (bench --unsorted).
+  PlanOrdering plan_ordering = PlanOrdering::kTileSorted;
+
+  /// Side length of the square grid tiles the adder/splitter partition the
+  /// master grid into. Each tile is owned by exactly one thread; a multiple
+  /// of 8 complex floats keeps tile boundaries on 64-byte cache lines so
+  /// neighbouring tiles never share a line (no false sharing, no atomics).
+  std::size_t adder_tile_size = 64;
 
   /// Checks every setting for consistency and returns a descriptive
   /// idg::Error for the first violation, or std::nullopt when the
@@ -67,6 +85,10 @@ struct Parameters {
     if (aterm_interval <= 0)
       return fail("aterm_interval (", aterm_interval, ") must be positive");
     if (work_group_size == 0) return fail("work_group_size must be positive");
+    if (adder_tile_size < 8 || adder_tile_size % 8 != 0)
+      return fail("adder_tile_size (", adder_tile_size,
+                  ") must be a positive multiple of 8 (cache-line aligned "
+                  "tile boundaries)");
     return std::nullopt;
   }
 

@@ -1,10 +1,12 @@
 #include "idg/pipelined.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 #include "idg/accounting.hpp"
 #include "idg/adder.hpp"
 #include "idg/processor.hpp"
@@ -20,13 +22,24 @@ struct Ticket {
   std::size_t group = 0;
   std::size_t buffer = 0;
 };
+
+/// Adder-stage pool size when the caller passes 0: a small slice of the
+/// machine — the gridder kernel's OpenMP team remains the main consumer of
+/// cores; the memory-bound adder saturates long before that.
+std::size_t default_adder_threads() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw / 4, 2, 4);
+}
 }  // namespace
 
 PipelinedGridder::PipelinedGridder(Parameters params, const KernelSet& kernels,
-                                   std::size_t nr_buffers)
+                                   std::size_t nr_buffers,
+                                   std::size_t nr_adder_threads)
     : params_(params),
       kernels_(&kernels),
       nr_buffers_(nr_buffers),
+      nr_adder_threads_(nr_adder_threads == 0 ? default_adder_threads()
+                                              : nr_adder_threads),
       taper_(make_taper(params.subgrid_size)) {
   params_.validate();
   IDG_CHECK(nr_buffers_ >= 2, "pipelining needs at least two buffers");
@@ -81,16 +94,25 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
     to_adder.close();
   });
 
-  // Stage S: adder into the shared grid (single consumer, no races).
+  // Stage S: a single consumer pops tickets in order — preserving the
+  // free-buffer back-pressure and one adder span per work group — and fans
+  // each group's tile-binned accumulation out over a small worker pool.
+  // Tiles are disjoint grid regions, so the workers never race on `grid`.
+  WorkerPool adder_pool(nr_adder_threads_ - 1);
   std::thread adder_thread([&] {
     Ticket ticket;
     while (to_adder.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
+      const TileBinning& binning = plan.work_group_tiles(ticket.group);
+      const auto subgrids = buffers[ticket.buffer].cview();
       {
         obs::Span span(sink, stage::kAdder);
-        add_subgrids_to_grid(params_, items,
-                             buffers[ticket.buffer].cview(), grid);
+        adder_pool.parallel_for(binning.nr_tiles(), [&](std::size_t tile) {
+          add_tile(params_, items, binning, tile, subgrids, grid);
+        });
       }
+      sink.record_bytes(stage::kAdder,
+                        adder_moved_bytes(params_, items.size()));
       free_buffers.push(ticket.buffer);
     }
   });
@@ -114,21 +136,6 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   sink.record_ops(stage::kGridder, gridder_op_counts(plan));
   sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
   sink.record_ops(stage::kAdder, adder_op_counts(plan));
-}
-
-void PipelinedGridder::grid_visibilities(const Plan& plan,
-                                         ArrayView<const UVW, 2> uvw,
-                                         ArrayView<const Visibility, 3> visibilities,
-                                         ArrayView<const Jones, 4> aterms,
-                                         ArrayView<cfloat, 3> grid,
-                                         StageTimes* times) const {
-  if (times == nullptr) {
-    grid_visibilities(plan, uvw, visibilities, aterms, grid,
-                      obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  grid_visibilities(plan, uvw, visibilities, aterms, grid, adapter);
 }
 
 PipelinedDegridder::PipelinedDegridder(Parameters params,
@@ -202,9 +209,11 @@ void PipelinedDegridder::degrid_visibilities(
     const auto items = plan.work_group(g);
     {
       obs::Span span(sink, stage::kSplitter);
-      split_subgrids_from_grid(params_, items, grid,
+      split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
                                buffers[buffer].view());
     }
+    sink.record_bytes(stage::kSplitter,
+                      splitter_moved_bytes(params_, items.size()));
     to_fft.push({g, buffer});
   }
   to_fft.close();
@@ -217,23 +226,11 @@ void PipelinedDegridder::degrid_visibilities(
   sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
 }
 
-void PipelinedDegridder::degrid_visibilities(
-    const Plan& plan, ArrayView<const UVW, 2> uvw,
-    ArrayView<const cfloat, 3> grid, ArrayView<const Jones, 4> aterms,
-    ArrayView<Visibility, 3> visibilities, StageTimes* times) const {
-  if (times == nullptr) {
-    degrid_visibilities(plan, uvw, grid, aterms, visibilities,
-                        obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  degrid_visibilities(plan, uvw, grid, aterms, visibilities, adapter);
-}
-
 PipelinedProcessor::PipelinedProcessor(Parameters params,
                                        const KernelSet& kernels,
-                                       std::size_t nr_buffers)
-    : gridder_(params, kernels, nr_buffers),
+                                       std::size_t nr_buffers,
+                                       std::size_t nr_adder_threads)
+    : gridder_(params, kernels, nr_buffers, nr_adder_threads),
       degridder_(params, kernels, nr_buffers) {}
 
 }  // namespace idg

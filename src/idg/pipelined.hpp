@@ -14,6 +14,12 @@
 //   stage X ("kernel"): gridder kernel + subgrid FFT,
 //   stage S ("DtoH"): adder into the grid.
 //
+// Stage S keeps the paper's single consumer — one thread pops tickets in
+// order, so the free-buffer back-pressure and the one-adder-span-per-group
+// accounting are unchanged — but inside each ticket it fans the tile-binned
+// adder out over a small WorkerPool: tiles are disjoint grid regions, so
+// the workers accumulate concurrently without atomics (see adder.hpp).
+//
 // On a machine with enough cores the stages overlap exactly like Fig 7;
 // the output is bit-identical to the synchronous Processor (verified by
 // tests). The buffer pool size (default 3 = triple buffering) bounds
@@ -29,7 +35,6 @@
 #include <queue>
 
 #include "common/array.hpp"
-#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "idg/backend.hpp"
 #include "idg/kernels.hpp"
@@ -83,9 +88,12 @@ class BoundedQueue {
 class PipelinedGridder {
  public:
   /// `nr_buffers` = 3 reproduces the paper's triple buffering.
+  /// `nr_adder_threads` sizes the adder stage's worker pool (including the
+  /// consumer thread itself); 0 picks a small machine-dependent default.
   PipelinedGridder(Parameters params,
                    const KernelSet& kernels = reference_kernels(),
-                   std::size_t nr_buffers = 3);
+                   std::size_t nr_buffers = 3,
+                   std::size_t nr_adder_threads = 0);
 
   const Parameters& parameters() const { return params_; }
 
@@ -95,20 +103,13 @@ class PipelinedGridder {
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink) const;
-
-  /// DEPRECATED: StageTimes out-parameter variant, kept for one release;
-  /// inject an obs::MetricsSink instead.
-  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                         ArrayView<const Visibility, 3> visibilities,
-                         ArrayView<const Jones, 4> aterms,
-                         ArrayView<cfloat, 3> grid,
-                         StageTimes* times = nullptr) const;
+                         obs::MetricsSink& sink = obs::null_sink()) const;
 
  private:
   Parameters params_;
   const KernelSet* kernels_;
   std::size_t nr_buffers_;
+  std::size_t nr_adder_threads_;
   Array2D<float> taper_;
 };
 
@@ -127,15 +128,7 @@ class PipelinedDegridder {
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
-                           obs::MetricsSink& sink) const;
-
-  /// DEPRECATED: StageTimes out-parameter variant, kept for one release;
-  /// inject an obs::MetricsSink instead.
-  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                           ArrayView<const cfloat, 3> grid,
-                           ArrayView<const Jones, 4> aterms,
-                           ArrayView<Visibility, 3> visibilities,
-                           StageTimes* times = nullptr) const;
+                           obs::MetricsSink& sink = obs::null_sink()) const;
 
  private:
   Parameters params_;
@@ -150,7 +143,8 @@ class PipelinedProcessor : public GridderBackend {
  public:
   explicit PipelinedProcessor(Parameters params,
                               const KernelSet& kernels = reference_kernels(),
-                              std::size_t nr_buffers = 3);
+                              std::size_t nr_buffers = 3,
+                              std::size_t nr_adder_threads = 0);
 
   std::string name() const override { return "pipelined"; }
   const Parameters& parameters() const override {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -26,7 +28,81 @@ struct Bbox {
   double extent() const { return std::max(u_max - u_min, v_max - v_min); }
 };
 
+/// Interleaves the low 16 bits of x and y (Morton / Z-order code). Tile
+/// coordinates fit easily: even a 2^20-pixel grid has < 2^16 tiles per side.
+std::uint32_t morton(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xffffu;
+    v = (v | (v << 8)) & 0x00ff00ffu;
+    v = (v | (v << 4)) & 0x0f0f0f0fu;
+    v = (v | (v << 2)) & 0x33333333u;
+    v = (v | (v << 1)) & 0x55555555u;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
 }  // namespace
+
+TileBinning bin_items_by_tile(const Parameters& params,
+                              std::span<const WorkItem> items) {
+  TileBinning binning;
+  binning.tile_size = params.adder_tile_size;
+  binning.tiles_per_row =
+      (params.grid_size + binning.tile_size - 1) / binning.tile_size;
+  const std::size_t nr_tiles = binning.nr_tiles();
+  const int n = static_cast<int>(params.subgrid_size);
+  const int t = static_cast<int>(binning.tile_size);
+
+  // Visit span positions by ascending WorkItem::order so every tile's list
+  // comes out in canonical accumulation order (ties — e.g. hand-built items
+  // with order == 0 — fall back to span position).
+  std::vector<std::uint32_t> by_order(items.size());
+  for (std::uint32_t i = 0; i < by_order.size(); ++i) by_order[i] = i;
+  std::stable_sort(by_order.begin(), by_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return items[a].order < items[b].order;
+                   });
+
+  auto tile_range = [&](int c0) {  // tiles covered by [c0, c0 + n)
+    return std::pair<int, int>{c0 / t, (c0 + n - 1) / t};
+  };
+
+  binning.tile_offsets.assign(nr_tiles + 1, 0);
+  for (const WorkItem& item : items) {
+    const auto [tx0, tx1] = tile_range(item.coord_x);
+    const auto [ty0, ty1] = tile_range(item.coord_y);
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        const std::size_t tile =
+            static_cast<std::size_t>(ty) * binning.tiles_per_row +
+            static_cast<std::size_t>(tx);
+        ++binning.tile_offsets[tile + 1];
+      }
+    }
+  }
+  for (std::size_t tile = 0; tile < nr_tiles; ++tile) {
+    binning.tile_offsets[tile + 1] += binning.tile_offsets[tile];
+  }
+
+  binning.item_indices.resize(binning.tile_offsets[nr_tiles]);
+  std::vector<std::uint32_t> cursor(binning.tile_offsets.begin(),
+                                    binning.tile_offsets.end() - 1);
+  for (const std::uint32_t i : by_order) {
+    const WorkItem& item = items[i];
+    const auto [tx0, tx1] = tile_range(item.coord_x);
+    const auto [ty0, ty1] = tile_range(item.coord_y);
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        const std::size_t tile =
+            static_cast<std::size_t>(ty) * binning.tiles_per_row +
+            static_cast<std::size_t>(tx);
+        binning.item_indices[cursor[tile]++] = i;
+      }
+    }
+  }
+  return binning;
+}
 
 Plan::Plan(const Parameters& params, const Array2D<UVW>& uvw,
            const std::vector<double>& frequencies,
@@ -54,6 +130,45 @@ Plan::Plan(const Parameters& params, const Array2D<UVW>& uvw,
 
   for (std::size_t b = 0; b < baselines.size(); ++b) {
     plan_baseline(b, uvw, frequencies, baselines[b], wplanes);
+  }
+
+  // Stamp the emission rank before any reordering: it is the canonical
+  // accumulation order the adder restores per tile (see WorkItem::order).
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    items_[i].order = static_cast<std::uint32_t>(i);
+  }
+
+  if (params_.plan_ordering == PlanOrdering::kTileSorted) {
+    // Sort each work group's items along the Morton curve of the tile their
+    // patch starts in, so consecutive subgrids hit nearby grid rows in the
+    // adder. The sort stays within groups: kernel-stage batching (Fig 6)
+    // and the group <-> buffer mapping of the pipeline are untouched.
+    const std::size_t t = params_.adder_tile_size;
+    auto tile_key = [&](const WorkItem& item) {
+      return morton(static_cast<std::uint32_t>(item.coord_x) /
+                        static_cast<std::uint32_t>(t),
+                    static_cast<std::uint32_t>(item.coord_y) /
+                        static_cast<std::uint32_t>(t));
+    };
+    for (std::size_t g = 0; g < nr_work_groups(); ++g) {
+      const std::size_t begin = g * params_.work_group_size;
+      const std::size_t end =
+          std::min(begin + params_.work_group_size, items_.size());
+      std::sort(items_.begin() + static_cast<std::ptrdiff_t>(begin),
+                items_.begin() + static_cast<std::ptrdiff_t>(end),
+                [&](const WorkItem& a, const WorkItem& b) {
+                  const std::uint32_t ka = tile_key(a), kb = tile_key(b);
+                  if (ka != kb) return ka < kb;
+                  if (a.coord_y != b.coord_y) return a.coord_y < b.coord_y;
+                  if (a.coord_x != b.coord_x) return a.coord_x < b.coord_x;
+                  return a.order < b.order;
+                });
+    }
+  }
+
+  group_tiles_.reserve(nr_work_groups());
+  for (std::size_t g = 0; g < nr_work_groups(); ++g) {
+    group_tiles_.push_back(bin_items_by_tile(params_, work_group(g)));
   }
 }
 
@@ -187,6 +302,11 @@ std::span<const WorkItem> Plan::work_group(std::size_t g) const {
   const std::size_t end =
       std::min(begin + params_.work_group_size, items_.size());
   return {items_.data() + begin, end - begin};
+}
+
+const TileBinning& Plan::work_group_tiles(std::size_t g) const {
+  IDG_CHECK(g < group_tiles_.size(), "work group index out of range");
+  return group_tiles_[g];
 }
 
 double Plan::avg_visibilities_per_subgrid() const {

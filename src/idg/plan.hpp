@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,23 @@
 #include "idg/wplane.hpp"
 
 namespace idg {
+
+/// CSR-style mapping from grid tiles to the work items whose patch overlaps
+/// each tile. Tiles partition the master grid into adder_tile_size^2 squares
+/// (row-major tile ids, ragged at the top/right edges); an item appears in
+/// the list of every tile its subgrid_size^2 patch intersects. Within a
+/// tile the items are listed by ascending WorkItem::order so accumulation
+/// order is canonical regardless of how the span itself is sorted.
+struct TileBinning {
+  std::size_t tile_size = 0;      ///< tile side length in grid pixels
+  std::size_t tiles_per_row = 0;  ///< ceil(grid_size / tile_size)
+  /// Prefix offsets into item_indices, size nr_tiles()+1.
+  std::vector<std::uint32_t> tile_offsets;
+  /// Concatenated per-tile lists of indices into the bound item span.
+  std::vector<std::uint32_t> item_indices;
+
+  std::size_t nr_tiles() const { return tiles_per_row * tiles_per_row; }
+};
 
 /// One subgrid and the visibility block it covers.
 struct WorkItem {
@@ -44,11 +62,21 @@ struct WorkItem {
   float w_offset = 0.0f;  ///< W-plane offset in wavelengths (0 = no stacking)
   int w_plane = 0;        ///< index of the w-plane grid this item adds to
 
+  /// Greedy-planner emission rank. Tile sorting permutes items inside a
+  /// work group; the adder accumulates each tile's items in `order` so the
+  /// per-pixel floating-point addition sequence — and hence the grid, bit
+  /// for bit — is independent of the chosen PlanOrdering.
+  std::uint32_t order = 0;
+
   std::size_t nr_visibilities() const {
     return static_cast<std::size_t>(nr_timesteps) *
            static_cast<std::size_t>(nr_channels);
   }
 };
+
+/// Bins `items` (indices relative to the span) by overlapped grid tile.
+TileBinning bin_items_by_tile(const Parameters& params,
+                              std::span<const WorkItem> items);
 
 /// The generated work: items, grouping, and coverage statistics.
 class Plan {
@@ -69,6 +97,10 @@ class Plan {
   /// Work groups as contiguous spans over items() (Fig 6).
   std::size_t nr_work_groups() const;
   std::span<const WorkItem> work_group(std::size_t g) const;
+
+  /// Tile binning of work_group(g), precomputed once at plan time and
+  /// shared by the synchronous and pipelined adders/splitters.
+  const TileBinning& work_group_tiles(std::size_t g) const;
 
   /// Visibilities covered by the plan (excludes dropped ones).
   std::size_t nr_planned_visibilities() const { return planned_visibilities_; }
@@ -91,6 +123,7 @@ class Plan {
 
   Parameters params_;
   std::vector<WorkItem> items_;
+  std::vector<TileBinning> group_tiles_;
   std::vector<float> wavenumbers_;
   std::size_t planned_visibilities_ = 0;
   std::size_t dropped_visibilities_ = 0;

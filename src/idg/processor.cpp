@@ -38,8 +38,10 @@ void Processor::grid_visibilities(const Plan& plan,
     }
     {
       obs::Span span(sink, stage::kAdder);
-      add_subgrids_to_grid(params_, items, subgrids.cview(), grid);
+      add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
+                           subgrids.cview(), grid);
     }
+    sink.record_bytes(stage::kAdder, adder_moved_bytes(params_, items.size()));
   }
 
   // Analytic op/byte counters for the whole call (derived from the plan,
@@ -64,8 +66,11 @@ void Processor::degrid_visibilities(const Plan& plan,
     const auto items = plan.work_group(g);
     {
       obs::Span span(sink, stage::kSplitter);
-      split_subgrids_from_grid(params_, items, grid, subgrids.view());
+      split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
+                               subgrids.view());
     }
+    sink.record_bytes(stage::kSplitter,
+                      splitter_moved_bytes(params_, items.size()));
     {
       obs::Span span(sink, stage::kSubgridFft);
       subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
@@ -79,36 +84,6 @@ void Processor::degrid_visibilities(const Plan& plan,
   sink.record_ops(stage::kSplitter, splitter_op_counts(plan));
   sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
   sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
-}
-
-void Processor::grid_visibilities(const Plan& plan,
-                                  ArrayView<const UVW, 2> uvw,
-                                  ArrayView<const Visibility, 3> visibilities,
-                                  ArrayView<const Jones, 4> aterms,
-                                  ArrayView<cfloat, 3> grid,
-                                  StageTimes* times) const {
-  if (times == nullptr) {
-    grid_visibilities(plan, uvw, visibilities, aterms, grid,
-                      obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  grid_visibilities(plan, uvw, visibilities, aterms, grid, adapter);
-}
-
-void Processor::degrid_visibilities(const Plan& plan,
-                                    ArrayView<const UVW, 2> uvw,
-                                    ArrayView<const cfloat, 3> grid,
-                                    ArrayView<const Jones, 4> aterms,
-                                    ArrayView<Visibility, 3> visibilities,
-                                    StageTimes* times) const {
-  if (times == nullptr) {
-    degrid_visibilities(plan, uvw, grid, aterms, visibilities,
-                        obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  degrid_visibilities(plan, uvw, grid, aterms, visibilities, adapter);
 }
 
 }  // namespace idg

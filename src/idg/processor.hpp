@@ -16,7 +16,6 @@
 #include <functional>
 
 #include "common/array.hpp"
-#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "idg/backend.hpp"
 #include "idg/kernels.hpp"
@@ -52,7 +51,7 @@ class Processor : public GridderBackend {
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink) const;
+                         obs::MetricsSink& sink = obs::null_sink()) const;
 
   /// Predicts all planned visibilities from `grid` (overwrites the covered
   /// entries of `visibilities`; un-planned entries are left untouched).
@@ -60,21 +59,7 @@ class Processor : public GridderBackend {
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
-                           obs::MetricsSink& sink) const;
-
-  /// DEPRECATED: StageTimes out-parameter variants, kept for one release.
-  /// They wrap `times` in an obs::StageTimesSink, so op counts and
-  /// invocation counts are lost. Inject an obs::MetricsSink instead.
-  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                         ArrayView<const Visibility, 3> visibilities,
-                         ArrayView<const Jones, 4> aterms,
-                         ArrayView<cfloat, 3> grid,
-                         StageTimes* times = nullptr) const;
-  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                           ArrayView<const cfloat, 3> grid,
-                           ArrayView<const Jones, 4> aterms,
-                           ArrayView<Visibility, 3> visibilities,
-                           StageTimes* times = nullptr) const;
+                           obs::MetricsSink& sink = obs::null_sink()) const;
 
   // GridderBackend: forwards to grid_/degrid_visibilities.
   using GridderBackend::grid;

@@ -1,7 +1,9 @@
 #include "idg/wstack.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "common/error.hpp"
 #include "idg/accounting.hpp"
@@ -97,9 +99,17 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
     {
       // Route each subgrid to its plane's grid. Items are processed
       // serially (overlapping patches on the same plane must not race);
-      // each patch add is SIMD over rows.
+      // each patch add is SIMD over rows. Iterating by WorkItem::order
+      // keeps per-pixel accumulation bit-identical to the tiled adder,
+      // whose per-tile lists are order-canonical, for any PlanOrdering.
       obs::Span span(sink, stage::kAdder);
-      for (std::size_t i = 0; i < items.size(); ++i) {
+      std::vector<std::size_t> by_order(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) by_order[i] = i;
+      std::sort(by_order.begin(), by_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return items[a].order < items[b].order;
+                });
+      for (const std::size_t i : by_order) {
         auto plane = plane_slice(grids, items[i].w_plane);
         const std::size_t y0 = static_cast<std::size_t>(items[i].coord_y);
         const std::size_t x0 = static_cast<std::size_t>(items[i].coord_x);

@@ -1,7 +1,10 @@
 #include "kernels/internal.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
+#include <utility>
 
 namespace idg::kernels::internal {
 
@@ -14,8 +17,38 @@ Scratch& scratch() {
   return s;
 }
 
+const GeometryTable& geometry_table(const Parameters& params) {
+  // std::map keeps node addresses stable, so the returned references
+  // survive later insertions; entries are never erased.
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, double>, GeometryTable> cache;
+
+  std::lock_guard lock(mutex);
+  const auto [it, inserted] =
+      cache.try_emplace({params.subgrid_size, params.image_size});
+  GeometryTable& geom = it->second;
+  if (inserted) {
+    const std::size_t n = params.subgrid_size;
+    const std::size_t n2p = padded(n * n);
+    geom.l.assign(n2p, 0.0f);
+    geom.m.assign(n2p, 0.0f);
+    geom.n.assign(n2p, 0.0f);
+    for (std::size_t y = 0; y < n; ++y) {
+      const float mm = params.subgrid_lm(y);
+      for (std::size_t x = 0; x < n; ++x) {
+        const float ll = params.subgrid_lm(x);
+        const std::size_t idx = y * n + x;
+        geom.l[idx] = ll;
+        geom.m[idx] = mm;
+        geom.n[idx] = compute_n(ll, mm);
+      }
+    }
+  }
+  return geom;
+}
+
 void fill_geometry(const Parameters& params, const WorkItem& item,
-                   Scratch& s) {
+                   const GeometryTable& geom, Scratch& s) {
   const std::size_t n = params.subgrid_size;
   const std::size_t n2p = padded(n * n);
   s.reserve_pixels(n2p);
@@ -31,20 +64,13 @@ void fill_geometry(const Parameters& params, const WorkItem& item,
                    cell_scale;
   const float w0 = kTwoPi * item.w_offset;
 
-  for (std::size_t y = 0; y < n; ++y) {
-    const float mm = params.subgrid_lm(y);
-    for (std::size_t x = 0; x < n; ++x) {
-      const float ll = params.subgrid_lm(x);
-      const float nn = compute_n(ll, mm);
-      const std::size_t idx = y * n + x;
-      s.l[idx] = ll;
-      s.m[idx] = mm;
-      s.n[idx] = nn;
-      s.offset[idx] = u0 * ll + v0 * mm + w0 * nn;
-    }
-  }
-  for (std::size_t idx = n * n; idx < n2p; ++idx) {
-    s.l[idx] = s.m[idx] = s.n[idx] = s.offset[idx] = 0.0f;
+  // The table's padding is zero, so the offsets' padding comes out zero
+  // too — one branch-free SIMD-friendly loop over the padded extent.
+  const float* const lp = geom.l.data();
+  const float* const mp = geom.m.data();
+  const float* const np = geom.n.data();
+  for (std::size_t idx = 0; idx < n2p; ++idx) {
+    s.offset[idx] = u0 * lp[idx] + v0 * mp[idx] + w0 * np[idx];
   }
 }
 
@@ -55,18 +81,29 @@ void gather_visibility_batch(const Parameters& /*params*/,
   const std::size_t nt = static_cast<std::size_t>(item.nr_timesteps);
   const std::size_t nc = static_cast<std::size_t>(item.nr_channels);
   const std::size_t batch = nt * ncp;
+  // Every [0, nc) column is overwritten below — only the padded channel
+  // tail [nc, ncp) of each timestep row needs zeroing, not the whole batch.
   for (int p = 0; p < 4; ++p) {
-    s.re[p].assign(batch, 0.0f);
-    s.im[p].assign(batch, 0.0f);
+    s.re[p].resize(batch);
+    s.im[p].resize(batch);
+    if (ncp != nc) {
+      for (std::size_t t = 0; t < nt; ++t) {
+        for (std::size_t c = nc; c < ncp; ++c) {
+          s.re[p][t * ncp + c] = 0.0f;
+          s.im[p][t * ncp + c] = 0.0f;
+        }
+      }
+    }
   }
   s.u.resize(nt);
   s.v.resize(nt);
   s.w.resize(nt);
-  s.k.assign(ncp, 0.0f);
+  s.k.resize(ncp);
   for (std::size_t c = 0; c < nc; ++c) {
     s.k[c] =
         data.wavenumbers[static_cast<std::size_t>(item.channel_begin) + c];
   }
+  for (std::size_t c = nc; c < ncp; ++c) s.k[c] = 0.0f;
   for (std::size_t t = 0; t < nt; ++t) {
     const UVW& coord =
         data.uvw(static_cast<std::size_t>(item.baseline),
@@ -111,9 +148,14 @@ void load_degridder_pixels(const Parameters& params, const KernelData& data,
                            std::size_t n2p, Scratch& s) {
   const std::size_t n = params.subgrid_size;
   const std::size_t n2 = n * n;
+  // Pixels [0, n2) are overwritten below; zero only the SIMD padding tail.
   for (int p = 0; p < 4; ++p) {
-    s.re[p].assign(n2p, 0.0f);
-    s.im[p].assign(n2p, 0.0f);
+    s.re[p].resize(n2p);
+    s.im[p].resize(n2p);
+    for (std::size_t idx = n2; idx < n2p; ++idx) {
+      s.re[p][idx] = 0.0f;
+      s.im[p][idx] = 0.0f;
+    }
   }
   for (std::size_t idx = 0; idx < n2; ++idx) {
     const std::size_t y = idx / n, x = idx % n;

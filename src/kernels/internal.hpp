@@ -19,10 +19,26 @@ inline std::size_t padded(std::size_t n) {
   return (n + kSimdWidth - 1) / kSimdWidth * kSimdWidth;
 }
 
+/// Item-invariant per-pixel geometry of one (subgrid_size, image_size)
+/// configuration: direction cosines l, m and the n term, zero-padded to a
+/// SIMD multiple. Every work item of a run reads the same table — only the
+/// phase offset depends on the item — so the table is computed once per
+/// process and configuration (geometry_table()) and shared, read-only, by
+/// all kernel sets and threads.
+struct GeometryTable {
+  AlignedVector<float> l, m, n;
+};
+
+/// Process-wide cache of geometry tables keyed by (subgrid_size,
+/// image_size). The returned reference stays valid for the lifetime of the
+/// process; safe to call concurrently.
+const GeometryTable& geometry_table(const Parameters& params);
+
 /// Per-thread scratch reused across work items.
 struct Scratch {
-  // Per-pixel geometry.
-  AlignedVector<float> l, m, n, offset;
+  // Per-pixel, per-item phase offset (the l/m/n arrays live in the shared
+  // GeometryTable).
+  AlignedVector<float> offset;
   // Transposed split re/im visibilities or pixels: [pol][element].
   AlignedVector<float> re[4], im[4];
   // Phase/sincos batch buffers.
@@ -32,20 +48,15 @@ struct Scratch {
   // Local wavenumbers for the item's channel range.
   AlignedVector<float> k;
 
-  void reserve_pixels(std::size_t n2p) {
-    l.resize(n2p);
-    m.resize(n2p);
-    n.resize(n2p);
-    offset.resize(n2p);
-  }
+  void reserve_pixels(std::size_t n2p) { offset.resize(n2p); }
 };
 
 Scratch& scratch();
 
-/// Fills the per-pixel geometry arrays (l, m, n, phase offset) for an item,
-/// zero-padded to a SIMD multiple.
+/// Fills the per-pixel phase-offset array for an item from the shared
+/// geometry table, zero-padded to a SIMD multiple.
 void fill_geometry(const Parameters& params, const WorkItem& item,
-                   Scratch& s);
+                   const GeometryTable& geom, Scratch& s);
 
 /// Loads and transposes the item's visibility block into aligned split
 /// re/im arrays [pol][t * ncp + c] (channels zero-padded to ncp), copies

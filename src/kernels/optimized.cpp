@@ -62,7 +62,8 @@ class OptimizedKernels final : public KernelSet {
     const std::size_t ncp = padded(static_cast<std::size_t>(item.nr_channels));
     const std::size_t batch = nt * ncp;
     Scratch& s = internal::scratch();
-    internal::fill_geometry(params, item, s);
+    const internal::GeometryTable& geom = internal::geometry_table(params);
+    internal::fill_geometry(params, item, geom, s);
     // (1) load + transpose into aligned split re/im arrays.
     internal::gather_visibility_batch(params, data, item, visibilities, ncp,
                                       s);
@@ -77,7 +78,7 @@ class OptimizedKernels final : public KernelSet {
     const float* const kw = s.k.data();
 
     for (std::size_t idx = 0; idx < n * n; ++idx) {
-      const float l = s.l[idx], m = s.m[idx], pn = s.n[idx];
+      const float l = geom.l[idx], m = geom.m[idx], pn = geom.n[idx];
       const float offset = s.offset[idx];
       float pr0 = 0, pi0 = 0, pr1 = 0, pi1 = 0;
       float pr2 = 0, pi2 = 0, pr3 = 0, pi3 = 0;
@@ -133,7 +134,8 @@ class OptimizedKernels final : public KernelSet {
     const std::size_t n = params.subgrid_size;
     const std::size_t n2p = padded(n * n);
     Scratch& s = internal::scratch();
-    internal::fill_geometry(params, item, s);
+    const internal::GeometryTable& geom = internal::geometry_table(params);
+    internal::fill_geometry(params, item, geom, s);
     internal::load_degridder_pixels(params, data, item, slot_index, subgrids,
                                     n2p, s);
 
@@ -143,9 +145,9 @@ class OptimizedKernels final : public KernelSet {
     float* const phase = s.phase.data();
     float* const sin_v = s.sin_v.data();
     float* const cos_v = s.cos_v.data();
-    const float* const lp = s.l.data();
-    const float* const mp = s.m.data();
-    const float* const np = s.n.data();
+    const float* const lp = geom.l.data();
+    const float* const mp = geom.m.data();
+    const float* const np = geom.n.data();
     const float* const op = s.offset.data();
 
     for (int t = 0; t < item.nr_timesteps; ++t) {

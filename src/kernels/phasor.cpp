@@ -95,7 +95,8 @@ class PhasorKernels final : public KernelSet {
     const std::size_t ntp = padded(nt);
     const std::size_t nc = static_cast<std::size_t>(item.nr_channels);
     Scratch& s = internal::scratch();
-    internal::fill_geometry(params, item, s);
+    const internal::GeometryTable& geom = internal::geometry_table(params);
+    internal::fill_geometry(params, item, geom, s);
 
     // Channel-major split re/im gather: [pol][c * ntp + t] so the per-
     // channel reduction streams contiguously over timesteps.
@@ -139,7 +140,7 @@ class PhasorKernels final : public KernelSet {
     float* const ps = kbuf.data() + ntp;  // phasor sin
 
     for (std::size_t idx = 0; idx < n * n; ++idx) {
-      const float l = s.l[idx], m = s.m[idx], pn = s.n[idx];
+      const float l = geom.l[idx], m = geom.m[idx], pn = geom.n[idx];
       const float offset = s.offset[idx];
 
 #pragma omp simd
@@ -214,7 +215,8 @@ class PhasorKernels final : public KernelSet {
     const std::size_t n2p = padded(n * n);
     const std::size_t nc = static_cast<std::size_t>(item.nr_channels);
     Scratch& s = internal::scratch();
-    internal::fill_geometry(params, item, s);
+    const internal::GeometryTable& geom = internal::geometry_table(params);
+    internal::fill_geometry(params, item, geom, s);
     internal::load_degridder_pixels(params, data, item, slot_index, subgrids,
                                     n2p, s);
 
@@ -227,9 +229,9 @@ class PhasorKernels final : public KernelSet {
     kbuf.resize(2 * n2p);
     float* const pc = kbuf.data();
     float* const ps = kbuf.data() + n2p;
-    const float* const lp = s.l.data();
-    const float* const mp = s.m.data();
-    const float* const np = s.n.data();
+    const float* const lp = geom.l.data();
+    const float* const mp = geom.m.data();
+    const float* const np = geom.n.data();
     const float* const op = s.offset.data();
 
     for (int t = 0; t < item.nr_timesteps; ++t) {

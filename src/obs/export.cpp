@@ -48,7 +48,7 @@ std::string json_escape(const std::string& s) {
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "{\n";
-  os << "  \"schema\": \"idg-obs/v1\",\n";
+  os << "  \"schema\": \"idg-obs/v2\",\n";
   os << "  \"total_seconds\": " << fixed9(total_seconds(snapshot)) << ",\n";
   os << "  \"stages\": [";
   bool first = true;
@@ -59,6 +59,7 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
     os << "      \"name\": \"" << json_escape(stage) << "\",\n";
     os << "      \"seconds\": " << fixed9(m.seconds) << ",\n";
     os << "      \"invocations\": " << m.invocations << ",\n";
+    os << "      \"moved_bytes\": " << m.moved_bytes << ",\n";
     os << "      \"ops\": {\n";
     os << "        \"fma\": " << m.ops.fma << ",\n";
     os << "        \"mul\": " << m.ops.mul << ",\n";
@@ -77,14 +78,14 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
 }
 
 void write_csv(std::ostream& os, const MetricsSnapshot& snapshot) {
-  os << "stage,seconds,invocations,fma,mul,add,sincos,dev_bytes,"
+  os << "stage,seconds,invocations,moved_bytes,fma,mul,add,sincos,dev_bytes,"
         "shared_bytes,visibilities,total_ops,flops\n";
   for (const auto& [stage, m] : snapshot) {
     os << stage << ',' << fixed9(m.seconds) << ',' << m.invocations << ','
-       << m.ops.fma << ',' << m.ops.mul << ',' << m.ops.add << ','
-       << m.ops.sincos << ',' << m.ops.dev_bytes << ',' << m.ops.shared_bytes
-       << ',' << m.ops.visibilities << ',' << m.ops.ops() << ','
-       << m.ops.flops() << '\n';
+       << m.moved_bytes << ',' << m.ops.fma << ',' << m.ops.mul << ','
+       << m.ops.add << ',' << m.ops.sincos << ',' << m.ops.dev_bytes << ','
+       << m.ops.shared_bytes << ',' << m.ops.visibilities << ','
+       << m.ops.ops() << ',' << m.ops.flops() << '\n';
   }
 }
 

@@ -1,17 +1,18 @@
 // Metric exporters: stable JSON and CSV serializations of a
 // MetricsSnapshot.
 //
-// JSON schema "idg-obs/v1" (pinned by tests/golden/metrics.json; the
+// JSON schema "idg-obs/v2" (pinned by tests/golden/metrics.json; the
 // figure benches emit it via --json and downstream plotting consumes it):
 //
 //   {
-//     "schema": "idg-obs/v1",
+//     "schema": "idg-obs/v2",
 //     "total_seconds": <fixed 9-decimal>,
 //     "stages": [                       // sorted by stage name
 //       {
 //         "name": "<stage>",
 //         "seconds": <fixed 9-decimal>,
 //         "invocations": <uint>,
+//         "moved_bytes": <uint>,        // grid bytes touched (adder/splitter)
 //         "ops": {
 //           "fma": <uint>, "mul": <uint>, "add": <uint>, "sincos": <uint>,
 //           "dev_bytes": <uint>, "shared_bytes": <uint>,
@@ -28,8 +29,8 @@
 // CSV schema (pinned by tests/golden/metrics.csv): one row per stage,
 // sorted by name, with the same fields flattened:
 //
-//   stage,seconds,invocations,fma,mul,add,sincos,dev_bytes,shared_bytes,
-//   visibilities,total_ops,flops
+//   stage,seconds,invocations,moved_bytes,fma,mul,add,sincos,dev_bytes,
+//   shared_bytes,visibilities,total_ops,flops
 #pragma once
 
 #include <iosfwd>

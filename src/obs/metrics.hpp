@@ -26,11 +26,16 @@ struct StageMetrics {
   double seconds = 0.0;           ///< accumulated wall-clock time
   std::uint64_t invocations = 0;  ///< completed spans
   OpCounts ops;                   ///< analytic op/byte counters (may be zero)
+  /// Bytes the stage actually moved, recorded as work is executed (the
+  /// adder/splitter report their grid+subgrid traffic per work group);
+  /// moved_bytes / seconds is the stage's effective bandwidth.
+  std::uint64_t moved_bytes = 0;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
     invocations += other.invocations;
     ops += other.ops;
+    moved_bytes += other.moved_bytes;
     return *this;
   }
 };

@@ -20,6 +20,11 @@ void AggregateSink::record_ops(std::string_view stage, const OpCounts& ops) {
   metrics_[std::string(stage)].ops += ops;
 }
 
+void AggregateSink::record_bytes(std::string_view stage, std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  metrics_[std::string(stage)].moved_bytes += bytes;
+}
+
 MetricsSnapshot AggregateSink::snapshot() const {
   std::lock_guard lock(mutex_);
   return metrics_;

@@ -30,6 +30,14 @@ class MetricsSink {
   /// Attributes analytic op/byte counters to `stage` (does not count as an
   /// invocation; call alongside record()).
   virtual void record_ops(std::string_view stage, const OpCounts& ops) = 0;
+
+  /// Attributes `bytes` of actually-moved data to `stage` (accumulated into
+  /// StageMetrics::moved_bytes). Default no-op so sinks that only care
+  /// about wall time need not override it.
+  virtual void record_bytes(std::string_view stage, std::uint64_t bytes) {
+    (void)stage;
+    (void)bytes;
+  }
 };
 
 /// Discards everything. Used as the default when a caller does not care
@@ -50,6 +58,7 @@ class AggregateSink : public MetricsSink {
   void record(std::string_view stage, double seconds,
               std::uint64_t invocations = 1) override;
   void record_ops(std::string_view stage, const OpCounts& ops) override;
+  void record_bytes(std::string_view stage, std::uint64_t bytes) override;
 
   /// Consistent copy of the current aggregated state.
   MetricsSnapshot snapshot() const;

@@ -2,9 +2,11 @@
 // reporting and CLI parsing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <complex>
 #include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "common/aligned.hpp"
 #include "common/array.hpp"
@@ -12,6 +14,7 @@
 #include "common/counters.hpp"
 #include "common/error.hpp"
 #include "common/report.hpp"
+#include "common/threadpool.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 
@@ -286,6 +289,39 @@ TEST(CliTest, CommandLineBeatsEnvironment) {
   idg::Options opts(3, argv);
   EXPECT_EQ(opts.get("grid-size", 0L), 256);
   ::unsetenv("IDG_BENCH_GRID_SIZE");
+}
+
+// --- worker pool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, CoversEveryIndexExactlyOnce) {
+  idg::WorkerPool pool(3);
+  EXPECT_EQ(pool.nr_threads(), 4u);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000,
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPoolTest, ReusableAcrossJobs) {
+  idg::WorkerPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    const std::size_t n = static_cast<std::size_t>(round % 7);  // incl. 0
+    pool.parallel_for(n, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    EXPECT_EQ(sum.load(), static_cast<int>(n * (n + 1) / 2));
+  }
+}
+
+TEST(WorkerPoolTest, ZeroWorkersRunsInlineInOrder) {
+  idg::WorkerPool pool(0);
+  EXPECT_EQ(pool.nr_threads(), 1u);
+  std::vector<std::size_t> seen;
+  pool.parallel_for(5, [&](std::size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(seen[i], i);
 }
 
 }  // namespace

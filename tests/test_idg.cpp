@@ -3,8 +3,10 @@
 // against the direct (exact) predictor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <random>
 
 #include "idg/accounting.hpp"
@@ -522,23 +524,30 @@ TEST(RoundtripTest, DegridThenGridPreservesPointSourceImage) {
 
 // --- pipeline bookkeeping -------------------------------------------------------------
 
-TEST(ProcessorTest, StageTimesCoverAllStages) {
+TEST(ProcessorTest, SinkCoversAllStages) {
   auto s = Setup::make(5, 16, 4, 256, 24, 8);
   Processor proc(s.params);
   Array3D<cfloat> grid(4, s.params.grid_size, s.params.grid_size);
   Array3D<Visibility> vis(s.ds.nr_baselines(), s.ds.nr_timesteps(),
                           s.ds.nr_channels());
 
-  StageTimes times;
+  obs::AggregateSink sink;
   proc.grid_visibilities(s.plan, s.ds.uvw.cview(), vis.cview(),
-                         s.aterms.cview(), grid.view(), &times);
+                         s.aterms.cview(), grid.view(), sink);
   proc.degrid_visibilities(s.plan, s.ds.uvw.cview(), grid.cview(),
-                           s.aterms.cview(), vis.view(), &times);
-  EXPECT_GT(times.get(stage::kGridder), 0.0);
-  EXPECT_GT(times.get(stage::kDegridder), 0.0);
-  EXPECT_GT(times.get(stage::kSubgridFft), 0.0);
-  EXPECT_GT(times.get(stage::kAdder), 0.0);
-  EXPECT_GT(times.get(stage::kSplitter), 0.0);
+                           s.aterms.cview(), vis.view(), sink);
+  EXPECT_GT(sink.seconds(stage::kGridder), 0.0);
+  EXPECT_GT(sink.seconds(stage::kDegridder), 0.0);
+  EXPECT_GT(sink.seconds(stage::kSubgridFft), 0.0);
+  EXPECT_GT(sink.seconds(stage::kAdder), 0.0);
+  EXPECT_GT(sink.seconds(stage::kSplitter), 0.0);
+
+  // The adder/splitter also report their actual grid+subgrid traffic.
+  const auto snapshot = sink.snapshot();
+  EXPECT_EQ(snapshot.at(stage::kAdder).moved_bytes,
+            adder_moved_bytes(s.params, s.plan.nr_subgrids()));
+  EXPECT_EQ(snapshot.at(stage::kSplitter).moved_bytes,
+            splitter_moved_bytes(s.params, s.plan.nr_subgrids()));
 }
 
 TEST(AdderTest, SplitAfterAddRecoversIsolatedPatch) {
@@ -609,6 +618,203 @@ TEST(AdderTest, PatchOutsideGridThrows) {
   EXPECT_THROW(
       add_subgrids_to_grid(params, items, subgrids.cview(), grid.view()),
       Error);
+}
+
+// Shared scenario for the tiled-adder tests: a grid the tile size does not
+// divide (ragged edge tiles), items straddling tile boundaries, stacked
+// overlaps and the extreme bottom-right corner patch.
+struct TiledScenario {
+  Parameters params;
+  std::vector<WorkItem> items;
+  Array4D<cfloat> subgrids;
+
+  static TiledScenario make() {
+    TiledScenario sc;
+    sc.params.grid_size = 60;  // 60 / 16 = 3.75 -> ragged last tile row/col
+    sc.params.subgrid_size = 8;
+    sc.params.image_size = 0.01;
+    sc.params.nr_stations = 2;
+    sc.params.kernel_size = 2;
+    sc.params.adder_tile_size = 16;
+
+    std::mt19937 rng(11);
+    std::uniform_int_distribution<int> pos(0, 60 - 8);
+    for (int i = 0; i < 40; ++i) {
+      WorkItem item;
+      item.coord_x = pos(rng);
+      item.coord_y = pos(rng);
+      sc.items.push_back(item);
+    }
+    WorkItem corner;  // last grid row/column: lives in the ragged edge tiles
+    corner.coord_x = corner.coord_y = 60 - 8;
+    sc.items.push_back(corner);
+    WorkItem straddle;  // patch [12, 20) spans the tile boundary at 16
+    straddle.coord_x = straddle.coord_y = 12;
+    sc.items.push_back(straddle);
+    for (std::size_t i = 0; i < sc.items.size(); ++i)
+      sc.items[i].order = static_cast<std::uint32_t>(i);
+
+    sc.subgrids = Array4D<cfloat>(sc.items.size(), 4, 8, 8);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (auto& v : sc.subgrids) v = {dist(rng), dist(rng)};
+    return sc;
+  }
+};
+
+TEST(AdderTest, TiledMatchesRowbandBitForBit) {
+  auto sc = TiledScenario::make();
+  const std::size_t g = sc.params.grid_size;
+  Array3D<cfloat> tiled(4, g, g), rowband(4, g, g);
+  add_subgrids_to_grid(sc.params, sc.items, sc.subgrids.cview(),
+                       tiled.view());
+  add_subgrids_to_grid_rowband(sc.params, sc.items, sc.subgrids.cview(),
+                               rowband.view());
+  for (std::size_t i = 0; i < tiled.size(); ++i)
+    ASSERT_EQ(tiled.data()[i], rowband.data()[i]) << "grid element " << i;
+}
+
+TEST(AdderTest, AccumulationIsCanonicalUnderSpanPermutation) {
+  // Shuffling the span (items together with their subgrid slots) must not
+  // change a single bit of the grid: the tile lists follow WorkItem::order,
+  // not span position. This is the invariant that makes tile-sorted and
+  // arrival-ordered plans produce identical grids.
+  auto sc = TiledScenario::make();
+  const std::size_t g = sc.params.grid_size;
+  Array3D<cfloat> reference(4, g, g);
+  add_subgrids_to_grid(sc.params, sc.items, sc.subgrids.cview(),
+                       reference.view());
+
+  std::vector<std::size_t> perm(sc.items.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::mt19937 rng(23);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<WorkItem> shuffled_items;
+  Array4D<cfloat> shuffled_subgrids(sc.items.size(), 4, 8, 8);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    shuffled_items.push_back(sc.items[perm[i]]);
+    for (std::size_t p = 0; p < 4; ++p)
+      for (std::size_t y = 0; y < 8; ++y)
+        for (std::size_t x = 0; x < 8; ++x)
+          shuffled_subgrids(i, p, y, x) = sc.subgrids(perm[i], p, y, x);
+  }
+
+  Array3D<cfloat> shuffled(4, g, g);
+  add_subgrids_to_grid(sc.params, shuffled_items, shuffled_subgrids.cview(),
+                       shuffled.view());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(reference.data()[i], shuffled.data()[i]) << "grid element "
+                                                       << i;
+}
+
+TEST(AdderTest, TiledSplitterMatchesDirectPatchCopy) {
+  auto sc = TiledScenario::make();
+  const std::size_t g = sc.params.grid_size;
+  Array3D<cfloat> grid(4, g, g);
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : grid) v = {dist(rng), dist(rng)};
+
+  const TileBinning binning = bin_items_by_tile(sc.params, sc.items);
+  Array4D<cfloat> out(sc.items.size(), 4, 8, 8);
+  split_subgrids_from_grid(sc.params, sc.items, binning, grid.cview(),
+                           out.view());
+  for (std::size_t i = 0; i < sc.items.size(); ++i) {
+    const auto y0 = static_cast<std::size_t>(sc.items[i].coord_y);
+    const auto x0 = static_cast<std::size_t>(sc.items[i].coord_x);
+    for (std::size_t p = 0; p < 4; ++p)
+      for (std::size_t y = 0; y < 8; ++y)
+        for (std::size_t x = 0; x < 8; ++x)
+          ASSERT_EQ(out(i, p, y, x), grid(p, y0 + y, x0 + x));
+  }
+}
+
+TEST(AdderTest, TileBinningCoversEachTileItemPairOnce) {
+  auto sc = TiledScenario::make();
+  const TileBinning binning = bin_items_by_tile(sc.params, sc.items);
+  const std::size_t t = binning.tile_size;
+  ASSERT_EQ(t, sc.params.adder_tile_size);
+  ASSERT_EQ(binning.tiles_per_row,
+            (sc.params.grid_size + t - 1) / t);
+  ASSERT_EQ(binning.tile_offsets.size(), binning.nr_tiles() + 1);
+
+  // Every (tile, item) intersection appears exactly once, in ascending
+  // WorkItem::order within the tile.
+  for (std::size_t tile = 0; tile < binning.nr_tiles(); ++tile) {
+    const std::size_t ty = tile / binning.tiles_per_row;
+    const std::size_t tx = tile % binning.tiles_per_row;
+    std::vector<bool> listed(sc.items.size(), false);
+    std::uint32_t last_order = 0;
+    bool first = true;
+    for (std::uint32_t k = binning.tile_offsets[tile];
+         k < binning.tile_offsets[tile + 1]; ++k) {
+      const std::uint32_t i = binning.item_indices[k];
+      ASSERT_LT(i, sc.items.size());
+      EXPECT_FALSE(listed[i]) << "item " << i << " listed twice in tile "
+                              << tile;
+      listed[i] = true;
+      if (!first) EXPECT_LE(last_order, sc.items[i].order);
+      last_order = sc.items[i].order;
+      first = false;
+    }
+    for (std::size_t i = 0; i < sc.items.size(); ++i) {
+      const auto x0 = static_cast<std::size_t>(sc.items[i].coord_x);
+      const auto y0 = static_cast<std::size_t>(sc.items[i].coord_y);
+      const std::size_t n = sc.params.subgrid_size;
+      const bool overlaps = x0 / t <= tx && tx <= (x0 + n - 1) / t &&
+                            y0 / t <= ty && ty <= (y0 + n - 1) / t;
+      EXPECT_EQ(listed[i], overlaps)
+          << "tile " << tile << " item " << i;
+    }
+  }
+}
+
+TEST(ProcessorTest, SortedAndUnsortedPlansAreBitIdentical) {
+  auto s = Setup::make(6, 64, 8, 256, 24, 8);
+  Array3D<Visibility> vis(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                          s.ds.nr_channels());
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : vis)
+    for (int p = 0; p < 4; ++p) v[p] = {dist(rng), dist(rng)};
+
+  Parameters sorted_params = s.params;
+  sorted_params.plan_ordering = PlanOrdering::kTileSorted;
+  Parameters arrival_params = s.params;
+  arrival_params.plan_ordering = PlanOrdering::kArrival;
+
+  Plan sorted_plan(sorted_params, s.ds.uvw, s.ds.frequencies,
+                   s.ds.baselines);
+  Plan arrival_plan(arrival_params, s.ds.uvw, s.ds.frequencies,
+                    s.ds.baselines);
+  ASSERT_EQ(sorted_plan.nr_subgrids(), arrival_plan.nr_subgrids());
+
+  // Gridding: both orderings must produce the same grid, bit for bit.
+  Processor sorted_proc(sorted_params), arrival_proc(arrival_params);
+  Array3D<cfloat> sorted_grid(4, s.params.grid_size, s.params.grid_size);
+  Array3D<cfloat> arrival_grid(4, s.params.grid_size, s.params.grid_size);
+  sorted_proc.grid_visibilities(sorted_plan, s.ds.uvw.cview(), vis.cview(),
+                                s.aterms.cview(), sorted_grid.view());
+  arrival_proc.grid_visibilities(arrival_plan, s.ds.uvw.cview(), vis.cview(),
+                                 s.aterms.cview(), arrival_grid.view());
+  for (std::size_t i = 0; i < sorted_grid.size(); ++i)
+    ASSERT_EQ(sorted_grid.data()[i], arrival_grid.data()[i])
+        << "grid element " << i;
+
+  // Degridding from the common grid must also agree bit for bit.
+  Array3D<Visibility> sorted_vis(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                                 s.ds.nr_channels());
+  Array3D<Visibility> arrival_vis(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                                  s.ds.nr_channels());
+  sorted_proc.degrid_visibilities(sorted_plan, s.ds.uvw.cview(),
+                                  sorted_grid.cview(), s.aterms.cview(),
+                                  sorted_vis.view());
+  arrival_proc.degrid_visibilities(arrival_plan, s.ds.uvw.cview(),
+                                   sorted_grid.cview(), s.aterms.cview(),
+                                   arrival_vis.view());
+  for (std::size_t i = 0; i < sorted_vis.size(); ++i)
+    for (int p = 0; p < 4; ++p)
+      ASSERT_EQ(sorted_vis.data()[i][p], arrival_vis.data()[i][p])
+          << "visibility " << i << " pol " << p;
 }
 
 // --- accounting -------------------------------------------------------------------

@@ -152,6 +152,7 @@ obs::MetricsSnapshot golden_snapshot() {
   obs::AggregateSink sink;
   sink.record("gridder", 1.5, 3);
   sink.record("adder", 0.25);
+  sink.record_bytes("adder", 786432);
   OpCounts ops;
   ops.fma = 17;
   ops.mul = 8;
@@ -186,7 +187,7 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v2\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 0.000000000"), std::string::npos);
 }
@@ -426,6 +427,8 @@ TEST(ParametersTest, EveryInconsistencyIsCaught) {
       error_of([](Parameters& p) { p.max_timesteps_per_subgrid = 0; }));
   EXPECT_TRUE(error_of([](Parameters& p) { p.aterm_interval = -1; }));
   EXPECT_TRUE(error_of([](Parameters& p) { p.work_group_size = 0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.adder_tile_size = 0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.adder_tile_size = 12; }));
 }
 
 TEST(ParametersTest, ProcessorRejectsBadParametersAtConstruction) {
