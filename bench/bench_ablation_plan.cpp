@@ -23,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace idg;
   Options opts(argc, argv);
+  bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Ablation: execution-plan parameters", setup);
   const auto& ds = setup.dataset;

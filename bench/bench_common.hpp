@@ -8,7 +8,10 @@
 //
 // Benches that measure pipeline stages additionally accept
 //   --backend <name>   execution backend (idg::make_backend names)
-//   --json <path>      per-stage metrics in the idg-obs/v2 JSON schema
+//   --json <path>      per-stage metrics in the idg-obs/v3 JSON schema
+//   --trace <path>     Chrome-trace/Perfetto event timeline (also enabled
+//                      by the IDG_TRACE environment variable; load the file
+//                      at ui.perfetto.dev or chrome://tracing)
 //   --sorted | --unsorted   plan tile-locality ordering ablation (default
 //                      sorted; grids are bit-identical, only adder locality
 //                      changes)
@@ -17,6 +20,7 @@
 // per-bench table formats.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -28,6 +32,7 @@
 #include "idg/plan.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
 
@@ -108,7 +113,7 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
   }
 }
 
-/// Writes the per-stage metrics snapshot as idg-obs/v2 JSON when --json
+/// Writes the per-stage metrics snapshot as idg-obs/v3 JSON when --json
 /// <path> was given.
 inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
                              const Options& opts) {
@@ -118,6 +123,35 @@ inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
     std::cout << "\n(wrote " << path << ")\n";
   }
 }
+
+/// Trace output path: --trace <path> (or IDG_BENCH_TRACE) first, then the
+/// dedicated IDG_TRACE environment variable; empty = tracing disabled.
+inline std::string trace_path_from_options(const Options& opts) {
+  std::string path = opts.get("trace", std::string{});
+  if (path.empty()) {
+    if (const char* env = std::getenv("IDG_TRACE")) path = env;
+  }
+  return path;
+}
+
+/// RAII activation of timeline tracing for a bench run: installs the
+/// global TraceSink when a trace path was configured (no-op otherwise) and
+/// writes the Chrome-trace JSON on destruction. Construct BEFORE creating
+/// backends so queues/pools latch the sink at instrument() time.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const Options& opts)
+      : session_(trace_path_from_options(opts)) {}
+  ~TraceGuard() {
+    if (session_.enabled()) {
+      std::cout << "\n(wrote trace " << session_.path() << ")\n";
+    }
+  }
+  bool enabled() const { return session_.enabled(); }
+
+ private:
+  obs::TraceSession session_;
+};
 
 /// Creates the execution backend selected by --backend (default:
 /// synchronous). The KernelSet must outlive the returned backend.

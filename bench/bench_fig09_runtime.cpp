@@ -5,7 +5,7 @@
 // The measured breakdown comes from the observability layer: the selected
 // backend (--backend synchronous|pipelined) records every stage span into
 // an obs::AggregateSink, and --json <path> exports the per-stage metrics in
-// the stable idg-obs/v2 schema.
+// the stable idg-obs/v3 schema.
 //
 // Expected shape (paper §VI-B): "For all architectures, runtime is
 // dominated by the gridder and degridder kernels (more than 93%)."
@@ -23,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace idg;
   Options opts(argc, argv);
+  bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 9: runtime distribution of one imaging cycle",
                       setup);

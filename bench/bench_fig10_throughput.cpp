@@ -3,7 +3,7 @@
 //
 // The measured numbers come from two obs::AggregateSinks (one per
 // direction) fed by the selected backend (--backend synchronous|pipelined);
-// --json <path> exports the combined per-stage metrics (idg-obs/v2).
+// --json <path> exports the combined per-stage metrics (idg-obs/v3).
 //
 // Expected shape: both GPUs almost an order of magnitude above the CPU.
 #include <iostream>
@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace idg;
   Options opts(argc, argv);
+  bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 10: gridding/degridding throughput", setup);
 

@@ -4,7 +4,7 @@
 //
 // Host stage times come from the observability layer (obs::AggregateSink
 // fed by the selected --backend); --json <path> exports the per-stage
-// metrics in the stable idg-obs/v2 schema.
+// metrics in the stable idg-obs/v3 schema.
 //
 // Expected shape: most energy in the gridder and degridder; GPUs an order
 // of magnitude below the CPU in total, even including host power.
@@ -23,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace idg;
   Options opts(argc, argv);
+  bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 14: energy distribution of one imaging cycle",
                       setup);

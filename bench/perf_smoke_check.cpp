@@ -7,8 +7,10 @@
 //
 // Usage: perf_smoke_check <current.json> <baseline.json>
 //
-// The inputs are idg-obs/v2 exports; only the adder stage's "seconds" field
-// is read, with a minimal string scan so the checker has no dependencies.
+// The inputs are idg-obs exports (the v2 baseline and v3 current exports
+// both work — "seconds" directly follows "name" in every version); only the
+// adder stage's "seconds" field is read, with a minimal string scan so the
+// checker has no dependencies.
 #include <cstddef>
 #include <fstream>
 #include <iostream>
@@ -30,7 +32,8 @@ bool read_file(const std::string& path, std::string& out) {
 }
 
 /// Extracts the "seconds" value of the stage named `stage` from an
-/// idg-obs/v2 JSON export ("seconds" directly follows "name" per stage).
+/// idg-obs JSON export ("seconds" directly follows "name" per stage in
+/// every schema version).
 bool stage_seconds(const std::string& json, const std::string& stage,
                    double& out) {
   const std::string name_key = "\"name\": \"" + stage + "\"";

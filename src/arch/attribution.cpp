@@ -1,0 +1,175 @@
+#include "arch/attribution.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "obs/export.hpp"
+
+namespace idg::arch {
+
+const char* to_string(RooflineBound bound) {
+  switch (bound) {
+    case RooflineBound::kNone: return "none";
+    case RooflineBound::kCompute: return "compute";
+    case RooflineBound::kSincos: return "sincos";
+    case RooflineBound::kBandwidth: return "bandwidth";
+    case RooflineBound::kSharedBandwidth: return "shared-bandwidth";
+  }
+  return "none";
+}
+
+namespace {
+
+StageAttribution attribute_one(const Machine& m, const std::string& stage,
+                               const obs::StageMetrics& metrics) {
+  StageAttribution a;
+  a.stage = stage;
+  a.seconds = metrics.seconds;
+  a.ops = metrics.ops.ops();
+  if (metrics.seconds > 0.0 && metrics.moved_bytes > 0) {
+    a.achieved_bw_gbs =
+        static_cast<double>(metrics.moved_bytes) / metrics.seconds / 1e9;
+  }
+
+  if (a.ops == 0) {
+    // Pure data movement (adder/splitter with analytic dev_bytes only, or
+    // a stage that never recorded counts): bandwidth is the only axis.
+    if (metrics.ops.dev_bytes > 0 || metrics.moved_bytes > 0) {
+      a.bound = RooflineBound::kBandwidth;
+      a.bound_ceiling = m.mem_bw_gbs * 1e9;  // bytes/s, compared via GB/s
+      if (a.bound_ceiling > 0.0 && a.achieved_bw_gbs > 0.0) {
+        a.pct_of_bound = a.achieved_bw_gbs / m.mem_bw_gbs * 100.0;
+      }
+    }
+    return a;
+  }
+
+  if (a.seconds > 0.0) {
+    a.achieved_ops = static_cast<double>(a.ops) / a.seconds;
+  }
+  a.intensity_dev = metrics.ops.intensity_dev();
+
+  // The three candidate ceilings at this stage's measured mix/intensity
+  // (kernel_efficiency deliberately NOT applied: achieved/ceiling gaps are
+  // exactly what the efficiency factor was calibrated to absorb).
+  a.ceiling_opmix = metrics.ops.sincos > 0
+                        ? opmix_ceiling(m, metrics.ops.rho())
+                        : m.peak_ops();
+  a.ceiling_dev = metrics.ops.dev_bytes > 0
+                      ? roofline_dev(m, a.intensity_dev)
+                      : m.peak_ops();
+  a.ceiling_shared =
+      (metrics.ops.shared_bytes > 0 && m.shared_bw_gbs > 0.0)
+          ? roofline_shared(m, metrics.ops.intensity_shared())
+          : 0.0;
+
+  // Tightest ceiling wins. A shared ceiling of 0 means "not applicable".
+  a.bound = RooflineBound::kCompute;
+  a.bound_ceiling = a.ceiling_opmix;
+  if (metrics.ops.sincos > 0 && a.ceiling_opmix < m.peak_ops()) {
+    a.bound = RooflineBound::kSincos;
+  }
+  if (a.ceiling_dev < a.bound_ceiling) {
+    a.bound = RooflineBound::kBandwidth;
+    a.bound_ceiling = a.ceiling_dev;
+  }
+  if (a.ceiling_shared > 0.0 && a.ceiling_shared < a.bound_ceiling) {
+    a.bound = RooflineBound::kSharedBandwidth;
+    a.bound_ceiling = a.ceiling_shared;
+  }
+
+  if (a.achieved_ops > 0.0) {
+    a.pct_of_peak = a.achieved_ops / m.peak_ops() * 100.0;
+    a.pct_of_bound = a.achieved_ops / a.bound_ceiling * 100.0;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<StageAttribution> attribute_roofline(
+    const Machine& machine, const obs::MetricsSnapshot& snapshot) {
+  std::vector<StageAttribution> rows;
+  rows.reserve(snapshot.size());
+  for (const auto& [stage, metrics] : snapshot) {
+    rows.push_back(attribute_one(machine, stage, metrics));
+  }
+  return rows;
+}
+
+StageAttribution attribute_total(const Machine& machine,
+                                 const obs::MetricsSnapshot& snapshot) {
+  obs::StageMetrics total;
+  for (const auto& [stage, metrics] : snapshot) {
+    if (metrics.ops.ops() == 0) continue;  // only op-counted stages
+    total += metrics;
+  }
+  return attribute_one(machine, "total", total);
+}
+
+void write_attribution_table(std::ostream& os, const Machine& machine,
+                             const std::vector<StageAttribution>& rows) {
+  const auto flags = os.flags();
+  os << "measured roofline attribution on " << machine.name << " (peak "
+     << std::fixed << std::setprecision(0) << machine.peak_ops() / 1e9
+     << " Gops/s, " << machine.mem_bw_gbs << " GB/s)\n";
+  os << std::left << std::setw(14) << "stage" << std::right << std::setw(10)
+     << "seconds" << std::setw(12) << "Gops/s" << std::setw(10) << "I(dev)"
+     << std::setw(10) << "GB/s" << std::setw(12) << "ceiling" << std::setw(18)
+     << "bound" << std::setw(9) << "%bound" << std::setw(8) << "%peak"
+     << "\n";
+  for (const StageAttribution& a : rows) {
+    os << std::left << std::setw(14) << a.stage << std::right << std::fixed
+       << std::setprecision(4) << std::setw(10) << a.seconds
+       << std::setprecision(1) << std::setw(12) << a.achieved_ops / 1e9
+       << std::setprecision(2) << std::setw(10) << a.intensity_dev
+       << std::setprecision(1) << std::setw(10) << a.achieved_bw_gbs
+       << std::setw(12) << a.bound_ceiling / 1e9 << std::setw(18)
+       << to_string(a.bound) << std::setw(9) << a.pct_of_bound << std::setw(8)
+       << a.pct_of_peak << "\n";
+  }
+  os.flags(flags);
+}
+
+void write_attribution_json(std::ostream& os, const Machine& machine,
+                            const std::vector<StageAttribution>& rows) {
+  using obs::format_double;
+  using obs::json_escape;
+  os << "{\n";
+  os << "  \"schema\": \"idg-roofline/v1\",\n";
+  os << "  \"machine\": \"" << json_escape(machine.name) << "\",\n";
+  os << "  \"peak_gops\": " << format_double(machine.peak_ops() / 1e9)
+     << ",\n";
+  os << "  \"mem_bw_gbs\": " << format_double(machine.mem_bw_gbs) << ",\n";
+  os << "  \"stages\": [";
+  bool first = true;
+  for (const StageAttribution& a : rows) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(a.stage) << "\",\n";
+    os << "      \"seconds\": " << format_double(a.seconds) << ",\n";
+    os << "      \"ops\": " << a.ops << ",\n";
+    os << "      \"achieved_gops\": " << format_double(a.achieved_ops / 1e9)
+       << ",\n";
+    os << "      \"intensity_dev\": " << format_double(a.intensity_dev)
+       << ",\n";
+    os << "      \"achieved_bw_gbs\": " << format_double(a.achieved_bw_gbs)
+       << ",\n";
+    os << "      \"ceiling_opmix_gops\": "
+       << format_double(a.ceiling_opmix / 1e9) << ",\n";
+    os << "      \"ceiling_dev_gops\": " << format_double(a.ceiling_dev / 1e9)
+       << ",\n";
+    os << "      \"ceiling_shared_gops\": "
+       << format_double(a.ceiling_shared / 1e9) << ",\n";
+    os << "      \"bound\": \"" << to_string(a.bound) << "\",\n";
+    os << "      \"pct_of_peak\": " << format_double(a.pct_of_peak) << ",\n";
+    os << "      \"pct_of_bound\": " << format_double(a.pct_of_bound) << "\n";
+    os << "    }";
+  }
+  os << (first ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+}  // namespace idg::arch

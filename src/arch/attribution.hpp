@@ -1,0 +1,101 @@
+// Measured roofline attribution (paper §VI-C, Figs 11 and 13).
+//
+// The roofline headers model *attainable* performance from analytic
+// counts alone. This module closes the loop: it joins a MetricsSnapshot —
+// per-stage measured wall seconds plus the analytic op/byte counters the
+// same run accumulated — with a Machine's ceilings, and reports per stage
+//
+//   * achieved ops/s   = ops / seconds (the paper's "known operation
+//     count divided by measured runtime" methodology),
+//   * operational intensity w.r.t. device/main memory,
+//   * the three candidate ceilings (op-mix, device-memory roofline,
+//     shared-memory roofline) at that stage's mix and intensity,
+//   * which ceiling binds (the roofline "you are limited by X" verdict),
+//   * achieved as a fraction of the machine peak and of the binding
+//     ceiling.
+//
+// Stages with no analytic counts (e.g. untracked helper stages) attribute
+// to kNone and report zeros; pure-traffic stages (adder/splitter, ops()==0
+// but moved_bytes>0) are classified as bandwidth-bound with an achieved
+// GB/s instead of an ops rate. bench_fig11_roofline and
+// bench_fig13_shared_roofline print these tables next to the modeled 2017
+// machines so measured and modeled points share one axis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/roofline.hpp"
+#include "obs/metrics.hpp"
+
+namespace idg::arch {
+
+/// Which ceiling limits a stage at its measured mix and intensity.
+enum class RooflineBound {
+  kNone,             ///< no analytic counts recorded for the stage
+  kCompute,          ///< op-mix / FMA-peak ceiling binds
+  kSincos,           ///< op-mix ceiling binds AND sits below the FMA peak
+                     ///  (the sincos evaluations drag the ceiling down)
+  kBandwidth,        ///< device/main-memory roofline binds
+  kSharedBandwidth,  ///< GPU shared-memory roofline binds
+};
+
+/// Short lower-case label ("compute", "sincos", "bandwidth", ...).
+const char* to_string(RooflineBound bound);
+
+/// One stage's measured position under the machine's rooflines.
+struct StageAttribution {
+  std::string stage;
+  double seconds = 0.0;
+  std::uint64_t ops = 0;             ///< analytic total (paper definition)
+  double achieved_ops = 0.0;         ///< ops / seconds (0 when untimed)
+  double intensity_dev = 0.0;        ///< ops / dev_bytes
+  double achieved_bw_gbs = 0.0;      ///< moved_bytes / seconds / 1e9
+  double ceiling_opmix = 0.0;        ///< ops/s at the stage's rho
+  double ceiling_dev = 0.0;          ///< ops/s at the stage's intensity
+  double ceiling_shared = 0.0;       ///< 0 when the machine has no shared mem
+  RooflineBound bound = RooflineBound::kNone;
+  double bound_ceiling = 0.0;        ///< the binding ceiling's ops/s
+  double pct_of_peak = 0.0;          ///< achieved / machine peak * 100
+  double pct_of_bound = 0.0;         ///< achieved / binding ceiling * 100
+};
+
+/// Attributes every stage of `snapshot` against `machine`'s rooflines.
+/// Stages are returned in snapshot (name-sorted) order. Stages with zero
+/// measured seconds get achieved rates of 0 but still report ceilings.
+std::vector<StageAttribution> attribute_roofline(
+    const Machine& machine, const obs::MetricsSnapshot& snapshot);
+
+/// Aggregate of all stages with analytic ops: total ops / total seconds
+/// against the machine peak (one "whole pipeline" roofline point).
+StageAttribution attribute_total(const Machine& machine,
+                                 const obs::MetricsSnapshot& snapshot);
+
+/// Human-readable attribution table (one row per stage).
+void write_attribution_table(std::ostream& os, const Machine& machine,
+                             const std::vector<StageAttribution>& rows);
+
+/// JSON serialization, schema "idg-roofline/v1":
+///
+///   {
+///     "schema": "idg-roofline/v1",
+///     "machine": "<name>",
+///     "peak_gops": <number>,
+///     "stages": [
+///       {"name": ..., "seconds": ..., "ops": ...,
+///        "achieved_gops": ..., "intensity_dev": ...,
+///        "achieved_bw_gbs": ...,
+///        "ceiling_opmix_gops": ..., "ceiling_dev_gops": ...,
+///        "ceiling_shared_gops": ...,
+///        "bound": "compute"|"sincos"|"bandwidth"|"shared-bandwidth"|"none",
+///        "pct_of_peak": ..., "pct_of_bound": ...}, ...
+///     ]
+///   }
+///
+/// Numbers use obs::format_double (shortest round-trip, deterministic).
+void write_attribution_json(std::ostream& os, const Machine& machine,
+                            const std::vector<StageAttribution>& rows);
+
+}  // namespace idg::arch

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace idg {
 
 class WorkerPool {
@@ -47,6 +49,21 @@ class WorkerPool {
 
   /// Worker threads plus the calling thread.
   std::size_t nr_threads() const { return workers_.size() + 1; }
+
+  /// Names this pool's occupancy counter track and latches the global
+  /// trace sink; the pool samples the number of threads working a job
+  /// whenever one joins or leaves. Call before jobs run; a no-op when
+  /// tracing is disabled. max_active() is tracked regardless.
+  void instrument(const char* name) {
+    trace_ = obs::global_trace();
+    trace_name_ = trace_ != nullptr ? trace_->intern(name) : nullptr;
+  }
+
+  /// Largest number of threads ever concurrently inside a job (never
+  /// exceeds nr_threads()).
+  std::size_t max_active() const {
+    return max_active_.load(std::memory_order_relaxed);
+  }
 
   /// Runs fn(i) for every i in [0, n); blocks until all calls finished.
   /// Not reentrant: one job at a time per pool.
@@ -80,17 +97,41 @@ class WorkerPool {
   };
 
   void run(Job& job) {
+    enter_job();
     for (;;) {
       const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job.n) return;
+      if (i >= job.n) break;
       (*job.fn)(i);
       std::lock_guard lock(mutex_);
       if (--job.pending == 0) done_.notify_all();
+    }
+    leave_job();
+  }
+
+  void enter_job() {
+    const std::size_t active =
+        active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t seen = max_active_.load(std::memory_order_relaxed);
+    while (active > seen &&
+           !max_active_.compare_exchange_weak(seen, active,
+                                              std::memory_order_relaxed)) {
+    }
+    if (trace_ != nullptr) {
+      trace_->record_counter(trace_name_, static_cast<std::int64_t>(active));
+    }
+  }
+
+  void leave_job() {
+    const std::size_t active =
+        active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (trace_ != nullptr) {
+      trace_->record_counter(trace_name_, static_cast<std::int64_t>(active));
     }
   }
 
   void worker_loop() {
     std::uint64_t seen = 0;
+    bool named = false;
     for (;;) {
       std::shared_ptr<Job> job;
       {
@@ -99,6 +140,11 @@ class WorkerPool {
         if (stop_) return;
         seen = generation_;
         job = job_;
+      }
+      if (!named && trace_ != nullptr) {
+        // Group the pool's workers under the pool's track name.
+        trace_->set_thread_name(trace_name_);
+        named = true;
       }
       run(*job);
     }
@@ -111,6 +157,10 @@ class WorkerPool {
   std::shared_ptr<Job> job_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> max_active_{0};
+  obs::TraceSink* trace_ = nullptr;
+  const char* trace_name_ = nullptr;
 };
 
 }  // namespace idg

@@ -71,21 +71,28 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   BoundedQueue<std::size_t> free_buffers(nr_buffers_);
   BoundedQueue<Ticket> to_kernel(nr_buffers_);
   BoundedQueue<Ticket> to_adder(nr_buffers_);
+  free_buffers.instrument("pipeline:grid:free-buffers");
+  to_kernel.instrument("pipeline:grid:to-kernel");
+  to_adder.instrument("pipeline:grid:to-adder");
   for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
 
   // Stage X: gridder kernel + subgrid FFT per work group. Both stage
   // threads record spans directly into the shared sink (thread-safe).
   std::thread kernel_thread([&] {
+    if (auto* trace = obs::global_trace()) {
+      trace->set_thread_name("pipeline:kernel");
+    }
     Ticket ticket;
     while (to_kernel.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
+      const auto group = static_cast<std::int64_t>(ticket.group);
       {
-        obs::Span span(sink, stage::kGridder);
+        obs::Span span(sink, stage::kGridder, group);
         kernels_->grid(params_, data, items, visibilities,
                        buffers[ticket.buffer].view());
       }
       {
-        obs::Span span(sink, stage::kSubgridFft);
+        obs::Span span(sink, stage::kSubgridFft, group);
         subgrid_fft(SubgridFftDirection::ToFourier,
                     buffers[ticket.buffer].view(), items.size());
       }
@@ -99,14 +106,19 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   // each group's tile-binned accumulation out over a small worker pool.
   // Tiles are disjoint grid regions, so the workers never race on `grid`.
   WorkerPool adder_pool(nr_adder_threads_ - 1);
+  adder_pool.instrument("pipeline:grid:adder-pool");
   std::thread adder_thread([&] {
+    if (auto* trace = obs::global_trace()) {
+      trace->set_thread_name("pipeline:adder");
+    }
     Ticket ticket;
     while (to_adder.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       const TileBinning& binning = plan.work_group_tiles(ticket.group);
       const auto subgrids = buffers[ticket.buffer].cview();
       {
-        obs::Span span(sink, stage::kAdder);
+        obs::Span span(sink, stage::kAdder,
+                       static_cast<std::int64_t>(ticket.group));
         adder_pool.parallel_for(binning.nr_tiles(), [&](std::size_t tile) {
           add_tile(params_, items, binning, tile, subgrids, grid);
         });
@@ -169,15 +181,22 @@ void PipelinedDegridder::degrid_visibilities(
   BoundedQueue<std::size_t> free_buffers(nr_buffers_);
   BoundedQueue<Ticket> to_fft(nr_buffers_);
   BoundedQueue<Ticket> to_kernel(nr_buffers_);
+  free_buffers.instrument("pipeline:degrid:free-buffers");
+  to_fft.instrument("pipeline:degrid:to-fft");
+  to_kernel.instrument("pipeline:degrid:to-kernel");
   for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
 
   // Stage: subgrid IFFT (device-side "kernel stream" #1).
   std::thread fft_thread([&] {
+    if (auto* trace = obs::global_trace()) {
+      trace->set_thread_name("pipeline:fft");
+    }
     Ticket ticket;
     while (to_fft.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        obs::Span span(sink, stage::kSubgridFft);
+        obs::Span span(sink, stage::kSubgridFft,
+                       static_cast<std::int64_t>(ticket.group));
         subgrid_fft(SubgridFftDirection::ToImage,
                     buffers[ticket.buffer].view(), items.size());
       }
@@ -189,11 +208,15 @@ void PipelinedDegridder::degrid_visibilities(
   // Stage: degridder kernel; disjoint (baseline, time, channel) blocks per
   // work item make concurrent writes to `visibilities` race-free.
   std::thread kernel_thread([&] {
+    if (auto* trace = obs::global_trace()) {
+      trace->set_thread_name("pipeline:kernel");
+    }
     Ticket ticket;
     while (to_kernel.pop(ticket)) {
       const auto items = plan.work_group(ticket.group);
       {
-        obs::Span span(sink, stage::kDegridder);
+        obs::Span span(sink, stage::kDegridder,
+                       static_cast<std::int64_t>(ticket.group));
         kernels_->degrid(params_, data, items, buffers[ticket.buffer].cview(),
                          visibilities);
       }
@@ -208,7 +231,7 @@ void PipelinedDegridder::degrid_visibilities(
     IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
     const auto items = plan.work_group(g);
     {
-      obs::Span span(sink, stage::kSplitter);
+      obs::Span span(sink, stage::kSplitter, static_cast<std::int64_t>(g));
       split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
                                buffers[buffer].view());
     }

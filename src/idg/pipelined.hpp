@@ -41,19 +41,43 @@
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
 #include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 namespace idg {
 
 /// A minimal bounded MPMC queue for pipeline hand-off.
+///
+/// The queue always tracks its depth high-water mark (max_depth(), used by
+/// the tests to assert the bound is respected); instrument() additionally
+/// samples every depth change into the global trace as a counter track, so
+/// the exported timeline shows the pipeline's back-pressure directly.
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Names this queue's trace counter track and latches the global trace
+  /// sink. Call before the producing/consuming threads start; a no-op when
+  /// tracing is disabled.
+  void instrument(const char* name) {
+    std::lock_guard lock(mutex_);
+    trace_ = obs::global_trace();
+    trace_name_ = trace_ != nullptr ? trace_->intern(name) : nullptr;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Largest depth ever observed (never exceeds capacity()).
+  std::size_t max_depth() const {
+    std::lock_guard lock(mutex_);
+    return max_depth_;
+  }
+
   void push(T value) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
     queue_.push(std::move(value));
+    sample_depth_locked();
     not_empty_.notify_one();
   }
 
@@ -64,6 +88,7 @@ class BoundedQueue {
     if (queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop();
+    sample_depth_locked();
     not_full_.notify_one();
     return true;
   }
@@ -75,10 +100,21 @@ class BoundedQueue {
   }
 
  private:
+  void sample_depth_locked() {
+    const std::size_t depth = queue_.size();
+    if (depth > max_depth_) max_depth_ = depth;
+    if (trace_ != nullptr) {
+      trace_->record_counter(trace_name_, static_cast<std::int64_t>(depth));
+    }
+  }
+
   std::size_t capacity_;
   std::queue<T> queue_;
   bool closed_ = false;
-  std::mutex mutex_;
+  std::size_t max_depth_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  const char* trace_name_ = nullptr;
+  mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
 };

@@ -27,17 +27,18 @@ void Processor::grid_visibilities(const Plan& plan,
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
+    const auto group = static_cast<std::int64_t>(g);
     {
-      obs::Span span(sink, stage::kGridder);
+      obs::Span span(sink, stage::kGridder, group);
       kernels_->grid(params_, data, items, visibilities, subgrids.view());
     }
     {
-      obs::Span span(sink, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft, group);
       subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
                   items.size());
     }
     {
-      obs::Span span(sink, stage::kAdder);
+      obs::Span span(sink, stage::kAdder, group);
       add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
                            subgrids.cview(), grid);
     }
@@ -64,19 +65,20 @@ void Processor::degrid_visibilities(const Plan& plan,
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
+    const auto group = static_cast<std::int64_t>(g);
     {
-      obs::Span span(sink, stage::kSplitter);
+      obs::Span span(sink, stage::kSplitter, group);
       split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
                                subgrids.view());
     }
     sink.record_bytes(stage::kSplitter,
                       splitter_moved_bytes(params_, items.size()));
     {
-      obs::Span span(sink, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft, group);
       subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
     }
     {
-      obs::Span span(sink, stage::kDegridder);
+      obs::Span span(sink, stage::kDegridder, group);
       kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
     }
   }

@@ -87,12 +87,13 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
+    const auto group = static_cast<std::int64_t>(g);
     {
-      obs::Span span(sink, stage::kGridder);
+      obs::Span span(sink, stage::kGridder, group);
       kernels_->grid(params_, data, items, visibilities, subgrids.view());
     }
     {
-      obs::Span span(sink, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft, group);
       subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
                   items.size());
     }
@@ -102,7 +103,7 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
       // each patch add is SIMD over rows. Iterating by WorkItem::order
       // keeps per-pixel accumulation bit-identical to the tiled adder,
       // whose per-tile lists are order-canonical, for any PlanOrdering.
-      obs::Span span(sink, stage::kAdder);
+      obs::Span span(sink, stage::kAdder, group);
       std::vector<std::size_t> by_order(items.size());
       for (std::size_t i = 0; i < items.size(); ++i) by_order[i] = i;
       std::sort(by_order.begin(), by_order.end(),
@@ -159,8 +160,9 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     const auto items = plan.work_group(g);
+    const auto group = static_cast<std::int64_t>(g);
     {
-      obs::Span span(sink, stage::kSplitter);
+      obs::Span span(sink, stage::kSplitter, group);
 #pragma omp parallel for schedule(static)
       for (std::size_t i = 0; i < items.size(); ++i) {
         auto plane = plane_slice(grids, items[i].w_plane);
@@ -176,11 +178,11 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
       }
     }
     {
-      obs::Span span(sink, stage::kSubgridFft);
+      obs::Span span(sink, stage::kSubgridFft, group);
       subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
     }
     {
-      obs::Span span(sink, stage::kDegridder);
+      obs::Span span(sink, stage::kDegridder, group);
       kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
     }
   }

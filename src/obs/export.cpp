@@ -1,7 +1,7 @@
 #include "obs/export.hpp"
 
+#include <charconv>
 #include <fstream>
-#include <iomanip>
 #include <ostream>
 #include <sstream>
 
@@ -9,18 +9,13 @@
 
 namespace idg::obs {
 
-namespace {
-
-/// Fixed 9-decimal rendering: byte-deterministic across platforms for the
-/// golden-file tests and stable for downstream parsers.
-std::string fixed9(double value) {
-  std::ostringstream oss;
-  oss << std::fixed << std::setprecision(9) << value;
-  return oss.str();
+std::string format_double(double value) {
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  IDG_ASSERT(result.ec == std::errc{}, "to_chars cannot fail on doubles");
+  return std::string(buf, result.ptr);
 }
 
-/// Minimal JSON string escaping (stage names are identifiers in practice,
-/// but the schema must never emit invalid JSON).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -32,10 +27,11 @@ std::string json_escape(const std::string& s) {
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream oss;
-          oss << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c);
-          out += oss.str();
+          constexpr char hex[] = "0123456789abcdef";
+          const auto u = static_cast<unsigned char>(c);
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xf];
         } else {
           out += c;
         }
@@ -44,12 +40,38 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+void write_latency_json(std::ostream& os, const LatencyHistogram& latency,
+                        const char* indent) {
+  os << indent << "\"latency\": {\n";
+  os << indent << "  \"samples\": " << latency.samples() << ",\n";
+  os << indent << "  \"p50\": " << format_double(latency.percentile(0.50))
+     << ",\n";
+  os << indent << "  \"p95\": " << format_double(latency.percentile(0.95))
+     << ",\n";
+  os << indent << "  \"p99\": " << format_double(latency.percentile(0.99))
+     << ",\n";
+  os << indent << "  \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < LatencyHistogram::kNrBuckets; ++b) {
+    if (latency.bucket(b) == 0) continue;
+    os << (first ? "" : ", ");
+    first = false;
+    os << "{\"le\": " << format_double(LatencyHistogram::upper_bound_seconds(b))
+       << ", \"count\": " << latency.bucket(b) << "}";
+  }
+  os << "]\n";
+  os << indent << "},\n";
+}
+
 }  // namespace
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "{\n";
-  os << "  \"schema\": \"idg-obs/v2\",\n";
-  os << "  \"total_seconds\": " << fixed9(total_seconds(snapshot)) << ",\n";
+  os << "  \"schema\": \"idg-obs/v3\",\n";
+  os << "  \"total_seconds\": " << format_double(total_seconds(snapshot))
+     << ",\n";
   os << "  \"stages\": [";
   bool first = true;
   for (const auto& [stage, m] : snapshot) {
@@ -57,9 +79,10 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
     first = false;
     os << "    {\n";
     os << "      \"name\": \"" << json_escape(stage) << "\",\n";
-    os << "      \"seconds\": " << fixed9(m.seconds) << ",\n";
+    os << "      \"seconds\": " << format_double(m.seconds) << ",\n";
     os << "      \"invocations\": " << m.invocations << ",\n";
     os << "      \"moved_bytes\": " << m.moved_bytes << ",\n";
+    write_latency_json(os, m.latency, "      ");
     os << "      \"ops\": {\n";
     os << "        \"fma\": " << m.ops.fma << ",\n";
     os << "        \"mul\": " << m.ops.mul << ",\n";
@@ -78,14 +101,19 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
 }
 
 void write_csv(std::ostream& os, const MetricsSnapshot& snapshot) {
-  os << "stage,seconds,invocations,moved_bytes,fma,mul,add,sincos,dev_bytes,"
-        "shared_bytes,visibilities,total_ops,flops\n";
+  os << "stage,seconds,invocations,moved_bytes,latency_samples,p50,p95,p99,"
+        "fma,mul,add,sincos,dev_bytes,shared_bytes,visibilities,total_ops,"
+        "flops\n";
   for (const auto& [stage, m] : snapshot) {
-    os << stage << ',' << fixed9(m.seconds) << ',' << m.invocations << ','
-       << m.moved_bytes << ',' << m.ops.fma << ',' << m.ops.mul << ','
-       << m.ops.add << ',' << m.ops.sincos << ',' << m.ops.dev_bytes << ','
-       << m.ops.shared_bytes << ',' << m.ops.visibilities << ','
-       << m.ops.ops() << ',' << m.ops.flops() << '\n';
+    os << stage << ',' << format_double(m.seconds) << ',' << m.invocations
+       << ',' << m.moved_bytes << ',' << m.latency.samples() << ','
+       << format_double(m.latency.percentile(0.50)) << ','
+       << format_double(m.latency.percentile(0.95)) << ','
+       << format_double(m.latency.percentile(0.99)) << ',' << m.ops.fma << ','
+       << m.ops.mul << ',' << m.ops.add << ',' << m.ops.sincos << ','
+       << m.ops.dev_bytes << ',' << m.ops.shared_bytes << ','
+       << m.ops.visibilities << ',' << m.ops.ops() << ',' << m.ops.flops()
+       << '\n';
   }
 }
 

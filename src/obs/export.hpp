@@ -1,18 +1,25 @@
 // Metric exporters: stable JSON and CSV serializations of a
 // MetricsSnapshot.
 //
-// JSON schema "idg-obs/v2" (pinned by tests/golden/metrics.json; the
+// JSON schema "idg-obs/v3" (pinned by tests/golden/metrics.json; the
 // figure benches emit it via --json and downstream plotting consumes it):
 //
 //   {
-//     "schema": "idg-obs/v2",
-//     "total_seconds": <fixed 9-decimal>,
+//     "schema": "idg-obs/v3",
+//     "total_seconds": <number>,
 //     "stages": [                       // sorted by stage name
 //       {
 //         "name": "<stage>",
-//         "seconds": <fixed 9-decimal>,
+//         "seconds": <number>,
 //         "invocations": <uint>,
 //         "moved_bytes": <uint>,        // grid bytes touched (adder/splitter)
+//         "latency": {                  // log2-bucketed span durations
+//           "samples": <uint>,
+//           "p50": <number>, "p95": <number>, "p99": <number>,   // seconds
+//           "buckets": [                // non-empty buckets only
+//             {"le": <upper bound, seconds>, "count": <uint>}, ...
+//           ]
+//         },
 //         "ops": {
 //           "fma": <uint>, "mul": <uint>, "add": <uint>, "sincos": <uint>,
 //           "dev_bytes": <uint>, "shared_bytes": <uint>,
@@ -24,13 +31,16 @@
 //
 // "total" and "flops" are derived (paper op definition: FMA = 2 ops,
 // sincos = 2 ops; flops excludes the transcendentals). All floating-point
-// fields use fixed 9-decimal notation so the output is byte-deterministic.
+// fields use std::to_chars shortest round-trip form: byte-identical across
+// libcs (no locale, no %g double-rounding) and parse back to exactly the
+// recorded double. v3 added the latency block and switched from fixed
+// 9-decimal to shortest-form numbers.
 //
 // CSV schema (pinned by tests/golden/metrics.csv): one row per stage,
 // sorted by name, with the same fields flattened:
 //
-//   stage,seconds,invocations,moved_bytes,fma,mul,add,sincos,dev_bytes,
-//   shared_bytes,visibilities,total_ops,flops
+//   stage,seconds,invocations,moved_bytes,latency_samples,p50,p95,p99,
+//   fma,mul,add,sincos,dev_bytes,shared_bytes,visibilities,total_ops,flops
 #pragma once
 
 #include <iosfwd>
@@ -39,6 +49,13 @@
 #include "obs/metrics.hpp"
 
 namespace idg::obs {
+
+/// Shortest round-trip decimal form of `value` (std::to_chars): locale-free
+/// and byte-deterministic. Shared by every obs/arch serializer.
+std::string format_double(double value);
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
 void write_csv(std::ostream& os, const MetricsSnapshot& snapshot);

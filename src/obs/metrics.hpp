@@ -6,8 +6,9 @@
 // and bench re-inventing its own accounting:
 //
 //   * `StageMetrics`  — what one pipeline stage accumulated: wall seconds,
-//     invocation count, and the analytic op/byte counters derived from the
-//     execution plan (src/idg/accounting.cpp).
+//     invocation count, a log-bucketed latency histogram of the individual
+//     span durations (obs/histogram.hpp), and the analytic op/byte counters
+//     derived from the execution plan (src/idg/accounting.cpp).
 //   * `MetricsSnapshot` — a point-in-time copy of a sink's aggregated
 //     state, keyed by stage name. This is what the exporters
 //     (obs/export.hpp) serialize and what the benches read.
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "common/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace idg::obs {
 
@@ -30,12 +32,17 @@ struct StageMetrics {
   /// adder/splitter report their grid+subgrid traffic per work group);
   /// moved_bytes / seconds is the stage's effective bandwidth.
   std::uint64_t moved_bytes = 0;
+  /// Distribution of the individual span durations: one sample per
+  /// single-invocation record() call (bulk records update the totals only,
+  /// since the per-span latencies are unknown there).
+  LatencyHistogram latency;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
     invocations += other.invocations;
     ops += other.ops;
     moved_bytes += other.moved_bytes;
+    latency += other.latency;
     return *this;
   }
 };

@@ -13,6 +13,7 @@ void AggregateSink::record(std::string_view stage, double seconds,
   StageMetrics& m = metrics_[std::string(stage)];
   m.seconds += seconds;
   m.invocations += invocations;
+  if (invocations == 1) m.latency.add(seconds);
 }
 
 void AggregateSink::record_ops(std::string_view stage, const OpCounts& ops) {

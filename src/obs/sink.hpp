@@ -23,7 +23,10 @@ class MetricsSink {
   virtual ~MetricsSink() = default;
 
   /// Records one completed span: `seconds` of wall time attributed to
-  /// `stage`, counted as `invocations` invocations.
+  /// `stage`, counted as `invocations` invocations. A single-invocation
+  /// record additionally contributes one sample to the stage's latency
+  /// histogram (aggregating sinks); bulk records (`invocations != 1`)
+  /// update the totals only, because the per-span latencies are unknown.
   virtual void record(std::string_view stage, double seconds,
                       std::uint64_t invocations = 1) = 0;
 

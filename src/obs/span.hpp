@@ -5,27 +5,46 @@
 // the old ScopedStageTimer. Spans are cheap enough to wrap one work-group
 // stage execution (one mutex acquisition per span on the bundled sinks);
 // they are NOT meant for per-visibility scopes.
+//
+// When a global TraceSink is installed (obs/trace.hpp), every span also
+// emits a timeline event on the calling thread's track, tagged with the
+// work-group id passed at construction — this is how the Fig 7 stage
+// overlap shows up in the exported Chrome trace. Without a global trace
+// the extra cost is one relaxed atomic load per span.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
 #include "common/timer.hpp"
 #include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 namespace idg::obs {
 
 /// Records the scope's wall time into `sink` under `stage`.
 class Span {
  public:
-  Span(MetricsSink& sink, std::string stage)
-      : sink_(&sink), stage_(std::move(stage)) {}
+  /// `group` tags the span with the work-group id it executed (-1 = none);
+  /// it becomes the "group" argument of the trace timeline event.
+  Span(MetricsSink& sink, std::string stage, std::int64_t group = -1)
+      : sink_(&sink),
+        stage_(std::move(stage)),
+        group_(group),
+        trace_(global_trace()) {
+    if (trace_ != nullptr) trace_begin_ns_ = trace_->now_ns();
+  }
 
   ~Span() { stop(); }
 
   /// Ends the span early (idempotent; the destructor becomes a no-op).
   void stop() {
     if (sink_ == nullptr) return;
+    if (trace_ != nullptr) {
+      trace_->record_span(trace_->intern(stage_), trace_begin_ns_,
+                          trace_->now_ns() - trace_begin_ns_, group_);
+    }
     sink_->record(stage_, timer_.seconds());
     sink_ = nullptr;
   }
@@ -36,6 +55,9 @@ class Span {
  private:
   MetricsSink* sink_;
   std::string stage_;
+  std::int64_t group_;
+  TraceSink* trace_;
+  std::int64_t trace_begin_ns_ = 0;
   Timer timer_;
 };
 

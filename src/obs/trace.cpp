@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+
+namespace idg::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_trace{nullptr};
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread cache of (sink id -> buffer). Entries for destroyed sinks are
+/// never dereferenced — lookups compare against the id of a *live* sink and
+/// sink ids are process-unique — and the list stays tiny (one entry per
+/// sink a thread ever recorded into).
+struct TlEntry {
+  std::uint64_t sink_id;
+  void* buffer;
+};
+thread_local std::vector<TlEntry> tl_buffers;
+
+}  // namespace
+
+/// One thread's ring buffer. Only the owning thread writes; the mutex is
+/// therefore uncontended on the record path and exists to give collect()
+/// (called from the exporting thread) a clean happens-before edge.
+struct TraceSink::ThreadBuffer {
+  ThreadBuffer(int tid_, std::size_t capacity) : tid(tid_), ring(capacity) {}
+
+  const int tid;
+  std::string name;
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::uint64_t head = 0;  ///< total events ever pushed
+
+  void push(const TraceEvent& event) {
+    std::lock_guard lock(mutex);
+    ring[static_cast<std::size_t>(head % ring.size())] = event;
+    ++head;
+  }
+};
+
+TraceSink::TraceSink(std::size_t capacity_per_thread)
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_per_thread_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      epoch_ns_(steady_now_ns()) {}
+
+TraceSink::~TraceSink() {
+  // Refuse to leave a dangling global installation behind.
+  TraceSink* self = this;
+  g_trace.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+std::int64_t TraceSink::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+const char* TraceSink::intern(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = names_.find(name);
+  if (it == names_.end()) it = names_.emplace(name).first;
+  return it->c_str();
+}
+
+TraceSink::ThreadBuffer& TraceSink::local_buffer() {
+  for (const TlEntry& entry : tl_buffers) {
+    if (entry.sink_id == id_) return *static_cast<ThreadBuffer*>(entry.buffer);
+  }
+  std::lock_guard lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>(
+      static_cast<int>(buffers_.size()) + 1, capacity_per_thread_);
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  tl_buffers.push_back({id_, raw});
+  return *raw;
+}
+
+void TraceSink::record_span(const char* name, std::int64_t begin_ns,
+                            std::int64_t dur_ns, std::int64_t group) {
+  local_buffer().push(
+      {TraceEvent::Kind::kSpan, name, begin_ns, dur_ns, group});
+}
+
+void TraceSink::record_counter(const char* name, std::int64_t value) {
+  local_buffer().push({TraceEvent::Kind::kCounter, name, now_ns(), 0, value});
+}
+
+void TraceSink::record_instant(const char* name) {
+  local_buffer().push({TraceEvent::Kind::kInstant, name, now_ns(), 0, -1});
+}
+
+void TraceSink::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.name = std::move(name);
+}
+
+std::vector<TraceSink::ThreadTrack> TraceSink::collect() const {
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers.reserve(buffers_.size());
+    for (const auto& buffer : buffers_) buffers.push_back(buffer.get());
+  }
+  std::vector<ThreadTrack> tracks;
+  tracks.reserve(buffers.size());
+  for (const ThreadBuffer* buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    ThreadTrack track;
+    track.tid = buffer->tid;
+    track.name = buffer->name;
+    const std::uint64_t capacity = buffer->ring.size();
+    const std::uint64_t kept = std::min(buffer->head, capacity);
+    track.dropped = buffer->head - kept;
+    track.events.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = buffer->head - kept; i < buffer->head; ++i) {
+      track.events.push_back(
+          buffer->ring[static_cast<std::size_t>(i % capacity)]);
+    }
+    tracks.push_back(std::move(track));
+  }
+  return tracks;
+}
+
+void TraceSink::write_chrome_json(std::ostream& os) const {
+  const auto tracks = collect();
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  sep();
+  os << "    {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"idg\"}}";
+  for (const auto& track : tracks) {
+    const std::string track_name =
+        track.name.empty() ? "thread-" + std::to_string(track.tid)
+                           : track.name;
+    sep();
+    os << "    {\"ph\": \"M\", \"pid\": 1, \"tid\": " << track.tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << json_escape(track_name) << "\"}}";
+    for (const TraceEvent& e : track.events) {
+      sep();
+      switch (e.kind) {
+        case TraceEvent::Kind::kSpan:
+          os << "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " << track.tid
+             << ", \"name\": \"" << json_escape(e.name)
+             << "\", \"ts\": " << format_double(e.ts_ns / 1000.0)
+             << ", \"dur\": " << format_double(e.dur_ns / 1000.0);
+          if (e.value >= 0) os << ", \"args\": {\"group\": " << e.value << "}";
+          os << "}";
+          break;
+        case TraceEvent::Kind::kCounter:
+          // Counter tracks key on (pid, name); tid is irrelevant for them.
+          os << "    {\"ph\": \"C\", \"pid\": 1, \"name\": \""
+             << json_escape(e.name)
+             << "\", \"ts\": " << format_double(e.ts_ns / 1000.0)
+             << ", \"args\": {\"value\": " << e.value << "}}";
+          break;
+        case TraceEvent::Kind::kInstant:
+          os << "    {\"ph\": \"i\", \"pid\": 1, \"tid\": " << track.tid
+             << ", \"name\": \"" << json_escape(e.name)
+             << "\", \"ts\": " << format_double(e.ts_ns / 1000.0)
+             << ", \"s\": \"t\"}";
+          break;
+      }
+    }
+    if (track.dropped > 0) {
+      sep();
+      os << "    {\"ph\": \"i\", \"pid\": 1, \"tid\": " << track.tid
+         << ", \"name\": \"ring buffer dropped " << track.dropped
+         << " events\", \"ts\": 0, \"s\": \"t\"}";
+    }
+  }
+  os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void TraceSink::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  IDG_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  write_chrome_json(os);
+}
+
+std::string TraceSink::to_chrome_json() const {
+  std::ostringstream oss;
+  write_chrome_json(oss);
+  return oss.str();
+}
+
+TraceSink* global_trace() { return g_trace.load(std::memory_order_acquire); }
+
+void set_global_trace(TraceSink* sink) {
+  g_trace.store(sink, std::memory_order_release);
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  sink_ = std::make_unique<TraceSink>();
+  sink_->set_thread_name("main");
+  set_global_trace(sink_.get());
+}
+
+TraceSession::~TraceSession() {
+  if (!sink_) return;
+  TraceSink* self = sink_.get();
+  if (global_trace() == self) set_global_trace(nullptr);
+  try {
+    sink_->write_chrome_json_file(path_);
+  } catch (...) {
+    // A failed trace write must never mask the traced run's own exit path.
+  }
+}
+
+}  // namespace idg::obs

@@ -1,0 +1,35 @@
+// The canonical snapshot pinned by tests/golden/metrics.{json,csv}.
+//
+// Shared between test_obs.cpp (which compares the serializers' output to
+// the checked-in goldens byte-for-byte) and regen_goldens.cpp (the
+// `make regen-goldens` tool that rewrites them after an intentional schema
+// change). Keeping the fixture in one header guarantees the regenerated
+// files pin exactly what the test checks.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace idg::testgolden {
+
+/// Deterministic fixture: one bulk-recorded stage (no latency samples) and
+/// one single-span stage (exactly one histogram sample), so the goldens
+/// pin both shapes of the idg-obs/v3 latency block.
+inline obs::MetricsSnapshot golden_snapshot() {
+  obs::AggregateSink sink;
+  sink.record("gridder", 1.5, 3);
+  sink.record("adder", 0.25);
+  sink.record_bytes("adder", 786432);
+  OpCounts ops;
+  ops.fma = 17;
+  ops.mul = 8;
+  ops.add = 4;
+  ops.sincos = 1;
+  ops.dev_bytes = 1024;
+  ops.shared_bytes = 2048;
+  ops.visibilities = 42;
+  sink.record_ops("gridder", ops);
+  return sink.snapshot();
+}
+
+}  // namespace idg::testgolden

@@ -1,0 +1,25 @@
+// Regenerates tests/golden/metrics.{json,csv} from the shared fixture
+// (golden_snapshot.hpp) after an INTENTIONAL schema change.
+//
+//   cmake --build build --target regen-goldens
+//
+// then review the diff: every byte that changed is a schema change that
+// downstream consumers of the idg-obs JSON/CSV will see.
+#include <iostream>
+#include <string>
+
+#include "golden_snapshot.hpp"
+#include "obs/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: regen_goldens <golden-dir>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const auto snapshot = idg::testgolden::golden_snapshot();
+  idg::obs::write_json_file(dir + "/metrics.json", snapshot);
+  idg::obs::write_csv_file(dir + "/metrics.csv", snapshot);
+  std::cout << "regenerated " << dir << "/metrics.{json,csv}\n";
+  return 0;
+}

@@ -1,30 +1,57 @@
-// Tests for the observability layer (src/obs/): sinks, spans, registry,
-// exporters (golden-file schema pin), the BoundedQueue pipeline primitive,
-// backend factory/parity, and descriptive parameter validation.
+// Tests for the observability layer (src/obs/): sinks, spans, latency
+// histograms, the timeline tracer, registry, exporters (golden-file schema
+// pin), the BoundedQueue pipeline primitive, backend factory/parity, and
+// descriptive parameter validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/threadpool.hpp"
+#include "golden_snapshot.hpp"
 #include "idg/backend.hpp"
 #include "idg/parameters.hpp"
 #include "idg/pipelined.hpp"
 #include "idg/plan.hpp"
 #include "idg/processor.hpp"
 #include "idg/wplane.hpp"
+#include "json_mini.hpp"
 #include "obs/export.hpp"
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
 
 namespace {
 
 using namespace idg;
+
+/// Installs a TraceSink for the test's scope and removes it on exit, so
+/// tests never leak the process-global into each other.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::size_t capacity = std::size_t{1} << 12)
+      : sink_(capacity) {
+    obs::set_global_trace(&sink_);
+  }
+  ~ScopedTrace() { obs::set_global_trace(nullptr); }
+  obs::TraceSink& sink() { return sink_; }
+
+ private:
+  obs::TraceSink sink_;
+};
 
 // --- AggregateSink ------------------------------------------------------------
 
@@ -146,24 +173,87 @@ TEST(RegistryTest, CombinedSnapshotMergesAllSinks) {
   obs::Registry::instance().sink("combine-b").clear();
 }
 
+// --- LatencyHistogram ----------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  using H = obs::LatencyHistogram;
+  EXPECT_EQ(H::bucket_of_ns(0), 0u);
+  EXPECT_EQ(H::bucket_of_ns(1), 1u);
+  // For every bucket b >= 1: [2^(b-1), 2^b) ns lands in bucket b, and the
+  // reported bounds bracket exactly that interval.
+  for (std::size_t b = 1; b + 1 < H::kNrBuckets; ++b) {
+    const std::uint64_t lo = H::lower_bound_ns(b);
+    const std::uint64_t hi = H::upper_bound_ns(b);
+    EXPECT_EQ(hi, 2 * lo);
+    EXPECT_EQ(H::bucket_of_ns(lo), b) << "lower bound of bucket " << b;
+    EXPECT_EQ(H::bucket_of_ns(hi - 1), b) << "last ns of bucket " << b;
+    EXPECT_EQ(H::bucket_of_ns(hi), b + 1) << "upper bound opens bucket "
+                                          << b + 1;
+  }
+  // Everything past the last boundary clamps into the overflow bucket.
+  EXPECT_EQ(H::bucket_of_ns(~std::uint64_t{0}), H::kNrBuckets - 1);
+  EXPECT_EQ(H::bucket_of_seconds(1e12), H::kNrBuckets - 1);
+  EXPECT_EQ(H::bucket_of_seconds(-1.0), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesInterpolateDeterministically) {
+  obs::LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(0.5), 0.0);  // empty histogram
+
+  // 100 samples of ~1us: every percentile stays inside 1us's bucket.
+  for (int i = 0; i < 100; ++i) h.add(1e-6);
+  const std::size_t b = obs::LatencyHistogram::bucket_of_seconds(1e-6);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(q), obs::LatencyHistogram::lower_bound_seconds(b));
+    EXPECT_LE(h.percentile(q), obs::LatencyHistogram::upper_bound_seconds(b));
+  }
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+
+  // A clear outlier drags p99 into a higher bucket than p50.
+  h.add(1.0);
+  EXPECT_GT(h.percentile(0.999), h.percentile(0.5));
+  EXPECT_EQ(h.samples(), 101u);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  obs::LatencyHistogram a, b, c;
+  for (int i = 0; i < 5; ++i) a.add(1e-6);
+  for (int i = 0; i < 7; ++i) b.add(1e-3);
+  c.add(0.0);
+  c.add(2.5);
+
+  obs::LatencyHistogram ab_c = a;
+  ab_c += b;
+  ab_c += c;
+  obs::LatencyHistogram bc = b;
+  bc += c;
+  obs::LatencyHistogram a_bc = a;
+  a_bc += bc;
+  EXPECT_EQ(ab_c, a_bc);
+
+  obs::LatencyHistogram ba = b;
+  ba += a;
+  obs::LatencyHistogram ab = a;
+  ab += b;
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab_c.samples(), 14u);
+}
+
+TEST(LatencyHistogramTest, SinkSamplesOnlySingleInvocationRecords) {
+  obs::AggregateSink sink;
+  sink.record("s", 0.5);      // single span -> sampled
+  sink.record("s", 1.0, 4);   // bulk record -> totals only
+  const auto m = sink.snapshot().at("s");
+  EXPECT_EQ(m.invocations, 5u);
+  EXPECT_DOUBLE_EQ(m.seconds, 1.5);
+  EXPECT_EQ(m.latency.samples(), 1u);
+}
+
 // --- exporters (golden files) --------------------------------------------------
 
-obs::MetricsSnapshot golden_snapshot() {
-  obs::AggregateSink sink;
-  sink.record("gridder", 1.5, 3);
-  sink.record("adder", 0.25);
-  sink.record_bytes("adder", 786432);
-  OpCounts ops;
-  ops.fma = 17;
-  ops.mul = 8;
-  ops.add = 4;
-  ops.sincos = 1;
-  ops.dev_bytes = 1024;
-  ops.shared_bytes = 2048;
-  ops.visibilities = 42;
-  sink.record_ops("gridder", ops);
-  return sink.snapshot();
-}
+using idg::testgolden::golden_snapshot;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -187,9 +277,31 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v3\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
-  EXPECT_NE(json.find("\"total_seconds\": 0.000000000"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\": 0"), std::string::npos);
+  EXPECT_NO_THROW(testjson::parse(json));
+}
+
+TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
+  const auto doc = testjson::parse(obs::to_json(golden_snapshot()));
+  EXPECT_EQ(doc.at("schema").string, "idg-obs/v3");
+  const auto& stages = doc.at("stages");
+  ASSERT_EQ(stages.array.size(), 2u);
+  // Stages sort by name: adder (one sampled span) before gridder (bulk).
+  const auto& adder = stages.at(0);
+  EXPECT_EQ(adder.at("name").string, "adder");
+  const auto& latency = adder.at("latency");
+  EXPECT_EQ(latency.at("samples").number, 1.0);
+  EXPECT_GT(latency.at("p50").number, 0.0);
+  EXPECT_LE(latency.at("p50").number, latency.at("p99").number);
+  ASSERT_EQ(latency.at("buckets").array.size(), 1u);
+  EXPECT_EQ(latency.at("buckets").at(0).at("count").number, 1.0);
+  // The single 0.25 s sample's bucket brackets 0.25 s.
+  EXPECT_GT(latency.at("buckets").at(0).at("le").number, 0.25);
+  const auto& gridder = stages.at(1);
+  EXPECT_EQ(gridder.at("latency").at("samples").number, 0.0);
+  EXPECT_EQ(gridder.at("latency").at("buckets").array.size(), 0u);
 }
 
 TEST(ExportTest, EscapesStageNames) {
@@ -256,6 +368,184 @@ TEST(BoundedQueueTest, ConcurrentProducersLoseNothing) {
   for (auto& t : consumers) t.join();
   for (std::size_t i = 0; i < seen.size(); ++i)
     EXPECT_EQ(seen[i], 1) << "item " << i;
+}
+
+TEST(BoundedQueueTest, TracksDepthHighWaterMarkWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_EQ(queue.max_depth(), 0u);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.max_depth(), 2u);
+  int out = 0;
+  queue.pop(out);
+  queue.push(3);
+  queue.push(4);
+  EXPECT_EQ(queue.max_depth(), 3u);  // never exceeds the bound
+  EXPECT_LE(queue.max_depth(), queue.capacity());
+}
+
+// --- TraceSink ------------------------------------------------------------------
+
+TEST(TraceTest, GlobalTraceIsNullByDefault) {
+  EXPECT_EQ(obs::global_trace(), nullptr);
+  {
+    ScopedTrace trace;
+    EXPECT_EQ(obs::global_trace(), &trace.sink());
+  }
+  EXPECT_EQ(obs::global_trace(), nullptr);
+}
+
+TEST(TraceTest, RecordsSpansCountersAndThreadNames) {
+  obs::TraceSink sink;
+  sink.set_thread_name("tester");
+  const char* work = sink.intern("work");
+  const char* depth = sink.intern("queue-depth");
+  EXPECT_EQ(work, sink.intern("work"));  // interning is idempotent
+  const std::int64_t t0 = sink.now_ns();
+  sink.record_span(work, t0, 100, /*group=*/7);
+  sink.record_counter(depth, 3);
+  sink.record_instant(sink.intern("marker"));
+
+  const auto tracks = sink.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].name, "tester");
+  EXPECT_EQ(tracks[0].dropped, 0u);
+  ASSERT_EQ(tracks[0].events.size(), 3u);
+  const auto& span = tracks[0].events[0];
+  EXPECT_EQ(span.kind, obs::TraceEvent::Kind::kSpan);
+  EXPECT_STREQ(span.name, "work");
+  EXPECT_EQ(span.ts_ns, t0);
+  EXPECT_EQ(span.dur_ns, 100);
+  EXPECT_EQ(span.value, 7);
+  EXPECT_EQ(tracks[0].events[1].kind, obs::TraceEvent::Kind::kCounter);
+  EXPECT_EQ(tracks[0].events[1].value, 3);
+}
+
+TEST(TraceTest, EachThreadGetsItsOwnTrack) {
+  obs::TraceSink sink;
+  const char* name = sink.intern("t");
+  sink.record_instant(name);  // main thread's track
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) sink.record_instant(name);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto tracks = sink.collect();
+  ASSERT_EQ(tracks.size(), 4u);
+  std::size_t total = 0;
+  std::set<int> tids;
+  for (const auto& track : tracks) {
+    tids.insert(track.tid);
+    total += track.events.size();
+  }
+  EXPECT_EQ(tids.size(), 4u);  // distinct tids
+  EXPECT_EQ(total, 31u);       // nothing lost
+}
+
+TEST(TraceTest, RingBufferDropsOldestAndCountsThem) {
+  obs::TraceSink sink(/*capacity_per_thread=*/8);
+  const char* name = sink.intern("e");
+  for (std::int64_t i = 0; i < 20; ++i) sink.record_span(name, i, 1);
+  const auto tracks = sink.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].events.size(), 8u);
+  EXPECT_EQ(tracks[0].dropped, 12u);
+  // Oldest-first of the *surviving* window: begins at ts 12.
+  EXPECT_EQ(tracks[0].events.front().ts_ns, 12);
+  EXPECT_EQ(tracks[0].events.back().ts_ns, 19);
+}
+
+TEST(TraceTest, ChromeJsonIsValidAndCompletesTracks) {
+  obs::TraceSink sink;
+  sink.set_thread_name("main");
+  sink.record_span(sink.intern("stage-a"), 0, 1000, 0);
+  sink.record_counter(sink.intern("depth"), 2);
+  const auto doc = testjson::parse(sink.to_chrome_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_span = false, saw_counter = false, saw_thread_name = false;
+  for (const auto& e : events.array) {
+    const std::string ph = e.at("ph").string;
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.at("name").string, "stage-a");
+      EXPECT_EQ(e.at("dur").number, 1.0);  // 1000 ns = 1 us
+      EXPECT_EQ(e.at("args").at("group").number, 0.0);
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(e.at("args").at("value").number, 2.0);
+    } else if (ph == "M" && e.at("name").string == "thread_name") {
+      saw_thread_name = true;
+      EXPECT_EQ(e.at("args").at("name").string, "main");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(TraceTest, SpanEmitsTraceEventWhenGlobalTraceInstalled) {
+  ScopedTrace trace;
+  obs::AggregateSink sink;
+  { obs::Span span(sink, "traced-stage", /*group=*/5); }
+  const auto tracks = trace.sink().collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  ASSERT_EQ(tracks[0].events.size(), 1u);
+  const auto& e = tracks[0].events[0];
+  EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kSpan);
+  EXPECT_STREQ(e.name, "traced-stage");
+  EXPECT_EQ(e.value, 5);
+  EXPECT_GE(e.dur_ns, 0);
+  // The aggregate sink still saw the span as usual.
+  EXPECT_EQ(sink.snapshot().at("traced-stage").invocations, 1u);
+}
+
+TEST(TraceTest, InstrumentedQueueEmitsDepthSamplesWithinBound) {
+  ScopedTrace trace;
+  BoundedQueue<int> queue(2);
+  queue.instrument("test-queue");
+  queue.push(1);
+  queue.push(2);
+  int out = 0;
+  queue.pop(out);
+  queue.pop(out);
+  std::int64_t samples = 0;
+  for (const auto& track : trace.sink().collect()) {
+    for (const auto& e : track.events) {
+      ASSERT_EQ(e.kind, obs::TraceEvent::Kind::kCounter);
+      EXPECT_STREQ(e.name, "test-queue");
+      EXPECT_GE(e.value, 0);
+      EXPECT_LE(e.value, 2);  // never exceeds the queue's bound
+      ++samples;
+    }
+  }
+  EXPECT_EQ(samples, 4);  // one per push + one per pop
+}
+
+TEST(TraceTest, InstrumentedWorkerPoolTracksOccupancy) {
+  ScopedTrace trace;
+  WorkerPool pool(3);
+  pool.instrument("test-pool");
+  EXPECT_EQ(pool.max_active(), 0u);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    ++done;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  EXPECT_EQ(done, 64);
+  EXPECT_GE(pool.max_active(), 1u);
+  EXPECT_LE(pool.max_active(), pool.nr_threads());
+  for (const auto& track : trace.sink().collect()) {
+    for (const auto& e : track.events) {
+      if (e.kind != obs::TraceEvent::Kind::kCounter) continue;
+      EXPECT_GE(e.value, 0);
+      EXPECT_LE(e.value, static_cast<std::int64_t>(pool.nr_threads()));
+    }
+  }
 }
 
 // --- backend factory and parity -------------------------------------------------
@@ -385,6 +675,128 @@ TEST(BackendTest, PipelinedThreadsAccumulateIntoOneSink) {
   EXPECT_EQ(snapshot.at(stage::kGridder).invocations, groups);
   EXPECT_EQ(snapshot.at(stage::kSubgridFft).invocations, groups);
   EXPECT_EQ(snapshot.at(stage::kAdder).invocations, groups);
+}
+
+// --- end-to-end pipeline tracing ------------------------------------------------
+
+/// What one traced pipelined grid+degrid run looked like, reduced to its
+/// timing-independent content.
+struct TraceRunSummary {
+  std::multiset<std::pair<std::string, std::int64_t>> spans;  // (stage, group)
+  std::set<int> span_tids;
+  std::map<std::string, std::size_t> queue_samples;  // per counter track
+  std::map<std::string, std::int64_t> queue_max;
+  std::string chrome_json;
+};
+
+TraceRunSummary traced_pipelined_run(const Setup& s) {
+  ScopedTrace trace;
+  // Backend created while the trace is installed so queues/pools latch it.
+  auto pipelined = make_backend("pipelined", s.params);
+  Array3D<cfloat> grid(4, s.params.grid_size, s.params.grid_size);
+  Array3D<Visibility> vis(s.ds.nr_baselines(), s.ds.nr_timesteps(),
+                          s.ds.nr_channels());
+  obs::AggregateSink sink;
+  pipelined->grid(s.plan, s.ds.uvw.cview(), s.ds.visibilities.cview(),
+                  s.aterms.cview(), grid.view(), sink);
+  pipelined->degrid(s.plan, s.ds.uvw.cview(), grid.cview(), s.aterms.cview(),
+                    vis.view(), sink);
+
+  TraceRunSummary summary;
+  for (const auto& track : trace.sink().collect()) {
+    EXPECT_EQ(track.dropped, 0u);
+    for (const auto& e : track.events) {
+      if (e.kind == obs::TraceEvent::Kind::kSpan) {
+        summary.spans.emplace(e.name, e.value);
+        summary.span_tids.insert(track.tid);
+      } else if (e.kind == obs::TraceEvent::Kind::kCounter &&
+                 std::string_view(e.name).find("pool") ==
+                     std::string_view::npos) {
+        // Queue depth sampling is exactly one event per push/pop, hence
+        // deterministic; pool occupancy sampling depends on worker wakeup
+        // timing and is excluded from the determinism comparison.
+        summary.queue_samples[e.name]++;
+        auto& mx = summary.queue_max[e.name];
+        mx = std::max(mx, e.value);
+      }
+    }
+  }
+  summary.chrome_json = trace.sink().to_chrome_json();
+  return summary;
+}
+
+TEST(PipelinedTraceTest, TimelineShowsConcurrentStagesAndBoundedQueues) {
+  auto s = Setup::make();
+  const std::size_t groups = s.plan.nr_work_groups();
+  ASSERT_GT(groups, 1u);
+  const auto run = traced_pipelined_run(s);
+
+  // The paper's Fig 7 structure: stage spans on >= 3 distinct threads
+  // (grid kernel + adder threads, degrid splitter/fft/kernel threads).
+  EXPECT_GE(run.span_tids.size(), 3u);
+
+  // Every work group left one span per stage, tagged with its group id.
+  for (const char* stage_name :
+       {stage::kGridder, stage::kAdder, stage::kDegridder, stage::kSplitter}) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      EXPECT_EQ(run.spans.count({stage_name, static_cast<std::int64_t>(g)}),
+                1u)
+          << stage_name << " group " << g;
+    }
+  }
+  // The subgrid FFT runs once per group in each direction.
+  for (std::size_t g = 0; g < groups; ++g) {
+    EXPECT_EQ(run.spans.count({stage::kSubgridFft,
+                               static_cast<std::int64_t>(g)}), 2u);
+  }
+
+  // All six queue counter tracks reported, with depths within the bound
+  // (3 buffers) and deterministic sample counts (one per push/pop).
+  ASSERT_EQ(run.queue_samples.size(), 6u);
+  for (const auto& [name, mx] : run.queue_max) {
+    EXPECT_LE(mx, 3) << name;  // nr_buffers = 3
+  }
+  EXPECT_EQ(run.queue_samples.at("pipeline:grid:free-buffers"),
+            3 + 2 * groups);
+  EXPECT_EQ(run.queue_samples.at("pipeline:grid:to-kernel"), 2 * groups);
+  EXPECT_EQ(run.queue_samples.at("pipeline:degrid:to-fft"), 2 * groups);
+
+  // The exported Chrome trace is well-formed JSON.
+  EXPECT_NO_THROW(testjson::parse(run.chrome_json));
+}
+
+TEST(PipelinedTraceTest, TwoIdenticalRunsTraceIdenticalEventSets) {
+  auto s = Setup::make();
+  const auto a = traced_pipelined_run(s);
+  const auto b = traced_pipelined_run(s);
+  // Identical modulo timestamps and thread interleaving: same span
+  // multiset, same queue sample counts.
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.queue_samples, b.queue_samples);
+}
+
+TEST(PipelinedTraceTest, TraceSessionWritesFileAndUninstalls) {
+  const std::string path = ::testing::TempDir() + "idg_trace_session.json";
+  {
+    obs::TraceSession session(path);
+    ASSERT_TRUE(session.enabled());
+    EXPECT_EQ(obs::global_trace(), session.sink());
+    obs::AggregateSink sink;
+    { obs::Span span(sink, "session-span"); }
+  }
+  EXPECT_EQ(obs::global_trace(), nullptr);
+  const auto doc = testjson::parse(read_file(path));
+  bool found = false;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "X" && e.at("name").string == "session-span") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  obs::TraceSession disabled("");
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(obs::global_trace(), nullptr);
 }
 
 // --- Parameters::validated ------------------------------------------------------
