@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts, /*fill_visibilities=*/false);
   bench::print_header("Ablation: W-stacking plane count", setup);

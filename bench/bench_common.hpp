@@ -8,7 +8,7 @@
 //
 // Benches that measure pipeline stages additionally accept
 //   --backend <name>   execution backend (idg::make_backend names)
-//   --json <path>      per-stage metrics in the idg-obs/v3 JSON schema
+//   --json <path>      per-stage metrics in the idg-obs/v4 JSON schema
 //   --trace <path>     Chrome-trace/Perfetto event timeline (also enabled
 //                      by the IDG_TRACE environment variable; load the file
 //                      at ui.perfetto.dev or chrome://tracing)
@@ -16,8 +16,12 @@
 //                      sorted; grids are bit-identical, only adder locality
 //                      changes)
 //   --tile-size N      adder tile side in grid pixels (multiple of 8)
+//   --flag-fraction F  mark ~F of the samples RFI-flagged (deterministic)
+//   --bad-policy P     reject | zero_and_continue | skip_work_group
+//                      (Parameters::bad_sample_policy, DESIGN.md §11)
 // so downstream plotting reads one stable schema instead of scraping
-// per-bench table formats.
+// per-bench table formats. parse_bench_options() rejects unknown and
+// duplicate options, reporting every problem in one error.
 #pragma once
 
 #include <cstdlib>
@@ -45,6 +49,32 @@ struct BenchSetup {
   Plan plan;
   sim::ATermCube aterms;
 };
+
+/// The union of every option any bench binary understands (value-taking
+/// options; the boolean flags live in the Options default flag list). Kept
+/// in one place so parse_bench_options() can reject typos: an option not in
+/// this catalogue aborts the run with a descriptive error instead of being
+/// silently ignored.
+inline const std::vector<std::string>& known_bench_options() {
+  static const std::vector<std::string> options = {
+      "aterm-interval", "backend",    "bad-policy",        "channels",
+      "csv",            "cycles",     "flag-fraction",     "grid",
+      "json",           "kernel-size", "kernels",          "max-nw",
+      "max-timesteps",  "phase-rms",  "save-pgm",          "seconds-per-point",
+      "stations",       "subgrid",    "support",           "tile-size",
+      "time",           "trace",      "unsorted",          "w-planes",
+      "w-scale",
+  };
+  return options;
+}
+
+/// Parses argv with the shared bench option catalogue: unknown options and
+/// duplicates are rejected (all problems reported in one idg::Error).
+inline Options parse_bench_options(int argc, const char* const* argv) {
+  return Options(argc, argv,
+                 {"paper", "help", "verbose", "sorted", "unsorted"},
+                 known_bench_options());
+}
 
 inline sim::BenchmarkConfig config_from_options(const Options& opts) {
   sim::BenchmarkConfig cfg =
@@ -76,6 +106,15 @@ inline Parameters params_from(const sim::BenchmarkConfig& cfg,
                                                : PlanOrdering::kTileSorted;
   params.adder_tile_size =
       static_cast<std::size_t>(opts.get("tile-size", 64L));
+  // --bad-policy reject|zero_and_continue|skip_work_group (DESIGN.md §11).
+  const std::string policy =
+      opts.get("bad-policy", std::string(to_string(params.bad_sample_policy)));
+  const auto parsed = bad_sample_policy_from_string(policy);
+  if (!parsed) {
+    throw Error("--bad-policy: unknown policy '" + policy +
+                "' (expected reject, zero_and_continue or skip_work_group)");
+  }
+  params.bad_sample_policy = *parsed;
   return params;
 }
 
@@ -87,6 +126,16 @@ inline BenchSetup make_setup(const Options& opts, bool fill_visibilities = true)
                         ? sim::make_benchmark_dataset(cfg)
                         : sim::make_benchmark_dataset_no_vis(cfg);
   Parameters params = params_from(cfg, ds, opts);
+  // --flag-fraction F marks ~F of the samples as RFI-flagged (deterministic
+  // from the dataset seed), exercising the bad-sample policy end to end.
+  const double flag_fraction = opts.get("flag-fraction", 0.0);
+  if (flag_fraction > 0.0) {
+    const std::uint64_t flagged =
+        sim::apply_rfi_flags(ds, flag_fraction, cfg.seed);
+    std::cout << "   flagged " << flagged << " of " << ds.nr_visibilities()
+              << " samples (policy: " << to_string(params.bad_sample_policy)
+              << ")\n";
+  }
   Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
   const int nr_slots =
       (cfg.nr_timesteps + cfg.aterm_interval - 1) / cfg.aterm_interval;
@@ -113,7 +162,7 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
   }
 }
 
-/// Writes the per-stage metrics snapshot as idg-obs/v3 JSON when --json
+/// Writes the per-stage metrics snapshot as idg-obs/v4 JSON when --json
 /// <path> was given.
 inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
                              const Options& opts) {

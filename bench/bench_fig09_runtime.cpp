@@ -5,7 +5,7 @@
 // The measured breakdown comes from the observability layer: the selected
 // backend (--backend synchronous|pipelined) records every stage span into
 // an obs::AggregateSink, and --json <path> exports the per-stage metrics in
-// the stable idg-obs/v3 schema.
+// the stable idg-obs/v4 schema.
 //
 // Expected shape (paper §VI-B): "For all architectures, runtime is
 // dominated by the gridder and degridder kernels (more than 93%)."
@@ -22,7 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 9: runtime distribution of one imaging cycle",
@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
 
   obs::AggregateSink sink;
   backend->grid(setup.plan, setup.dataset.uvw.cview(),
-                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                setup.dataset.visibilities.cview(),
+                setup.dataset.flag_view(), setup.aterms.cview(),
                 grid.view(), sink);
   {
     obs::Span span(sink, stage::kGridFft);
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
     (void)model_grid;
   }
   backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
-                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  setup.dataset.flag_view(), setup.aterms.cview(),
+                  setup.dataset.visibilities.view(),
                   sink);
 
   const obs::MetricsSnapshot metrics = sink.snapshot();

@@ -3,7 +3,7 @@
 //
 // The measured numbers come from two obs::AggregateSinks (one per
 // direction) fed by the selected backend (--backend synchronous|pipelined);
-// --json <path> exports the combined per-stage metrics (idg-obs/v3).
+// --json <path> exports the combined per-stage metrics (idg-obs/v4).
 //
 // Expected shape: both GPUs almost an order of magnitude above the CPU.
 #include <iostream>
@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 10: gridding/degridding throughput", setup);
@@ -31,10 +31,12 @@ int main(int argc, char** argv) {
   // path (splitter + subgrid FFT + degridder).
   obs::AggregateSink grid_sink, degrid_sink;
   backend->grid(setup.plan, setup.dataset.uvw.cview(),
-                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                setup.dataset.visibilities.cview(),
+                setup.dataset.flag_view(), setup.aterms.cview(),
                 grid.view(), grid_sink);
   backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
-                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  setup.dataset.flag_view(), setup.aterms.cview(),
+                  setup.dataset.visibilities.view(),
                   degrid_sink);
 
   const double nvis =

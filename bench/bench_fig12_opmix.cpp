@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   std::cout << "== Fig 12: operation throughput vs FMA/sincos mix ==\n\n";
 
   const auto rhos = arch::default_rhos();

@@ -4,7 +4,7 @@
 //
 // Host stage times come from the observability layer (obs::AggregateSink
 // fed by the selected --backend); --json <path> exports the per-stage
-// metrics in the stable idg-obs/v3 schema.
+// metrics in the stable idg-obs/v4 schema.
 //
 // Expected shape: most energy in the gridder and degridder; GPUs an order
 // of magnitude below the CPU in total, even including host power.
@@ -22,7 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 14: energy distribution of one imaging cycle",
@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
   obs::AggregateSink sink;
   backend->grid(setup.plan, setup.dataset.uvw.cview(),
-                setup.dataset.visibilities.cview(), setup.aterms.cview(),
+                setup.dataset.visibilities.cview(),
+                setup.dataset.flag_view(), setup.aterms.cview(),
                 grid.view(), sink);
   {
     obs::Span span(sink, stage::kGridFft);
@@ -69,7 +70,8 @@ int main(int argc, char** argv) {
     (void)dirty;
   }
   backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
-                  setup.aterms.cview(), setup.dataset.visibilities.view(),
+                  setup.dataset.flag_view(), setup.aterms.cview(),
+                  setup.dataset.visibilities.view(),
                   sink);
 
   const obs::MetricsSnapshot metrics = sink.snapshot();

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 15: energy efficiency of the kernels", setup);

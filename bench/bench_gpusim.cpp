@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = bench::parse_bench_options(argc, argv);
   auto setup = bench::make_setup(opts, /*fill_visibilities=*/false);
   bench::print_header("GPU execution simulation (model cross-validation)",
                       setup);

@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  // Standalone table: only --csv is meaningful here (no bench_common
+  // dependency, so the shared catalogue is not used).
+  Options opts(argc, argv, {"paper", "help", "verbose"}, {"csv"});
 
   std::cout << "== Table I: the three architectures used in this comparison "
                "==\n\n";

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 
 #include "common/aligned.hpp"
@@ -131,5 +132,10 @@ template <typename T>
 using Array3D = Array<T, 3>;
 template <typename T>
 using Array4D = Array<T, 4>;
+
+/// Per-visibility flag mask view ([baseline][time][channel]; nonzero =
+/// flagged). A default-constructed (empty) view means "no samples flagged"
+/// — the pipelines accept it wherever a mask is optional.
+using FlagView = ArrayView<const std::uint8_t, 3>;
 
 }  // namespace idg

@@ -21,7 +21,25 @@ std::string env_name(const std::string& option) {
 
 Options::Options(int argc, const char* const* argv,
                  const std::vector<std::string>& flag_names) {
+  parse(argc, argv, flag_names, nullptr);
+}
+
+Options::Options(int argc, const char* const* argv,
+                 const std::vector<std::string>& flag_names,
+                 const std::vector<std::string>& known_options) {
+  parse(argc, argv, flag_names, &known_options);
+}
+
+void Options::parse(int argc, const char* const* argv,
+                    const std::vector<std::string>& flag_names,
+                    const std::vector<std::string>* known_options) {
   program_ = argc > 0 ? argv[0] : "";
+  // Every problem is collected; one Error reports them all at the end.
+  std::vector<std::string> problems;
+  const auto contains = [](const std::vector<std::string>& names,
+                           const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -29,20 +47,38 @@ Options::Options(int argc, const char* const* argv,
       continue;
     }
     std::string name = arg.substr(2);
+    std::string value;
     const auto eq = name.find('=');
+    const bool is_flag =
+        eq == std::string::npos && contains(flag_names, name);
     if (eq != std::string::npos) {
-      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (is_flag) {
+      value = "1";
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      problems.push_back("option --" + name + " expects a value");
       continue;
     }
-    const bool is_flag =
-        std::find(flag_names.begin(), flag_names.end(), name) !=
-        flag_names.end();
-    if (is_flag) {
-      values_[name] = "1";
-    } else {
-      IDG_CHECK(i + 1 < argc, "option --" << name << " expects a value");
-      values_[name] = argv[++i];
+    if (known_options != nullptr && !contains(*known_options, name) &&
+        !contains(flag_names, name)) {
+      problems.push_back("unknown option --" + name);
+      continue;
     }
+    if (values_.count(name) != 0) {
+      problems.push_back("duplicate option --" + name);
+      continue;
+    }
+    values_[name] = std::move(value);
+  }
+  if (!problems.empty()) {
+    std::string message = "invalid command line";
+    if (!program_.empty()) message += " for " + program_;
+    message += ":";
+    for (const std::string& p : problems) message += "\n  " + p;
+    throw Error(message);
   }
 }
 

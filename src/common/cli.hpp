@@ -16,11 +16,22 @@ namespace idg {
 
 class Options {
  public:
-  /// Parses argv; unknown options are an error (listed in what()).
-  /// Recognized flags take a value except those in `flag_names`.
+  /// Parses argv. Options take a value except those in `flag_names`.
+  /// Duplicate options are always an error; every parse problem is
+  /// collected and reported in ONE idg::Error (so a user fixing a command
+  /// line sees all mistakes at once, not one per run).
   Options(int argc, const char* const* argv,
           const std::vector<std::string>& flag_names = {
               "paper", "help", "verbose", "sorted", "unsorted"});
+
+  /// Like the above, but additionally rejects any option not listed in
+  /// `known_options` or `flag_names` (all unknown options are reported
+  /// together). The bench binaries pass their shared catalogue here
+  /// (bench::parse_bench_options), so a typo'd --subgird fails fast
+  /// instead of being silently ignored.
+  Options(int argc, const char* const* argv,
+          const std::vector<std::string>& flag_names,
+          const std::vector<std::string>& known_options);
 
   bool has(const std::string& name) const;
   bool flag(const std::string& name) const { return has(name); }
@@ -35,6 +46,9 @@ class Options {
   const std::string& program() const { return program_; }
 
  private:
+  void parse(int argc, const char* const* argv,
+             const std::vector<std::string>& flag_names,
+             const std::vector<std::string>* known_options);
   std::optional<std::string> lookup(const std::string& name) const;
 
   std::string program_;

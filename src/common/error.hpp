@@ -19,6 +19,28 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Runs `fn`, rethrowing any exception as idg::Error prefixed with the
+/// pipeline stage site and work-group id — the error-propagation contract
+/// (DESIGN.md §11): a stage failure always surfaces as one descriptive
+/// idg::Error naming where it happened.
+template <typename Fn>
+decltype(auto) with_stage_context(const char* site, long long group,
+                                  Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    std::ostringstream oss;
+    oss << "stage '" << site << "' failed on work group " << group << ": "
+        << e.what();
+    throw Error(oss.str());
+  } catch (...) {
+    std::ostringstream oss;
+    oss << "stage '" << site << "' failed on work group " << group
+        << " with an unknown exception";
+    throw Error(oss.str());
+  }
+}
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr,
                                              const char* file, int line,

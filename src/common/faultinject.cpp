@@ -1,0 +1,208 @@
+#include "common/faultinject.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace idg::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Deterministic Bernoulli draw for one (arm, hit) pair.
+bool draw_fires(const Arm& arm, const char* site, std::int64_t index) {
+  if (arm.probability >= 1.0) return true;
+  if (arm.probability <= 0.0) return false;
+  const std::uint64_t h = splitmix64(arm.seed ^ fnv1a(site) ^
+                                     static_cast<std::uint64_t>(index + 1));
+  // Compare against probability * 2^64 without overflowing.
+  const double unit =
+      static_cast<double>(h) /
+      (static_cast<double>(std::numeric_limits<std::uint64_t>::max()) + 1.0);
+  return unit < arm.probability;
+}
+
+}  // namespace
+
+struct Injector::State {
+  std::mutex mutex;
+  std::vector<Arm> arms;                       // guarded by mutex
+  std::map<std::string, std::uint64_t> fired;  // guarded by mutex
+  std::atomic<std::size_t> armed_count{0};
+};
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+Injector::Injector() : state_(new State) {
+  if (compiled_in()) {
+    if (const char* spec = std::getenv("IDG_FAULT")) arm_from_spec(spec);
+  }
+}
+
+void Injector::arm(Arm arm) {
+  IDG_CHECK(!arm.site.empty(), "fault arm needs a site name");
+  std::lock_guard lock(state_->mutex);
+  state_->arms.push_back(std::move(arm));
+  state_->armed_count.store(state_->arms.size(), std::memory_order_relaxed);
+}
+
+void Injector::arm_from_spec(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string part = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (part.empty()) continue;
+
+    const std::size_t eq = part.find('=');
+    IDG_CHECK(eq != std::string::npos && eq > 0,
+              "malformed fault spec '" << part
+                                       << "' (want site[@index]=action)");
+    Arm arm;
+    std::string site = part.substr(0, eq);
+    const std::size_t at = site.find('@');
+    if (at != std::string::npos) {
+      try {
+        arm.index = std::stoll(site.substr(at + 1));
+      } catch (const std::exception&) {
+        throw Error("malformed fault spec index in '" + part + "'");
+      }
+      site = site.substr(0, at);
+    }
+    IDG_CHECK(!site.empty(), "fault spec '" << part << "' has an empty site");
+    arm.site = site;
+
+    const std::string action = part.substr(eq + 1);
+    if (action == "throw") {
+      arm.action = Action::kThrow;
+    } else if (action == "corrupt") {
+      arm.action = Action::kCorrupt;
+    } else if (action.rfind("delay:", 0) == 0) {
+      arm.action = Action::kDelay;
+      try {
+        arm.delay_ms = static_cast<std::uint32_t>(
+            std::stoul(action.substr(sizeof("delay:") - 1)));
+      } catch (const std::exception&) {
+        throw Error("malformed fault spec delay in '" + part + "'");
+      }
+    } else {
+      throw Error("unknown fault action '" + action + "' in spec '" + part +
+                  "' (want throw, corrupt, or delay:<ms>)");
+    }
+    this->arm(std::move(arm));
+  }
+}
+
+void Injector::disarm_all() {
+  std::lock_guard lock(state_->mutex);
+  state_->arms.clear();
+  state_->fired.clear();
+  state_->armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool Injector::enabled() const {
+  return state_->armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t Injector::fired(const std::string& site) const {
+  std::lock_guard lock(state_->mutex);
+  const auto it = state_->fired.find(site);
+  return it == state_->fired.end() ? 0 : it->second;
+}
+
+std::uint64_t Injector::total_fired() const {
+  std::lock_guard lock(state_->mutex);
+  std::uint64_t sum = 0;
+  for (const auto& [_, n] : state_->fired) sum += n;
+  return sum;
+}
+
+void Injector::hit(const char* site, std::int64_t index) {
+  std::uint32_t delay_ms = 0;
+  bool throws = false;
+  {
+    std::lock_guard lock(state_->mutex);
+    for (const Arm& arm : state_->arms) {
+      if (arm.action == Action::kCorrupt) continue;
+      if (arm.site != site) continue;
+      if (arm.index != -1 && arm.index != index) continue;
+      if (!draw_fires(arm, site, index)) continue;
+      ++state_->fired[arm.site];
+      if (arm.action == Action::kThrow) {
+        throws = true;
+        break;
+      }
+      delay_ms += std::min(arm.delay_ms, kMaxDelayMs);
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(delay_ms, kMaxDelayMs)));
+  }
+  if (throws) {
+    std::ostringstream oss;
+    oss << "injected fault at site '" << site << "' (index " << index << ")";
+    throw Error(oss.str());
+  }
+}
+
+bool Injector::wants_corrupt(const char* site, std::int64_t index) {
+  std::lock_guard lock(state_->mutex);
+  for (const Arm& arm : state_->arms) {
+    if (arm.action != Action::kCorrupt) continue;
+    if (arm.site != site) continue;
+    if (arm.index != -1 && arm.index != index) continue;
+    if (!draw_fires(arm, site, index)) continue;
+    ++state_->fired[arm.site];
+    return true;
+  }
+  return false;
+}
+
+void corrupt_floats(float* data, std::size_t count) {
+  if (data == nullptr || count == 0) return;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  data[0] = nan;
+  data[count / 2] = nan;
+  data[count - 1] = nan;
+}
+
+void require_finite(const char* site, std::int64_t index, const float* data,
+                    std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(data[i])) {
+      std::ostringstream oss;
+      oss << "non-finite subgrid data detected at '" << site << "' (index "
+          << index << ", element " << i
+          << "): corrupted buffers must not reach the grid";
+      throw Error(oss.str());
+    }
+  }
+}
+
+}  // namespace idg::fault

@@ -67,6 +67,11 @@ class WorkerPool {
 
   /// Runs fn(i) for every i in [0, n); blocks until all calls finished.
   /// Not reentrant: one job at a time per pool.
+  ///
+  /// Exception-safe: if any fn(i) throws, the remaining indices are
+  /// drained without running fn, every thread leaves the job cleanly, and
+  /// the FIRST exception is rethrown here on the calling thread — a
+  /// throwing job never wedges the pool or terminates a worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
     if (workers_.empty()) {
@@ -84,8 +89,11 @@ class WorkerPool {
     }
     start_.notify_all();
     run(*job);
-    std::unique_lock lock(mutex_);
-    done_.wait(lock, [&] { return job->pending == 0; });
+    {
+      std::unique_lock lock(mutex_);
+      done_.wait(lock, [&] { return job->pending == 0; });
+    }
+    if (job->error) std::rethrow_exception(job->error);
   }
 
  private:
@@ -93,6 +101,8 @@ class WorkerPool {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};  ///< set once fn threw; skip the rest
+    std::exception_ptr error;         ///< first exception; guarded by mutex_
     std::size_t pending = 0;  // guarded by mutex_; last decrement signals
   };
 
@@ -101,7 +111,17 @@ class WorkerPool {
     for (;;) {
       const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.n) break;
-      (*job.fn)(i);
+      // After a failure the remaining indices are still claimed and counted
+      // down (pending must reach 0 to release the caller) but fn is skipped.
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          (*job.fn)(i);
+        } catch (...) {
+          std::lock_guard lock(mutex_);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
       std::lock_guard lock(mutex_);
       if (--job.pending == 0) done_.notify_all();
     }

@@ -33,32 +33,51 @@ class GridderBackend {
   virtual const Parameters& parameters() const = 0;
 
   /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated);
-  /// per-stage wall time and op counts are recorded into `sink`.
+  /// per-stage wall time and op counts are recorded into `sink`. `flags`
+  /// is the dataset's per-visibility mask (empty = nothing flagged);
+  /// flagged and non-finite samples are handled per
+  /// Parameters::bad_sample_policy (idg/scrub.hpp, DESIGN.md §11).
   virtual void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
                     ArrayView<const Visibility, 3> visibilities,
-                    ArrayView<const Jones, 4> aterms,
+                    FlagView flags, ArrayView<const Jones, 4> aterms,
                     ArrayView<cfloat, 3> grid,
                     obs::MetricsSink& sink) const = 0;
 
   /// Predicts all planned visibilities from `grid` (overwrites the covered
-  /// entries of `visibilities`); metrics are recorded into `sink`.
+  /// entries of `visibilities`); metrics are recorded into `sink`. Flagged
+  /// predictions are handled per Parameters::bad_sample_policy.
   virtual void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                      ArrayView<const cfloat, 3> grid,
+                      ArrayView<const cfloat, 3> grid, FlagView flags,
                       ArrayView<const Jones, 4> aterms,
                       ArrayView<Visibility, 3> visibilities,
                       obs::MetricsSink& sink) const = 0;
 
-  /// Convenience overloads that discard metrics.
+  /// Convenience overloads without a flag mask and/or metrics sink.
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
+            obs::MetricsSink& sink) const {
+    this->grid(plan, uvw, visibilities, FlagView{}, aterms, grid, sink);
+  }
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
             ArrayView<const Visibility, 3> visibilities,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid) const {
-    this->grid(plan, uvw, visibilities, aterms, grid, obs::null_sink());
+    this->grid(plan, uvw, visibilities, FlagView{}, aterms, grid,
+               obs::null_sink());
+  }
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities,
+              obs::MetricsSink& sink) const {
+    this->degrid(plan, uvw, grid, FlagView{}, aterms, visibilities, sink);
   }
   void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
               ArrayView<const cfloat, 3> grid,
               ArrayView<const Jones, 4> aterms,
               ArrayView<Visibility, 3> visibilities) const {
-    this->degrid(plan, uvw, grid, aterms, visibilities, obs::null_sink());
+    this->degrid(plan, uvw, grid, FlagView{}, aterms, visibilities,
+                 obs::null_sink());
   }
 };
 

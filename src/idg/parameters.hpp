@@ -1,9 +1,11 @@
 // Core IDG configuration shared by the plan, the kernels and the pipelines.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -14,6 +16,45 @@ enum class PlanOrdering {
   kArrival,     ///< greedy planner emission order (baseline-major)
   kTileSorted,  ///< Morton order of the grid tile each patch starts in
 };
+
+/// What the pipelines do with a bad visibility sample — one that is either
+/// marked in the dataset's flag mask (RFI etc.) or non-finite (NaN/Inf).
+/// See idg/scrub.hpp for the exact semantics and DESIGN.md §11 for the
+/// failure-model contract.
+enum class BadSamplePolicy {
+  /// Throw a descriptive idg::Error at the first bad sample. Use when any
+  /// corruption must stop the run (regression pipelines, golden runs).
+  kReject,
+  /// Zero the bad samples and keep going; the grid is bit-identical to
+  /// gridding a dataset with those samples pre-dropped (adding ±0 to a
+  /// partial sum preserves its bits). Default — the behaviour of
+  /// flag-aware production gridders.
+  kZeroAndContinue,
+  /// Drop every work group that covers a bad sample (the whole kernel
+  /// launch unit). Coarser than kZeroAndContinue but cheaper: no copy of
+  /// the visibility cube is ever made.
+  kSkipWorkGroup,
+};
+
+inline const char* to_string(BadSamplePolicy policy) {
+  switch (policy) {
+    case BadSamplePolicy::kReject: return "reject";
+    case BadSamplePolicy::kZeroAndContinue: return "zero_and_continue";
+    case BadSamplePolicy::kSkipWorkGroup: return "skip_work_group";
+  }
+  return "invalid";
+}
+
+/// Parses the CLI/config spelling of a policy; nullopt for unknown names.
+inline std::optional<BadSamplePolicy> bad_sample_policy_from_string(
+    std::string_view name) {
+  if (name == "reject") return BadSamplePolicy::kReject;
+  if (name == "zero_and_continue" || name == "zero")
+    return BadSamplePolicy::kZeroAndContinue;
+  if (name == "skip_work_group" || name == "skip")
+    return BadSamplePolicy::kSkipWorkGroup;
+  return std::nullopt;
+}
 
 /// Static configuration of one gridding/degridding run.
 ///
@@ -56,6 +97,10 @@ struct Parameters {
   /// neighbouring tiles never share a line (no false sharing, no atomics).
   std::size_t adder_tile_size = 64;
 
+  /// How the pipelines treat flagged / non-finite visibility samples
+  /// (idg/scrub.hpp applies it before the kernels run).
+  BadSamplePolicy bad_sample_policy = BadSamplePolicy::kZeroAndContinue;
+
   /// Checks every setting for consistency and returns a descriptive
   /// idg::Error for the first violation, or std::nullopt when the
   /// configuration is valid. Lets callers report bad configurations at the
@@ -73,8 +118,8 @@ struct Parameters {
     if (subgrid_size >= grid_size)
       return fail("subgrid_size (", subgrid_size,
                   ") must be smaller than grid_size (", grid_size, ")");
-    if (!(image_size > 0.0))
-      return fail("image_size (", image_size, ") must be positive");
+    if (!(image_size > 0.0) || !std::isfinite(image_size))
+      return fail("image_size (", image_size, ") must be positive and finite");
     if (kernel_size < 1 || kernel_size >= subgrid_size)
       return fail("kernel_size (", kernel_size,
                   ") must satisfy 1 <= kernel_size < subgrid_size (",
@@ -89,6 +134,14 @@ struct Parameters {
       return fail("adder_tile_size (", adder_tile_size,
                   ") must be a positive multiple of 8 (cache-line aligned "
                   "tile boundaries)");
+    // Enum members arrive from casts (config files, FFI); reject values
+    // outside the defined range instead of silently hitting a default.
+    if (const int p = static_cast<int>(plan_ordering); p < 0 || p > 1)
+      return fail("plan_ordering enum value (", p, ") out of range");
+    if (const int p = static_cast<int>(bad_sample_policy); p < 0 || p > 2)
+      return fail("bad_sample_policy enum value (", p,
+                  ") out of range (0=reject, 1=zero_and_continue, "
+                  "2=skip_work_group)");
     return std::nullopt;
   }
 

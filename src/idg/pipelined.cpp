@@ -1,15 +1,18 @@
 #include "idg/pipelined.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/threadpool.hpp"
 #include "idg/accounting.hpp"
 #include "idg/adder.hpp"
 #include "idg/processor.hpp"
+#include "idg/scrub.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
 #include "obs/span.hpp"
@@ -30,6 +33,12 @@ std::size_t default_adder_threads() {
   const std::size_t hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw / 4, 2, 4);
 }
+
+/// How long the orchestrating thread waits on the free-buffer queue before
+/// re-checking the pipeline's failure state. A stage failure closes every
+/// queue (waking the wait immediately); the timeout is the safety net that
+/// keeps the wait loop observable rather than parked forever.
+constexpr auto kOrchestratorPollInterval = std::chrono::milliseconds(50);
 }  // namespace
 
 PipelinedGridder::PipelinedGridder(Parameters params, const KernelSet& kernels,
@@ -48,6 +57,7 @@ PipelinedGridder::PipelinedGridder(Parameters params, const KernelSet& kernels,
 void PipelinedGridder::grid_visibilities(const Plan& plan,
                                          ArrayView<const UVW, 2> uvw,
                                          ArrayView<const Visibility, 3> visibilities,
+                                         FlagView flags,
                                          ArrayView<const Jones, 4> aterms,
                                          ArrayView<cfloat, 3> grid,
                                          obs::MetricsSink& sink) const {
@@ -55,13 +65,29 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
 
-  // The rotating buffer pool (the paper's three device buffer sets).
+  // Bad-sample policy application (DESIGN.md §11) happens up front on the
+  // calling thread, before any stage thread starts: the stage threads then
+  // only ever see a clean cube, and skipped groups are never dispatched.
+  const ScrubbedVisibilities scrubbed = [&] {
+    obs::Span span(sink, stage::kScrub);
+    return scrub_gridder_input(params_, plan, visibilities, flags);
+  }();
+  sink.record_data_quality(stage::kScrub, scrubbed.report().scrubbed(),
+                           scrubbed.report().skipped_samples);
+  const ArrayView<const Visibility, 3> vis = scrubbed.view();
+
+  // The rotating buffer pool (the paper's three device buffer sets). RAII:
+  // released on every exit path, including a failed run.
   std::vector<Array4D<cfloat>> buffers;
   buffers.reserve(nr_buffers_);
   for (std::size_t b = 0; b < nr_buffers_; ++b) {
     buffers.emplace_back(params_.work_group_size,
                          static_cast<std::size_t>(kNrPolarizations), n, n);
   }
+  // Per-subgrid float count, used by the fault-injection hooks below (which
+  // compile to no-ops unless IDG_FAULT_INJECTION is on).
+  [[maybe_unused]] const std::size_t active_floats =
+      static_cast<std::size_t>(kNrPolarizations) * n * n * 2;
 
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
@@ -76,73 +102,123 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   to_adder.instrument("pipeline:grid:to-adder");
   for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
 
+  // Shared failure state: the first stage exception is recorded here and
+  // every queue is closed with close_with_error(), so all stages unwind
+  // within a bounded time and the failure rethrows below as one
+  // descriptive idg::Error (never a deadlock).
+  PipelineError error;
+  const auto fail = [&](const char* site, std::int64_t group) {
+    error.set(site, group, std::current_exception());
+    free_buffers.close_with_error();
+    to_kernel.close_with_error();
+    to_adder.close_with_error();
+  };
+
   // Stage X: gridder kernel + subgrid FFT per work group. Both stage
   // threads record spans directly into the shared sink (thread-safe).
   std::thread kernel_thread([&] {
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:kernel");
     }
-    Ticket ticket;
-    while (to_kernel.pop(ticket)) {
-      const auto items = plan.work_group(ticket.group);
-      const auto group = static_cast<std::int64_t>(ticket.group);
-      {
-        obs::Span span(sink, stage::kGridder, group);
-        kernels_->grid(params_, data, items, visibilities,
-                       buffers[ticket.buffer].view());
+    const char* site = stage::kGridder;
+    std::int64_t group = -1;
+    try {
+      Ticket ticket;
+      while (to_kernel.pop(ticket)) {
+        const auto items = plan.work_group(ticket.group);
+        group = static_cast<std::int64_t>(ticket.group);
+        {
+          site = stage::kGridder;
+          obs::Span span(sink, stage::kGridder, group);
+          IDG_FAULT_POINT("pipelined.grid.kernel", group);
+          kernels_->grid(params_, data, items, vis,
+                         buffers[ticket.buffer].view());
+        }
+        {
+          site = stage::kSubgridFft;
+          obs::Span span(sink, stage::kSubgridFft, group);
+          IDG_FAULT_POINT("pipelined.grid.fft", group);
+          subgrid_fft(SubgridFftDirection::ToFourier,
+                      buffers[ticket.buffer].view(), items.size());
+        }
+        IDG_FAULT_CORRUPT(
+            "pipelined.grid.buffer", group,
+            reinterpret_cast<float*>(buffers[ticket.buffer].data()),
+            items.size() * active_floats);
+        IDG_FAULT_POINT("pipelined.grid.push", group);
+        if (!to_adder.push(ticket)) break;
       }
-      {
-        obs::Span span(sink, stage::kSubgridFft, group);
-        subgrid_fft(SubgridFftDirection::ToFourier,
-                    buffers[ticket.buffer].view(), items.size());
-      }
-      to_adder.push(ticket);
+      to_adder.close();
+    } catch (...) {
+      fail(site, group);
     }
-    to_adder.close();
   });
 
   // Stage S: a single consumer pops tickets in order — preserving the
   // free-buffer back-pressure and one adder span per work group — and fans
   // each group's tile-binned accumulation out over a small worker pool.
-  // Tiles are disjoint grid regions, so the workers never race on `grid`.
+  // Tiles are disjoint grid regions, so the workers never race on `grid`;
+  // a worker exception aborts the job and rethrows here (threadpool.hpp).
   WorkerPool adder_pool(nr_adder_threads_ - 1);
   adder_pool.instrument("pipeline:grid:adder-pool");
   std::thread adder_thread([&] {
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:adder");
     }
-    Ticket ticket;
-    while (to_adder.pop(ticket)) {
-      const auto items = plan.work_group(ticket.group);
-      const TileBinning& binning = plan.work_group_tiles(ticket.group);
-      const auto subgrids = buffers[ticket.buffer].cview();
-      {
-        obs::Span span(sink, stage::kAdder,
-                       static_cast<std::int64_t>(ticket.group));
-        adder_pool.parallel_for(binning.nr_tiles(), [&](std::size_t tile) {
-          add_tile(params_, items, binning, tile, subgrids, grid);
-        });
+    std::int64_t group = -1;
+    try {
+      Ticket ticket;
+      while (to_adder.pop(ticket)) {
+        const auto items = plan.work_group(ticket.group);
+        const TileBinning& binning = plan.work_group_tiles(ticket.group);
+        const auto subgrids = buffers[ticket.buffer].cview();
+        group = static_cast<std::int64_t>(ticket.group);
+        IDG_FAULT_GUARD_FINITE(
+            "pipelined.grid.adder", group,
+            reinterpret_cast<const float*>(buffers[ticket.buffer].data()),
+            items.size() * active_floats);
+        {
+          obs::Span span(sink, stage::kAdder, group);
+          IDG_FAULT_POINT("pipelined.grid.adder", group);
+          adder_pool.parallel_for(binning.nr_tiles(), [&](std::size_t tile) {
+            add_tile(params_, items, binning, tile, subgrids, grid);
+          });
+        }
+        sink.record_bytes(stage::kAdder,
+                          adder_moved_bytes(params_, items.size()));
+        if (!free_buffers.push(ticket.buffer)) break;
       }
-      sink.record_bytes(stage::kAdder,
-                        adder_moved_bytes(params_, items.size()));
-      free_buffers.push(ticket.buffer);
+    } catch (...) {
+      fail(stage::kAdder, group);
     }
   });
 
   // Stage L (this thread): acquire a free buffer and dispatch the group.
   // The visibility gather happens inside the kernel; acquiring the buffer
   // is the back-pressure point that keeps at most nr_buffers_ groups in
-  // flight.
-  for (std::size_t g = 0; g < nr_groups; ++g) {
+  // flight. On failure the queues close, the wait returns kClosed, and the
+  // dispatch loop stops.
+  bool aborted = false;
+  for (std::size_t g = 0; g < nr_groups && !aborted; ++g) {
+    if (scrubbed.group_skipped(g)) continue;
     std::size_t buffer = 0;
-    const bool ok = free_buffers.pop(buffer);
-    IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
-    to_kernel.push({g, buffer});
+    for (;;) {
+      const QueueWaitResult r =
+          free_buffers.pop_for(buffer, kOrchestratorPollInterval);
+      if (r == QueueWaitResult::kOk) break;
+      if (r == QueueWaitResult::kClosed || error.failed()) {
+        aborted = true;
+        break;
+      }
+    }
+    if (aborted) break;
+    if (!to_kernel.push({g, buffer})) break;
   }
   to_kernel.close();
 
   kernel_thread.join();
   adder_thread.join();
+  error.rethrow_if_failed();
 
   // Same plan, same analytic counters as the synchronous Processor.
   sink.record_ops(stage::kGridder, gridder_op_counts(plan));
@@ -163,11 +239,22 @@ PipelinedDegridder::PipelinedDegridder(Parameters params,
 
 void PipelinedDegridder::degrid_visibilities(
     const Plan& plan, ArrayView<const UVW, 2> uvw,
-    ArrayView<const cfloat, 3> grid, ArrayView<const Jones, 4> aterms,
-    ArrayView<Visibility, 3> visibilities, obs::MetricsSink& sink) const {
+    ArrayView<const cfloat, 3> grid, FlagView flags,
+    ArrayView<const Jones, 4> aterms, ArrayView<Visibility, 3> visibilities,
+    obs::MetricsSink& sink) const {
   const std::size_t n = params_.subgrid_size;
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
+
+  // Mask pre-pass (kReject throws here, before any thread starts).
+  DegridScrub scrubbed;
+  if (flags.size() != 0) {
+    obs::Span span(sink, stage::kScrub);
+    scrubbed = scrub_degrid_plan(params_, plan, flags);
+  }
+  const bool zero_flagged =
+      flags.size() != 0 &&
+      params_.bad_sample_policy == BadSamplePolicy::kZeroAndContinue;
 
   std::vector<Array4D<cfloat>> buffers;
   buffers.reserve(nr_buffers_);
@@ -186,63 +273,109 @@ void PipelinedDegridder::degrid_visibilities(
   to_kernel.instrument("pipeline:degrid:to-kernel");
   for (std::size_t b = 0; b < nr_buffers_; ++b) free_buffers.push(b);
 
+  PipelineError error;
+  const auto fail = [&](const char* site, std::int64_t group) {
+    error.set(site, group, std::current_exception());
+    free_buffers.close_with_error();
+    to_fft.close_with_error();
+    to_kernel.close_with_error();
+  };
+
   // Stage: subgrid IFFT (device-side "kernel stream" #1).
   std::thread fft_thread([&] {
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:fft");
     }
-    Ticket ticket;
-    while (to_fft.pop(ticket)) {
-      const auto items = plan.work_group(ticket.group);
-      {
-        obs::Span span(sink, stage::kSubgridFft,
-                       static_cast<std::int64_t>(ticket.group));
-        subgrid_fft(SubgridFftDirection::ToImage,
-                    buffers[ticket.buffer].view(), items.size());
+    std::int64_t group = -1;
+    try {
+      Ticket ticket;
+      while (to_fft.pop(ticket)) {
+        const auto items = plan.work_group(ticket.group);
+        group = static_cast<std::int64_t>(ticket.group);
+        {
+          obs::Span span(sink, stage::kSubgridFft, group);
+          IDG_FAULT_POINT("pipelined.degrid.fft", group);
+          subgrid_fft(SubgridFftDirection::ToImage,
+                      buffers[ticket.buffer].view(), items.size());
+        }
+        if (!to_kernel.push(ticket)) break;
       }
-      to_kernel.push(ticket);
+      to_kernel.close();
+    } catch (...) {
+      fail(stage::kSubgridFft, group);
     }
-    to_kernel.close();
   });
 
   // Stage: degridder kernel; disjoint (baseline, time, channel) blocks per
-  // work item make concurrent writes to `visibilities` race-free.
+  // work item make concurrent writes to `visibilities` race-free — the
+  // same disjointness makes the per-group flag zeroing below race-free.
+  std::uint64_t zeroed = 0;
   std::thread kernel_thread([&] {
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:kernel");
     }
-    Ticket ticket;
-    while (to_kernel.pop(ticket)) {
-      const auto items = plan.work_group(ticket.group);
-      {
-        obs::Span span(sink, stage::kDegridder,
-                       static_cast<std::int64_t>(ticket.group));
-        kernels_->degrid(params_, data, items, buffers[ticket.buffer].cview(),
-                         visibilities);
+    std::int64_t group = -1;
+    try {
+      Ticket ticket;
+      while (to_kernel.pop(ticket)) {
+        const auto items = plan.work_group(ticket.group);
+        group = static_cast<std::int64_t>(ticket.group);
+        {
+          obs::Span span(sink, stage::kDegridder, group);
+          IDG_FAULT_POINT("pipelined.degrid.kernel", group);
+          kernels_->degrid(params_, data, items,
+                           buffers[ticket.buffer].cview(), visibilities);
+        }
+        if (zero_flagged) {
+          zeroed += zero_flagged_outputs(items, flags, visibilities);
+        }
+        if (!free_buffers.push(ticket.buffer)) break;
       }
-      free_buffers.push(ticket.buffer);
+    } catch (...) {
+      fail(stage::kDegridder, group);
     }
   });
 
   // This thread: splitter (reads the immutable grid into a free buffer).
-  for (std::size_t g = 0; g < nr_groups; ++g) {
-    std::size_t buffer = 0;
-    const bool ok = free_buffers.pop(buffer);
-    IDG_ASSERT(ok, "free-buffer queue closed unexpectedly");
-    const auto items = plan.work_group(g);
-    {
-      obs::Span span(sink, stage::kSplitter, static_cast<std::int64_t>(g));
-      split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
-                               buffers[buffer].view());
+  bool aborted = false;
+  try {
+    for (std::size_t g = 0; g < nr_groups && !aborted; ++g) {
+      if (scrubbed.group_skipped(g)) continue;
+      std::size_t buffer = 0;
+      for (;;) {
+        const QueueWaitResult r =
+            free_buffers.pop_for(buffer, kOrchestratorPollInterval);
+        if (r == QueueWaitResult::kOk) break;
+        if (r == QueueWaitResult::kClosed || error.failed()) {
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) break;
+      const auto items = plan.work_group(g);
+      {
+        obs::Span span(sink, stage::kSplitter, static_cast<std::int64_t>(g));
+        IDG_FAULT_POINT("pipelined.degrid.splitter", g);
+        split_subgrids_from_grid(params_, items, plan.work_group_tiles(g),
+                                 grid, buffers[buffer].view());
+      }
+      sink.record_bytes(stage::kSplitter,
+                        splitter_moved_bytes(params_, items.size()));
+      if (!to_fft.push({g, buffer})) break;
     }
-    sink.record_bytes(stage::kSplitter,
-                      splitter_moved_bytes(params_, items.size()));
-    to_fft.push({g, buffer});
+  } catch (...) {
+    fail(stage::kSplitter, -1);
   }
   to_fft.close();
 
   fft_thread.join();
   kernel_thread.join();
+  error.rethrow_if_failed();
+
+  if (flags.size() != 0) {
+    sink.record_data_quality(stage::kScrub, zeroed + scrubbed.report.scrubbed(),
+                             scrubbed.report.skipped_samples);
+  }
 
   sink.record_ops(stage::kSplitter, splitter_op_counts(plan));
   sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));

@@ -29,12 +29,18 @@
 // Processor's.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <mutex>
 #include <queue>
+#include <sstream>
+#include <string>
 
 #include "common/array.hpp"
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "idg/backend.hpp"
 #include "idg/kernels.hpp"
@@ -45,7 +51,21 @@
 
 namespace idg {
 
+/// Outcome of a timed queue wait.
+enum class QueueWaitResult {
+  kOk,       ///< element transferred
+  kClosed,   ///< queue closed (graceful close: only after draining)
+  kTimeout,  ///< deadline expired; queue still open
+};
+
 /// A minimal bounded MPMC queue for pipeline hand-off.
+///
+/// Shutdown has two flavours (the error-propagation contract, DESIGN.md
+/// §11): close() is the graceful end-of-stream — producers stop, consumers
+/// drain the remaining elements, then pop returns false. close_with_error()
+/// aborts — pending elements are discarded, every blocked producer and
+/// consumer wakes immediately, and the optional exception_ptr is kept for
+/// introspection. Both are idempotent; an abort wins over a graceful close.
 ///
 /// The queue always tracks its depth high-water mark (max_depth(), used by
 /// the tests to assert the bound is respected); instrument() additionally
@@ -73,15 +93,38 @@ class BoundedQueue {
     return max_depth_;
   }
 
-  void push(T value) {
+  /// Blocks until there is room (or the queue closes). Returns false — and
+  /// drops `value` — when the queue was closed; a producer that sees false
+  /// should stop producing.
+  bool push(T value) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
     queue_.push(std::move(value));
     sample_depth_locked();
     not_empty_.notify_one();
+    return true;
   }
 
-  /// Blocks until an element or close(); returns false when drained+closed.
+  /// push() with a deadline: kTimeout when the queue stayed full.
+  template <typename Rep, typename Period>
+  QueueWaitResult push_for(T value,
+                           std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || queue_.size() < capacity_;
+        })) {
+      return QueueWaitResult::kTimeout;
+    }
+    if (closed_) return QueueWaitResult::kClosed;
+    queue_.push(std::move(value));
+    sample_depth_locked();
+    not_empty_.notify_one();
+    return QueueWaitResult::kOk;
+  }
+
+  /// Blocks until an element or close(); returns false when drained+closed
+  /// (immediately after close_with_error(), which discards the backlog).
   bool pop(T& out) {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
@@ -93,10 +136,52 @@ class BoundedQueue {
     return true;
   }
 
+  /// pop() with a deadline: kTimeout when the queue stayed empty and open.
+  template <typename Rep, typename Period>
+  QueueWaitResult pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return !queue_.empty() || closed_; })) {
+      return QueueWaitResult::kTimeout;
+    }
+    if (queue_.empty()) return QueueWaitResult::kClosed;
+    out = std::move(queue_.front());
+    queue_.pop();
+    sample_depth_locked();
+    not_full_.notify_one();
+    return QueueWaitResult::kOk;
+  }
+
+  /// Graceful end-of-stream: consumers drain the backlog, then pop returns
+  /// false; further pushes are refused.
   void close() {
     std::lock_guard lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Aborting close: discards the backlog so consumers return immediately,
+  /// wakes every blocked producer/consumer, and records `error` (optional)
+  /// for introspection via error(). Idempotent; the first error sticks.
+  void close_with_error(std::exception_ptr error = nullptr) {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    if (!error_) error_ = error;
+    while (!queue_.empty()) queue_.pop();
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// The exception passed to close_with_error(), if any.
+  std::exception_ptr error() const {
+    std::lock_guard lock(mutex_);
+    return error_;
   }
 
  private:
@@ -111,12 +196,71 @@ class BoundedQueue {
   std::size_t capacity_;
   std::queue<T> queue_;
   bool closed_ = false;
+  std::exception_ptr error_;
   std::size_t max_depth_ = 0;
   obs::TraceSink* trace_ = nullptr;
   const char* trace_name_ = nullptr;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
+};
+
+/// Shared failure state of one pipeline run (DESIGN.md §11).
+///
+/// Each stage thread wraps its loop in try/catch; the first exception is
+/// stored here (annotated with the stage site) and every queue is closed
+/// with close_with_error() so all stages unwind within a bounded time. The
+/// orchestrating thread joins the stage threads and calls
+/// rethrow_if_failed(), which surfaces the failure as one descriptive
+/// idg::Error on the caller — never a deadlock, never a silent bad grid.
+class PipelineError {
+ public:
+  /// Records the first failure (later ones are dropped — the first cause
+  /// is the one worth reporting). Returns true when this call stored it.
+  bool set(const char* site, std::int64_t group, std::exception_ptr error) {
+    std::lock_guard lock(mutex_);
+    if (error_) return false;
+    error_ = error;
+    site_ = site;
+    group_ = group;
+    failed_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Rethrows the stored failure as idg::Error with the stage site and
+  /// work-group id prepended; no-op when nothing failed.
+  void rethrow_if_failed() const {
+    std::exception_ptr error;
+    const char* site = nullptr;
+    std::int64_t group = -1;
+    {
+      std::lock_guard lock(mutex_);
+      if (!error_) return;
+      error = error_;
+      site = site_;
+      group = group_;
+    }
+    std::ostringstream oss;
+    oss << "pipeline stage '" << site << "'";
+    if (group >= 0) oss << " (work group " << group << ")";
+    oss << " failed: ";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw Error(oss.str() + e.what());
+    } catch (...) {
+      throw Error(oss.str() + "unknown exception");
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::exception_ptr error_;
+  const char* site_ = "";
+  std::int64_t group_ = -1;
+  std::atomic<bool> failed_{false};
 };
 
 /// Pipelined gridding executor; results are identical to
@@ -134,12 +278,22 @@ class PipelinedGridder {
   const Parameters& parameters() const { return params_; }
 
   /// Grids all planned visibilities; the three stage threads record their
-  /// spans concurrently into `sink` (thread-safe accumulation).
+  /// spans concurrently into `sink` (thread-safe accumulation). Flagged /
+  /// non-finite samples are scrubbed up front (on the calling thread) per
+  /// Parameters::bad_sample_policy; a stage failure closes every queue,
+  /// joins the threads and rethrows as a descriptive idg::Error.
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         FlagView flags, ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 3> grid,
+                         obs::MetricsSink& sink = obs::null_sink()) const;
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink = obs::null_sink()) const;
+                         obs::MetricsSink& sink = obs::null_sink()) const {
+    grid_visibilities(plan, uvw, visibilities, FlagView{}, aterms, grid, sink);
+  }
 
  private:
   Parameters params_;
@@ -161,10 +315,18 @@ class PipelinedDegridder {
   const Parameters& parameters() const { return params_; }
 
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const cfloat, 3> grid, FlagView flags,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
                            obs::MetricsSink& sink = obs::null_sink()) const;
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink = obs::null_sink()) const {
+    degrid_visibilities(plan, uvw, grid, FlagView{}, aterms, visibilities,
+                        sink);
+  }
 
  private:
   Parameters params_;
@@ -190,18 +352,19 @@ class PipelinedProcessor : public GridderBackend {
   using GridderBackend::grid;
   using GridderBackend::degrid;
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
-            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Visibility, 3> visibilities, FlagView flags,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
             obs::MetricsSink& sink) const override {
-    gridder_.grid_visibilities(plan, uvw, visibilities, aterms, grid, sink);
+    gridder_.grid_visibilities(plan, uvw, visibilities, flags, aterms, grid,
+                               sink);
   }
   void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
-              ArrayView<const cfloat, 3> grid,
+              ArrayView<const cfloat, 3> grid, FlagView flags,
               ArrayView<const Jones, 4> aterms,
               ArrayView<Visibility, 3> visibilities,
               obs::MetricsSink& sink) const override {
-    degridder_.degrid_visibilities(plan, uvw, grid, aterms, visibilities,
-                                   sink);
+    degridder_.degrid_visibilities(plan, uvw, grid, flags, aterms,
+                                   visibilities, sink);
   }
 
  private:

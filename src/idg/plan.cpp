@@ -68,6 +68,20 @@ TileBinning bin_items_by_tile(const Parameters& params,
     return std::pair<int, int>{c0 / t, (c0 + n - 1) / t};
   };
 
+  // An out-of-grid patch would index past the tile histogram below, so it
+  // must be rejected here — hand-built items reach this path without going
+  // through Plan's own placement checks.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const WorkItem& item = items[i];
+    IDG_CHECK(item.coord_x >= 0 && item.coord_y >= 0 &&
+                  item.coord_x + n <= static_cast<int>(params.grid_size) &&
+                  item.coord_y + n <= static_cast<int>(params.grid_size),
+              "work item " << i << " subgrid patch at (" << item.coord_x
+                           << ", " << item.coord_y << ") size " << n
+                           << " lies outside the " << params.grid_size
+                           << "-pixel grid");
+  }
+
   binning.tile_offsets.assign(nr_tiles + 1, 0);
   for (const WorkItem& item : items) {
     const auto [tx0, tx1] = tile_range(item.coord_x);

@@ -1,8 +1,10 @@
 #include "idg/processor.hpp"
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "idg/accounting.hpp"
 #include "idg/adder.hpp"
+#include "idg/scrub.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
 #include "obs/span.hpp"
@@ -17,6 +19,7 @@ Processor::Processor(Parameters params, const KernelSet& kernels)
 void Processor::grid_visibilities(const Plan& plan,
                                   ArrayView<const UVW, 2> uvw,
                                   ArrayView<const Visibility, 3> visibilities,
+                                  FlagView flags,
                                   ArrayView<const Jones, 4> aterms,
                                   ArrayView<cfloat, 3> grid,
                                   obs::MetricsSink& sink) const {
@@ -25,22 +28,51 @@ void Processor::grid_visibilities(const Plan& plan,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
+  // Bad-sample policy application (DESIGN.md §11): flagged / non-finite
+  // samples never reach the kernels. Runs once per call, for every backend.
+  const ScrubbedVisibilities scrubbed = [&] {
+    obs::Span span(sink, stage::kScrub);
+    return scrub_gridder_input(params_, plan, visibilities, flags);
+  }();
+  sink.record_data_quality(stage::kScrub, scrubbed.report().scrubbed(),
+                           scrubbed.report().skipped_samples);
+  const ArrayView<const Visibility, 3> vis = scrubbed.view();
+
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    if (scrubbed.group_skipped(g)) continue;
     const auto items = plan.work_group(g);
     const auto group = static_cast<std::int64_t>(g);
     {
       obs::Span span(sink, stage::kGridder, group);
-      kernels_->grid(params_, data, items, visibilities, subgrids.view());
+      with_stage_context(stage::kGridder, group, [&] {
+        IDG_FAULT_POINT("processor.grid.kernel", group);
+        kernels_->grid(params_, data, items, vis, subgrids.view());
+      });
     }
     {
       obs::Span span(sink, stage::kSubgridFft, group);
-      subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
-                  items.size());
+      with_stage_context(stage::kSubgridFft, group, [&] {
+        IDG_FAULT_POINT("processor.grid.fft", group);
+        subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
+                    items.size());
+      });
     }
+    IDG_FAULT_CORRUPT("processor.grid.buffer", group,
+                      reinterpret_cast<float*>(subgrids.data()),
+                      items.size() * static_cast<std::size_t>(kNrPolarizations) *
+                          n * n * 2);
     {
       obs::Span span(sink, stage::kAdder, group);
-      add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
-                           subgrids.cview(), grid);
+      with_stage_context(stage::kAdder, group, [&] {
+        IDG_FAULT_POINT("processor.grid.adder", group);
+        IDG_FAULT_GUARD_FINITE(
+            "processor.grid.adder", group,
+            reinterpret_cast<const float*>(subgrids.data()),
+            items.size() * static_cast<std::size_t>(kNrPolarizations) * n * n *
+                2);
+        add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
+                             subgrids.cview(), grid);
+      });
     }
     sink.record_bytes(stage::kAdder, adder_moved_bytes(params_, items.size()));
   }
@@ -55,6 +87,7 @@ void Processor::grid_visibilities(const Plan& plan,
 void Processor::degrid_visibilities(const Plan& plan,
                                     ArrayView<const UVW, 2> uvw,
                                     ArrayView<const cfloat, 3> grid,
+                                    FlagView flags,
                                     ArrayView<const Jones, 4> aterms,
                                     ArrayView<Visibility, 3> visibilities,
                                     obs::MetricsSink& sink) const {
@@ -63,24 +96,52 @@ void Processor::degrid_visibilities(const Plan& plan,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
+  // Prediction has no input cube to scan; the mask alone decides. Scrub
+  // metrics are recorded only when a mask was actually supplied.
+  DegridScrub scrubbed;
+  std::uint64_t zeroed = 0;
+  if (flags.size() != 0) {
+    obs::Span span(sink, stage::kScrub);
+    scrubbed = scrub_degrid_plan(params_, plan, flags);
+  }
+
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    if (scrubbed.group_skipped(g)) continue;
     const auto items = plan.work_group(g);
     const auto group = static_cast<std::int64_t>(g);
     {
       obs::Span span(sink, stage::kSplitter, group);
-      split_subgrids_from_grid(params_, items, plan.work_group_tiles(g), grid,
-                               subgrids.view());
+      with_stage_context(stage::kSplitter, group, [&] {
+        IDG_FAULT_POINT("processor.degrid.splitter", group);
+        split_subgrids_from_grid(params_, items, plan.work_group_tiles(g),
+                                 grid, subgrids.view());
+      });
     }
     sink.record_bytes(stage::kSplitter,
                       splitter_moved_bytes(params_, items.size()));
     {
       obs::Span span(sink, stage::kSubgridFft, group);
-      subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
+      with_stage_context(stage::kSubgridFft, group, [&] {
+        IDG_FAULT_POINT("processor.degrid.fft", group);
+        subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(),
+                    items.size());
+      });
     }
     {
       obs::Span span(sink, stage::kDegridder, group);
-      kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+      with_stage_context(stage::kDegridder, group, [&] {
+        IDG_FAULT_POINT("processor.degrid.kernel", group);
+        kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+      });
     }
+    if (params_.bad_sample_policy == BadSamplePolicy::kZeroAndContinue) {
+      zeroed += zero_flagged_outputs(items, flags, visibilities);
+    }
+  }
+  if (flags.size() != 0) {
+    sink.record_data_quality(stage::kScrub,
+                             zeroed + scrubbed.report.scrubbed(),
+                             scrubbed.report.skipped_samples);
   }
 
   sink.record_ops(stage::kSplitter, splitter_op_counts(plan));

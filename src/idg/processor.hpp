@@ -33,6 +33,7 @@ inline constexpr const char* kSubgridFft = "subgrid-fft";
 inline constexpr const char* kAdder = "adder";
 inline constexpr const char* kSplitter = "splitter";
 inline constexpr const char* kGridFft = "grid-fft";
+inline constexpr const char* kScrub = "scrub";
 }  // namespace stage
 
 class Processor : public GridderBackend {
@@ -46,36 +47,52 @@ class Processor : public GridderBackend {
   const Array2D<float>& taper() const { return taper_; }
 
   /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated).
-  /// Per-stage wall time and op counts are recorded into `sink`.
+  /// Per-stage wall time and op counts are recorded into `sink`; flagged /
+  /// non-finite samples are scrubbed per Parameters::bad_sample_policy.
+  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                         ArrayView<const Visibility, 3> visibilities,
+                         FlagView flags, ArrayView<const Jones, 4> aterms,
+                         ArrayView<cfloat, 3> grid,
+                         obs::MetricsSink& sink = obs::null_sink()) const;
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink = obs::null_sink()) const;
+                         obs::MetricsSink& sink = obs::null_sink()) const {
+    grid_visibilities(plan, uvw, visibilities, FlagView{}, aterms, grid, sink);
+  }
 
   /// Predicts all planned visibilities from `grid` (overwrites the covered
   /// entries of `visibilities`; un-planned entries are left untouched).
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const cfloat, 3> grid, FlagView flags,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
                            obs::MetricsSink& sink = obs::null_sink()) const;
+  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
+                           ArrayView<const cfloat, 3> grid,
+                           ArrayView<const Jones, 4> aterms,
+                           ArrayView<Visibility, 3> visibilities,
+                           obs::MetricsSink& sink = obs::null_sink()) const {
+    degrid_visibilities(plan, uvw, grid, FlagView{}, aterms, visibilities,
+                        sink);
+  }
 
   // GridderBackend: forwards to grid_/degrid_visibilities.
   using GridderBackend::grid;
   using GridderBackend::degrid;
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
-            ArrayView<const Visibility, 3> visibilities,
+            ArrayView<const Visibility, 3> visibilities, FlagView flags,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
             obs::MetricsSink& sink) const override {
-    grid_visibilities(plan, uvw, visibilities, aterms, grid, sink);
+    grid_visibilities(plan, uvw, visibilities, flags, aterms, grid, sink);
   }
   void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
-              ArrayView<const cfloat, 3> grid,
+              ArrayView<const cfloat, 3> grid, FlagView flags,
               ArrayView<const Jones, 4> aterms,
               ArrayView<Visibility, 3> visibilities,
               obs::MetricsSink& sink) const override {
-    degrid_visibilities(plan, uvw, grid, aterms, visibilities, sink);
+    degrid_visibilities(plan, uvw, grid, flags, aterms, visibilities, sink);
   }
 
  private:

@@ -1,0 +1,196 @@
+#include "idg/scrub.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+namespace {
+
+bool sample_finite(const Visibility& v) {
+  for (int p = 0; p < kNrPolarizations; ++p) {
+    if (!std::isfinite(v[p].real()) || !std::isfinite(v[p].imag())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[noreturn]] void throw_bad_sample(std::size_t bl, std::size_t t,
+                                   std::size_t c, bool flagged) {
+  std::ostringstream oss;
+  oss << "bad visibility sample at baseline " << bl << ", time " << t
+      << ", channel " << c << ": "
+      << (flagged ? "flagged in the dataset mask" : "non-finite value")
+      << " (bad_sample_policy=reject)";
+  throw Error(oss.str());
+}
+
+void check_flag_shape(ArrayView<const Visibility, 3> visibilities,
+                      FlagView flags) {
+  if (flags.size() == 0) return;
+  IDG_CHECK(flags.dim(0) == visibilities.dim(0) &&
+                flags.dim(1) == visibilities.dim(1) &&
+                flags.dim(2) == visibilities.dim(2),
+            "flag mask shape [" << flags.dim(0) << "][" << flags.dim(1)
+                                << "][" << flags.dim(2)
+                                << "] does not match the visibility cube ["
+                                << visibilities.dim(0) << "]["
+                                << visibilities.dim(1) << "]["
+                                << visibilities.dim(2) << "]");
+}
+
+/// Scans one work item's (time x channel) block; calls on_bad(t, c,
+/// flagged) for every bad planned sample.
+template <typename OnBad>
+void scan_item(const WorkItem& item,
+               ArrayView<const Visibility, 3> visibilities, FlagView flags,
+               OnBad&& on_bad) {
+  const bool has_flags = flags.size() != 0;
+  const auto bl = static_cast<std::size_t>(item.baseline);
+  for (int dt = 0; dt < item.nr_timesteps; ++dt) {
+    const auto t = static_cast<std::size_t>(item.time_begin + dt);
+    for (int dc = 0; dc < item.nr_channels; ++dc) {
+      const auto c = static_cast<std::size_t>(item.channel_begin + dc);
+      const bool flagged = has_flags && flags(bl, t, c) != 0;
+      if (flagged || !sample_finite(visibilities(bl, t, c))) {
+        on_bad(t, c, flagged);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ScrubbedVisibilities scrub_gridder_input(
+    const Parameters& params, const Plan& plan,
+    ArrayView<const Visibility, 3> visibilities, FlagView flags) {
+  check_flag_shape(visibilities, flags);
+  ScrubbedVisibilities out;
+  out.original_ = visibilities;
+  const bool has_flags = flags.size() != 0;
+
+  if (params.bad_sample_policy == BadSamplePolicy::kSkipWorkGroup) {
+    // Per-group scan of the *planned* blocks only: an unplanned bad sample
+    // has no group to poison. Work items partition each baseline's
+    // (time x channel) range, so no sample is visited twice.
+    out.skip_group_.assign(plan.nr_work_groups(), 0);
+    for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+      bool bad = false;
+      for (const WorkItem& item : plan.work_group(g)) {
+        scan_item(item, visibilities, flags,
+                  [&](std::size_t, std::size_t, bool flagged) {
+                    bad = true;
+                    flagged ? ++out.report_.flagged : ++out.report_.nonfinite;
+                  });
+      }
+      if (bad) {
+        out.skip_group_[g] = 1;
+        ++out.report_.skipped_groups;
+        for (const WorkItem& item : plan.work_group(g)) {
+          out.report_.skipped_samples += item.nr_visibilities();
+        }
+      }
+    }
+    return out;
+  }
+
+  // kReject / kZeroAndContinue scan the whole cube: a NaN anywhere in the
+  // buffer is corruption worth rejecting (or neutralising) even if the plan
+  // happens not to cover it this run.
+  for (std::size_t bl = 0; bl < visibilities.dim(0); ++bl) {
+    for (std::size_t t = 0; t < visibilities.dim(1); ++t) {
+      for (std::size_t c = 0; c < visibilities.dim(2); ++c) {
+        const bool flagged = has_flags && flags(bl, t, c) != 0;
+        if (!flagged && sample_finite(visibilities(bl, t, c))) continue;
+        if (params.bad_sample_policy == BadSamplePolicy::kReject) {
+          throw_bad_sample(bl, t, c, flagged);
+        }
+        if (out.owned_.size() == 0) {
+          // First bad sample: materialise the copy we will zero into.
+          out.owned_ = Array3D<Visibility>(
+              visibilities.dim(0), visibilities.dim(1), visibilities.dim(2));
+          std::copy(visibilities.data(),
+                    visibilities.data() + visibilities.size(),
+                    out.owned_.data());
+        }
+        out.owned_(bl, t, c) = Visibility{};
+        flagged ? ++out.report_.flagged : ++out.report_.nonfinite;
+      }
+    }
+  }
+  return out;
+}
+
+DegridScrub scrub_degrid_plan(const Parameters& params, const Plan& plan,
+                              FlagView flags) {
+  DegridScrub out;
+  if (flags.size() == 0) return out;
+
+  if (params.bad_sample_policy == BadSamplePolicy::kReject) {
+    for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+      for (const WorkItem& item : plan.work_group(g)) {
+        const auto bl = static_cast<std::size_t>(item.baseline);
+        for (int dt = 0; dt < item.nr_timesteps; ++dt) {
+          for (int dc = 0; dc < item.nr_channels; ++dc) {
+            const auto t = static_cast<std::size_t>(item.time_begin + dt);
+            const auto c = static_cast<std::size_t>(item.channel_begin + dc);
+            if (flags(bl, t, c) != 0) throw_bad_sample(bl, t, c, true);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  if (params.bad_sample_policy == BadSamplePolicy::kSkipWorkGroup) {
+    out.skip_group.assign(plan.nr_work_groups(), 0);
+    for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+      bool bad = false;
+      for (const WorkItem& item : plan.work_group(g)) {
+        const auto bl = static_cast<std::size_t>(item.baseline);
+        for (int dt = 0; dt < item.nr_timesteps && !bad; ++dt) {
+          for (int dc = 0; dc < item.nr_channels && !bad; ++dc) {
+            const auto t = static_cast<std::size_t>(item.time_begin + dt);
+            const auto c = static_cast<std::size_t>(item.channel_begin + dc);
+            bad = flags(bl, t, c) != 0;
+          }
+        }
+        if (bad) break;
+      }
+      if (bad) {
+        out.skip_group[g] = 1;
+        ++out.report.skipped_groups;
+        for (const WorkItem& item : plan.work_group(g)) {
+          out.report.skipped_samples += item.nr_visibilities();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t zero_flagged_outputs(std::span<const WorkItem> items,
+                                   FlagView flags,
+                                   ArrayView<Visibility, 3> visibilities) {
+  if (flags.size() == 0) return 0;
+  std::uint64_t zeroed = 0;
+  for (const WorkItem& item : items) {
+    const auto bl = static_cast<std::size_t>(item.baseline);
+    for (int dt = 0; dt < item.nr_timesteps; ++dt) {
+      for (int dc = 0; dc < item.nr_channels; ++dc) {
+        const auto t = static_cast<std::size_t>(item.time_begin + dt);
+        const auto c = static_cast<std::size_t>(item.channel_begin + dc);
+        if (flags(bl, t, c) != 0) {
+          visibilities(bl, t, c) = Visibility{};
+          ++zeroed;
+        }
+      }
+    }
+  }
+  return zeroed;
+}
+
+}  // namespace idg

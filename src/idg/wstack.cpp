@@ -90,12 +90,16 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
     const auto group = static_cast<std::int64_t>(g);
     {
       obs::Span span(sink, stage::kGridder, group);
-      kernels_->grid(params_, data, items, visibilities, subgrids.view());
+      with_stage_context(stage::kGridder, group, [&] {
+        kernels_->grid(params_, data, items, visibilities, subgrids.view());
+      });
     }
     {
       obs::Span span(sink, stage::kSubgridFft, group);
-      subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
-                  items.size());
+      with_stage_context(stage::kSubgridFft, group, [&] {
+        subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
+                    items.size());
+      });
     }
     {
       // Route each subgrid to its plane's grid. Items are processed
@@ -179,11 +183,16 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
     }
     {
       obs::Span span(sink, stage::kSubgridFft, group);
-      subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(), items.size());
+      with_stage_context(stage::kSubgridFft, group, [&] {
+        subgrid_fft(SubgridFftDirection::ToImage, subgrids.view(),
+                    items.size());
+      });
     }
     {
       obs::Span span(sink, stage::kDegridder, group);
-      kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+      with_stage_context(stage::kDegridder, group, [&] {
+        kernels_->degrid(params_, data, items, subgrids.cview(), visibilities);
+      });
     }
   }
 

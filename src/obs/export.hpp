@@ -1,11 +1,11 @@
 // Metric exporters: stable JSON and CSV serializations of a
 // MetricsSnapshot.
 //
-// JSON schema "idg-obs/v3" (pinned by tests/golden/metrics.json; the
+// JSON schema "idg-obs/v4" (pinned by tests/golden/metrics.json; the
 // figure benches emit it via --json and downstream plotting consumes it):
 //
 //   {
-//     "schema": "idg-obs/v3",
+//     "schema": "idg-obs/v4",
 //     "total_seconds": <number>,
 //     "stages": [                       // sorted by stage name
 //       {
@@ -13,6 +13,8 @@
 //         "seconds": <number>,
 //         "invocations": <uint>,
 //         "moved_bytes": <uint>,        // grid bytes touched (adder/splitter)
+//         "scrubbed_samples": <uint>,   // neutralized in place (DESIGN.md §11)
+//         "skipped_samples": <uint>,    // dropped with their work group
 //         "latency": {                  // log2-bucketed span durations
 //           "samples": <uint>,
 //           "p50": <number>, "p95": <number>, "p99": <number>,   // seconds
@@ -34,12 +36,14 @@
 // fields use std::to_chars shortest round-trip form: byte-identical across
 // libcs (no locale, no %g double-rounding) and parse back to exactly the
 // recorded double. v3 added the latency block and switched from fixed
-// 9-decimal to shortest-form numbers.
+// 9-decimal to shortest-form numbers; v4 added the data-quality counters
+// (scrubbed_samples / skipped_samples, DESIGN.md §11).
 //
 // CSV schema (pinned by tests/golden/metrics.csv): one row per stage,
 // sorted by name, with the same fields flattened:
 //
-//   stage,seconds,invocations,moved_bytes,latency_samples,p50,p95,p99,
+//   stage,seconds,invocations,moved_bytes,scrubbed_samples,skipped_samples,
+//   latency_samples,p50,p95,p99,
 //   fma,mul,add,sincos,dev_bytes,shared_bytes,visibilities,total_ops,flops
 #pragma once
 

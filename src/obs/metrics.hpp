@@ -36,6 +36,12 @@ struct StageMetrics {
   /// single-invocation record() call (bulk records update the totals only,
   /// since the per-span latencies are unknown there).
   LatencyHistogram latency;
+  /// Data-quality counters (DESIGN.md §11): samples neutralized in place
+  /// (flagged or non-finite, zeroed or rejected by the scrub pass) and
+  /// samples skipped wholesale because their work group was dropped under
+  /// BadSamplePolicy::kSkipWorkGroup.
+  std::uint64_t scrubbed_samples = 0;
+  std::uint64_t skipped_samples = 0;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
@@ -43,6 +49,8 @@ struct StageMetrics {
     ops += other.ops;
     moved_bytes += other.moved_bytes;
     latency += other.latency;
+    scrubbed_samples += other.scrubbed_samples;
+    skipped_samples += other.skipped_samples;
     return *this;
   }
 };

@@ -26,6 +26,15 @@ void AggregateSink::record_bytes(std::string_view stage, std::uint64_t bytes) {
   metrics_[std::string(stage)].moved_bytes += bytes;
 }
 
+void AggregateSink::record_data_quality(std::string_view stage,
+                                        std::uint64_t scrubbed,
+                                        std::uint64_t skipped) {
+  std::lock_guard lock(mutex_);
+  StageMetrics& m = metrics_[std::string(stage)];
+  m.scrubbed_samples += scrubbed;
+  m.skipped_samples += skipped;
+}
+
 MetricsSnapshot AggregateSink::snapshot() const {
   std::lock_guard lock(mutex_);
   return metrics_;

@@ -41,6 +41,18 @@ class MetricsSink {
     (void)stage;
     (void)bytes;
   }
+
+  /// Attributes data-quality counters to `stage`: `scrubbed` samples
+  /// neutralized in place (flagged/non-finite, per bad_sample_policy) and
+  /// `skipped` samples dropped wholesale with their work group. Default
+  /// no-op, like record_bytes().
+  virtual void record_data_quality(std::string_view stage,
+                                   std::uint64_t scrubbed,
+                                   std::uint64_t skipped) {
+    (void)stage;
+    (void)scrubbed;
+    (void)skipped;
+  }
 };
 
 /// Discards everything. Used as the default when a caller does not care
@@ -62,6 +74,8 @@ class AggregateSink : public MetricsSink {
               std::uint64_t invocations = 1) override;
   void record_ops(std::string_view stage, const OpCounts& ops) override;
   void record_bytes(std::string_view stage, std::uint64_t bytes) override;
+  void record_data_quality(std::string_view stage, std::uint64_t scrubbed,
+                           std::uint64_t skipped) override;
 
   /// Consistent copy of the current aggregated state.
   MetricsSnapshot snapshot() const;

@@ -1,6 +1,8 @@
 #include "sim/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -70,6 +72,36 @@ Dataset make_benchmark_dataset(const BenchmarkConfig& config) {
 
 Dataset make_benchmark_dataset_no_vis(const BenchmarkConfig& config) {
   return make_dataset_impl(config, /*fill_vis=*/false);
+}
+
+std::uint64_t apply_rfi_flags(Dataset& dataset, double fraction,
+                              std::uint32_t seed) {
+  fraction = std::min(1.0, std::max(0.0, fraction));
+  if (dataset.flags.size() == 0) {
+    dataset.flags = Array3D<std::uint8_t>(
+        dataset.nr_baselines(), dataset.nr_timesteps(), dataset.nr_channels());
+  }
+  if (fraction == 0.0) return 0;
+
+  // splitmix64 per sample index: deterministic, seed-dependent, and
+  // independent of iteration order.
+  std::uint64_t flagged = 0;
+  std::uint8_t* f = dataset.flags.data();
+  const std::size_t n = dataset.flags.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = (static_cast<std::uint64_t>(seed) << 32 | 0x9e3779b9u) +
+                      (static_cast<std::uint64_t>(i) + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double unit =
+        static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    if (unit < fraction) {
+      f[i] = 1;
+      ++flagged;
+    }
+  }
+  return flagged;
 }
 
 }  // namespace idg::sim

@@ -27,6 +27,10 @@ struct Dataset {
   Array2D<UVW> uvw;                 ///< [baseline][time], meters
   std::vector<double> frequencies;  ///< [channel], Hz
   Array3D<Visibility> visibilities; ///< [baseline][time][channel]
+  /// Per-visibility flag mask, same shape as `visibilities` (non-zero =
+  /// flagged, e.g. RFI-contaminated). Empty = nothing flagged; real
+  /// correlator output always carries such a mask.
+  Array3D<std::uint8_t> flags;
   double image_size = 0.0;          ///< field of view (direction cosines)
   std::size_t grid_size = 0;        ///< master grid pixels per side
 
@@ -35,6 +39,11 @@ struct Dataset {
   std::size_t nr_channels() const { return frequencies.size(); }
   std::size_t nr_visibilities() const {
     return nr_baselines() * nr_timesteps() * nr_channels();
+  }
+
+  /// The mask as the view the backends consume (empty when never flagged).
+  FlagView flag_view() const {
+    return flags.size() == 0 ? FlagView{} : flags.cview();
   }
 };
 
@@ -75,5 +84,13 @@ Dataset make_benchmark_dataset(const BenchmarkConfig& config);
 /// Like make_benchmark_dataset but leaves the visibility cube zeroed
 /// (degridding benchmarks overwrite it anyway).
 Dataset make_benchmark_dataset_no_vis(const BenchmarkConfig& config);
+
+/// Flags approximately `fraction` of the samples (deterministically from
+/// `seed`; allocates the mask on first use) — a synthetic stand-in for an
+/// RFI flagger's output, used to exercise Parameters::bad_sample_policy.
+/// `fraction` is clamped to [0, 1]; the flagged samples' values are left
+/// untouched. Returns the number of samples flagged.
+std::uint64_t apply_rfi_flags(Dataset& dataset, double fraction,
+                              std::uint32_t seed = 1);
 
 }  // namespace idg::sim

@@ -1,15 +1,31 @@
 #include "sim/dataset_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace idg::sim {
 
 namespace {
-constexpr char kMagic[8] = {'I', 'D', 'G', 'D', 'A', 'T', 'A', '1'};
+// v1 has no flag mask; v2 appends it after the visibility cube. Both are
+// accepted on load; save picks v1 when the dataset carries no mask so files
+// written by older code and flag-free files stay byte-identical.
+constexpr char kMagicV1[8] = {'I', 'D', 'G', 'D', 'A', 'T', 'A', '1'};
+constexpr char kMagicV2[8] = {'I', 'D', 'G', 'D', 'A', 'T', 'A', '2'};
+
+// Sanity caps on the header counts: far above any dataset this simulator
+// produces, far below anything whose allocation could take the process
+// down. A corrupted or malicious header fails with a descriptive
+// idg::Error instead of a multi-terabyte std::bad_alloc.
+constexpr std::uint64_t kMaxStations = 1u << 16;
+constexpr std::uint64_t kMaxTimesteps = 1u << 24;
+constexpr std::uint64_t kMaxChannels = 1u << 16;
+constexpr std::uint64_t kMaxGridSize = 1u << 20;
+constexpr std::uint64_t kMaxTotalVisibilities = 1ull << 33;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -17,8 +33,11 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-void read_pod(std::ifstream& in, T& value) {
+void read_pod(std::ifstream& in, T& value, const std::string& path,
+              const char* what) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  IDG_CHECK(in.good(), "dataset file truncated reading " << what << ": "
+                                                         << path);
 }
 
 template <typename T>
@@ -28,9 +47,20 @@ void write_array(std::ofstream& out, const T* data, std::size_t count) {
 }
 
 template <typename T>
-void read_array(std::ifstream& in, T* data, std::size_t count) {
+void read_array(std::ifstream& in, T* data, std::size_t count,
+                const std::string& path, const char* what) {
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(count * sizeof(T)));
+  IDG_CHECK(in.good(), "dataset file truncated reading " << what << ": "
+                                                         << path);
+}
+
+/// a * b, throwing instead of wrapping on overflow.
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
+                          const std::string& path) {
+  IDG_CHECK(b == 0 || a <= std::numeric_limits<std::uint64_t>::max() / b,
+            "dataset header dimensions overflow: " << path);
+  return a * b;
 }
 }  // namespace
 
@@ -38,7 +68,12 @@ void save_dataset(const std::string& path, const Dataset& dataset) {
   std::ofstream out(path, std::ios::binary);
   IDG_CHECK(out.good(), "cannot open dataset file for writing: " << path);
 
-  out.write(kMagic, sizeof(kMagic));
+  const bool with_flags = dataset.flags.size() != 0;
+  if (with_flags) {
+    IDG_CHECK(dataset.flags.size() == dataset.visibilities.size(),
+              "flag mask shape does not match the visibility cube");
+  }
+  out.write(with_flags ? kMagicV2 : kMagicV1, sizeof(kMagicV1));
   const std::uint64_t nr_stations = dataset.layout.size();
   const std::uint64_t nr_baselines = dataset.nr_baselines();
   const std::uint64_t nr_timesteps = dataset.nr_timesteps();
@@ -68,6 +103,9 @@ void save_dataset(const std::string& path, const Dataset& dataset) {
   write_array(out, dataset.uvw.data(), dataset.uvw.size());
   write_array(out, dataset.frequencies.data(), dataset.frequencies.size());
   write_array(out, dataset.visibilities.data(), dataset.visibilities.size());
+  if (with_flags) {
+    write_array(out, dataset.flags.data(), dataset.flags.size());
+  }
   IDG_CHECK(out.good(), "failed writing dataset: " << path);
 }
 
@@ -77,57 +115,85 @@ Dataset load_dataset(const std::string& path) {
 
   char magic[8];
   in.read(magic, sizeof(magic));
-  IDG_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-            "not an IDG dataset file: " << path);
+  IDG_CHECK(in.good(), "dataset file truncated reading magic: " << path);
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  IDG_CHECK(v2 || std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0,
+            "not an IDG dataset file (bad magic): " << path);
 
   std::uint64_t nr_stations = 0, nr_baselines = 0, nr_timesteps = 0,
                 nr_channels = 0, grid_size = 0;
-  read_pod(in, nr_stations);
-  read_pod(in, nr_baselines);
-  read_pod(in, nr_timesteps);
-  read_pod(in, nr_channels);
-  read_pod(in, grid_size);
-  IDG_CHECK(in.good() && nr_stations >= 2 && nr_timesteps >= 1 &&
-                nr_channels >= 1 && nr_baselines >= 1,
-            "malformed dataset header: " << path);
+  read_pod(in, nr_stations, path, "header");
+  read_pod(in, nr_baselines, path, "header");
+  read_pod(in, nr_timesteps, path, "header");
+  read_pod(in, nr_channels, path, "header");
+  read_pod(in, grid_size, path, "header");
+  IDG_CHECK(nr_stations >= 2 && nr_timesteps >= 1 && nr_channels >= 1 &&
+                nr_baselines >= 1,
+            "malformed dataset header (zero/degenerate dimensions): " << path);
+  IDG_CHECK(nr_stations <= kMaxStations && nr_timesteps <= kMaxTimesteps &&
+                nr_channels <= kMaxChannels && grid_size <= kMaxGridSize,
+            "dataset header dimensions exceed sanity caps (stations "
+                << nr_stations << ", timesteps " << nr_timesteps
+                << ", channels " << nr_channels << ", grid " << grid_size
+                << "): " << path);
   IDG_CHECK(nr_baselines <= nr_stations * (nr_stations - 1) / 2,
-            "dataset header claims more baselines than station pairs");
+            "dataset header claims more baselines than station pairs: "
+                << path);
+  const std::uint64_t nr_visibilities = checked_mul(
+      checked_mul(nr_baselines, nr_timesteps, path), nr_channels, path);
+  IDG_CHECK(nr_visibilities <= kMaxTotalVisibilities,
+            "dataset header claims " << nr_visibilities
+                                     << " visibilities, above the sanity cap: "
+                                     << path);
 
   Dataset ds;
   ds.grid_size = grid_size;
-  read_pod(in, ds.image_size);
-  read_pod(in, ds.obs.declination_rad);
-  read_pod(in, ds.obs.latitude_rad);
-  read_pod(in, ds.obs.hour_angle_start_rad);
-  read_pod(in, ds.obs.integration_time_s);
-  read_pod(in, ds.obs.start_frequency_hz);
-  read_pod(in, ds.obs.channel_width_hz);
+  read_pod(in, ds.image_size, path, "observation parameters");
+  read_pod(in, ds.obs.declination_rad, path, "observation parameters");
+  read_pod(in, ds.obs.latitude_rad, path, "observation parameters");
+  read_pod(in, ds.obs.hour_angle_start_rad, path, "observation parameters");
+  read_pod(in, ds.obs.integration_time_s, path, "observation parameters");
+  read_pod(in, ds.obs.start_frequency_hz, path, "observation parameters");
+  read_pod(in, ds.obs.channel_width_hz, path, "observation parameters");
+  IDG_CHECK(std::isfinite(ds.image_size) && ds.image_size > 0.0,
+            "dataset header has a non-positive or non-finite image size: "
+                << path);
   ds.obs.nr_timesteps = static_cast<int>(nr_timesteps);
   ds.obs.nr_channels = static_cast<int>(nr_channels);
 
   ds.layout.resize(nr_stations);
   for (StationPosition& s : ds.layout) {
-    read_pod(in, s.east);
-    read_pod(in, s.north);
+    read_pod(in, s.east, path, "station layout");
+    read_pod(in, s.north, path, "station layout");
   }
   ds.baselines.resize(nr_baselines);
   for (Baseline& b : ds.baselines) {
     std::uint32_t s1 = 0, s2 = 0;
-    read_pod(in, s1);
-    read_pod(in, s2);
+    read_pod(in, s1, path, "baselines");
+    read_pod(in, s2, path, "baselines");
     IDG_CHECK(s1 < nr_stations && s2 < nr_stations,
               "baseline references unknown station in " << path);
     b.station1 = static_cast<int>(s1);
     b.station2 = static_cast<int>(s2);
   }
   ds.uvw = Array2D<UVW>(nr_baselines, nr_timesteps);
-  read_array(in, ds.uvw.data(), ds.uvw.size());
+  read_array(in, ds.uvw.data(), ds.uvw.size(), path, "uvw tracks");
   ds.frequencies.resize(nr_channels);
-  read_array(in, ds.frequencies.data(), ds.frequencies.size());
-  ds.visibilities = Array3D<Visibility>(nr_baselines, nr_timesteps,
-                                        nr_channels);
-  read_array(in, ds.visibilities.data(), ds.visibilities.size());
-  IDG_CHECK(in.good(), "dataset file truncated: " << path);
+  read_array(in, ds.frequencies.data(), ds.frequencies.size(), path,
+             "frequencies");
+  ds.visibilities =
+      Array3D<Visibility>(nr_baselines, nr_timesteps, nr_channels);
+  read_array(in, ds.visibilities.data(), ds.visibilities.size(), path,
+             "visibility cube");
+  if (v2) {
+    ds.flags = Array3D<std::uint8_t>(nr_baselines, nr_timesteps, nr_channels);
+    read_array(in, ds.flags.data(), ds.flags.size(), path, "flag mask");
+  }
+  // Exactly at end-of-file: trailing garbage means the header lied about
+  // the dimensions (or the file was concatenated/corrupted).
+  in.peek();
+  IDG_CHECK(in.eof(), "dataset file has trailing bytes beyond the declared "
+                      "dimensions: " << path);
   return ds;
 }
 

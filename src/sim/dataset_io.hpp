@@ -7,7 +7,7 @@
 // tracks, channel frequencies and the visibility cube.
 //
 // Layout (all integers uint64, all floats IEEE-754):
-//   magic "IDGDATA1" (8 bytes)
+//   magic "IDGDATA1" (v1) or "IDGDATA2" (v2, 8 bytes)
 //   nr_stations, nr_baselines, nr_timesteps, nr_channels, grid_size
 //   image_size (f64), declination, latitude, hour_angle_start,
 //   integration_time, start_frequency, channel_width (f64 each)
@@ -16,6 +16,15 @@
 //   uvw       : nr_baselines x nr_timesteps x { u f32, v f32, w f32 }
 //   freqs     : nr_channels  x f64
 //   vis       : nr_baselines x nr_timesteps x nr_channels x 8 x f32
+//   flags     : nr_baselines x nr_timesteps x nr_channels x u8  (v2 only)
+//
+// save_dataset writes v1 when the dataset carries no flag mask (flag-free
+// files stay byte-identical to older writers) and v2 otherwise; load
+// accepts both. The loader is hardened against corrupted or hostile files:
+// every section read is length-checked, the header counts are validated
+// against sanity caps and overflow-checked before any allocation, and a
+// file whose length disagrees with its header is rejected — all failures
+// surface as descriptive idg::Error, never bad_alloc or a garbage dataset.
 #pragma once
 
 #include <string>

@@ -14,12 +14,15 @@ namespace idg::testgolden {
 
 /// Deterministic fixture: one bulk-recorded stage (no latency samples) and
 /// one single-span stage (exactly one histogram sample), so the goldens
-/// pin both shapes of the idg-obs/v3 latency block.
+/// pin both shapes of the idg-obs/v4 latency block, plus non-zero
+/// data-quality counters on both stages (the v4 addition).
 inline obs::MetricsSnapshot golden_snapshot() {
   obs::AggregateSink sink;
   sink.record("gridder", 1.5, 3);
   sink.record("adder", 0.25);
   sink.record_bytes("adder", 786432);
+  sink.record_data_quality("gridder", 7, 0);
+  sink.record_data_quality("adder", 0, 128);
   OpCounts ops;
   ops.fma = 17;
   ops.mul = 8;

@@ -21,7 +21,10 @@
 namespace {
 
 using idg::cfloat;
+using idg::Error;
 using idg::Matrix2x2;
+using idg::Options;
+using idg::WorkerPool;
 
 // --- types -----------------------------------------------------------------
 
@@ -322,6 +325,74 @@ TEST(WorkerPoolTest, ZeroWorkersRunsInlineInOrder) {
   pool.parallel_for(5, [&](std::size_t i) { seen.push_back(i); });
   ASSERT_EQ(seen.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(seen[i], i);
+}
+
+
+TEST(CliTest, DuplicateOptionIsRejected) {
+  const char* argv[] = {"prog", "--scale=0.5", "--scale", "2"};
+  try {
+    Options opts(4, argv);
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate option --scale"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CliTest, DuplicateFlagIsRejected) {
+  const char* argv[] = {"prog", "--paper", "--paper"};
+  EXPECT_THROW(Options(3, argv), Error);
+}
+
+TEST(CliTest, UnknownOptionsRejectedWhenCatalogueGiven) {
+  // All problems must surface in ONE error, not one per run.
+  const char* argv[] = {"prog", "--grid=64", "--subgird=24", "--chanels", "8"};
+  try {
+    Options opts(5, argv, {"paper"}, {"grid", "subgrid", "channels"});
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown option --subgird"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown option --chanels"), std::string::npos) << what;
+    EXPECT_EQ(what.find("--grid"), std::string::npos) << what;
+  }
+}
+
+TEST(CliTest, KnownCatalogueAcceptsListedOptionsAndFlags) {
+  const char* argv[] = {"prog", "--grid", "64", "--paper"};
+  Options opts(4, argv, {"paper"}, {"grid"});
+  EXPECT_EQ(opts.get("grid", 0L), 64L);
+  EXPECT_TRUE(opts.flag("paper"));
+}
+
+TEST(WorkerPoolTest, ExceptionInWorkerPropagatesToCaller) {
+  WorkerPool pool(3);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 13) throw Error("boom at 13");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom at 13"), std::string::npos);
+  }
+  // The pool must stay usable after a failed job.
+  std::atomic<int> again{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 32);
+}
+
+TEST(WorkerPoolTest, SerialPathPropagatesExceptions) {
+  WorkerPool pool(0);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t i) {
+        if (i == 2) throw Error("serial boom");
+      }),
+      Error);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -277,7 +278,7 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v4\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 0"), std::string::npos);
   EXPECT_NO_THROW(testjson::parse(json));
@@ -285,7 +286,7 @@ TEST(ExportTest, EmptySnapshotIsValidJson) {
 
 TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   const auto doc = testjson::parse(obs::to_json(golden_snapshot()));
-  EXPECT_EQ(doc.at("schema").string, "idg-obs/v3");
+  EXPECT_EQ(doc.at("schema").string, "idg-obs/v4");
   const auto& stages = doc.at("stages");
   ASSERT_EQ(stages.array.size(), 2u);
   // Stages sort by name: adder (one sampled span) before gridder (bulk).
@@ -849,6 +850,54 @@ TEST(ParametersTest, ProcessorRejectsBadParametersAtConstruction) {
   params.subgrid_size = params.grid_size;  // inconsistent
   EXPECT_THROW(Processor{params}, Error);
   EXPECT_THROW(make_backend("pipelined", params), Error);
+}
+
+TEST(ParametersTest, EdgeCaseValuesAreCaught) {
+  const auto error_of = [](auto&& mutate) {
+    Parameters params;
+    params.image_size = 0.01;
+    mutate(params);
+    return params.validated();
+  };
+  // Non-finite geometry must be rejected, not silently propagated into
+  // every subsequent coordinate computation.
+  EXPECT_TRUE(error_of(
+      [](Parameters& p) { p.image_size = std::numeric_limits<double>::quiet_NaN(); }));
+  EXPECT_TRUE(error_of(
+      [](Parameters& p) { p.image_size = std::numeric_limits<double>::infinity(); }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.image_size = -0.01; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.subgrid_size = 0; }));
+  EXPECT_TRUE(error_of([](Parameters& p) { p.grid_size = 0; }));
+  // Enum fields fed from untrusted config: out-of-range values throw.
+  EXPECT_TRUE(error_of([](Parameters& p) {
+    p.plan_ordering = static_cast<PlanOrdering>(99);
+  }));
+  EXPECT_TRUE(error_of([](Parameters& p) {
+    p.bad_sample_policy = static_cast<BadSamplePolicy>(-1);
+  }));
+  EXPECT_TRUE(error_of([](Parameters& p) {
+    p.bad_sample_policy = static_cast<BadSamplePolicy>(3);
+  }));
+  const auto policy_error = error_of([](Parameters& p) {
+    p.bad_sample_policy = static_cast<BadSamplePolicy>(7);
+  });
+  ASSERT_TRUE(policy_error.has_value());
+  EXPECT_NE(std::string(policy_error->what()).find("bad_sample_policy"),
+            std::string::npos);
+}
+
+TEST(ParametersTest, BadSamplePolicyStringRoundtrip) {
+  using enum BadSamplePolicy;
+  EXPECT_EQ(bad_sample_policy_from_string("reject"), kReject);
+  EXPECT_EQ(bad_sample_policy_from_string("zero_and_continue"),
+            kZeroAndContinue);
+  EXPECT_EQ(bad_sample_policy_from_string("zero"), kZeroAndContinue);
+  EXPECT_EQ(bad_sample_policy_from_string("skip_work_group"), kSkipWorkGroup);
+  EXPECT_EQ(bad_sample_policy_from_string("skip"), kSkipWorkGroup);
+  EXPECT_FALSE(bad_sample_policy_from_string("drop").has_value());
+  EXPECT_STREQ(to_string(kReject), "reject");
+  EXPECT_STREQ(to_string(kZeroAndContinue), "zero_and_continue");
+  EXPECT_STREQ(to_string(kSkipWorkGroup), "skip_work_group");
 }
 
 TEST(WPlaneModelTest, RejectsNonPositiveSpacing) {

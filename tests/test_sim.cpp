@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include <cmath>
 #include <complex>
@@ -479,6 +481,167 @@ TEST(DatasetIoTest, RejectsTruncatedFile) {
 
 TEST(DatasetIoTest, MissingFileThrows) {
   EXPECT_THROW(load_dataset("/nonexistent/nope.bin"), Error);
+}
+
+
+// --- corrupted / hostile dataset files (PR 4 hardening) ---------------------
+
+namespace {
+// Writes a syntactically valid v1 header with the given counts, then
+// `payload_bytes` of zeros. Used to forge corrupted fixtures.
+void write_forged_header(const std::string& path, std::uint64_t stations,
+                         std::uint64_t baselines, std::uint64_t timesteps,
+                         std::uint64_t channels, std::uint64_t grid,
+                         std::size_t payload_bytes = 0) {
+  std::ofstream out(path, std::ios::binary);
+  out.write("IDGDATA1", 8);
+  const std::uint64_t header[5] = {stations, baselines, timesteps, channels,
+                                   grid};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  const double obs[7] = {0.01, -0.5, 0.9, 0.0, 1.0, 100e6, 1e6};
+  out.write(reinterpret_cast<const char*>(obs), sizeof(obs));
+  const std::vector<char> zeros(payload_bytes, 0);
+  out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+}
+}  // namespace
+
+TEST(DatasetIoTest, RejectsOversizedHeaderCountsWithoutAllocating) {
+  // A hostile header claiming ~10^15 visibilities must fail with a
+  // descriptive idg::Error (sanity cap), not std::bad_alloc.
+  const std::string path = "/tmp/idg_test_oversized.bin";
+  write_forged_header(path, 60000, 1000000000ull, 1000000, 100, 1024);
+  try {
+    load_dataset(path);
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("sanity cap"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsDimensionOverflow) {
+  // Counts whose product wraps uint64 must be caught by the checked
+  // multiply (each factor is under its individual cap).
+  const std::string path = "/tmp/idg_test_overflow.bin";
+  write_forged_header(path, 60000, 1ull << 30, 1ull << 24, 1ull << 16, 1024);
+  EXPECT_THROW(load_dataset(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsTrailingGarbage) {
+  BenchmarkConfig cfg;
+  cfg.nr_stations = 4;
+  cfg.nr_timesteps = 8;
+  auto ds = make_benchmark_dataset(cfg);
+  const std::string path = "/tmp/idg_test_trailing.bin";
+  save_dataset(path, ds);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra bytes the header does not account for";
+  }
+  try {
+    load_dataset(path);
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsBaselineCountAboveStationPairs) {
+  const std::string path = "/tmp/idg_test_badbl.bin";
+  write_forged_header(path, 4, 100, 8, 2, 64);
+  EXPECT_THROW(load_dataset(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncationErrorNamesTheSection) {
+  // Truncating inside the uvw block must say so, not just "bad file".
+  BenchmarkConfig cfg;
+  cfg.nr_stations = 4;
+  cfg.nr_timesteps = 8;
+  auto ds = make_benchmark_dataset(cfg);
+  const std::string path = "/tmp/idg_test_trunc_section.bin";
+  save_dataset(path, ds);
+  const std::size_t header_bytes =
+      8 + 5 * 8 + 7 * 8 + ds.layout.size() * 16 + ds.baselines.size() * 8;
+  std::filesystem::resize_file(path, header_bytes + 4);
+  try {
+    load_dataset(path);
+    FAIL() << "expected idg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("uvw"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, FlagMaskRoundtripsThroughV2) {
+  BenchmarkConfig cfg;
+  cfg.nr_stations = 5;
+  cfg.nr_timesteps = 12;
+  cfg.nr_channels = 3;
+  auto ds = make_benchmark_dataset(cfg);
+  const std::uint64_t flagged = apply_rfi_flags(ds, 0.25, 7);
+  EXPECT_GT(flagged, 0u);
+  EXPECT_LT(flagged, ds.nr_visibilities());
+
+  const std::string path = "/tmp/idg_test_flags_v2.bin";
+  save_dataset(path, ds);
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[8];
+    in.read(magic, 8);
+    EXPECT_EQ(std::string(magic, 8), "IDGDATA2");
+  }
+  auto back = load_dataset(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.flags.size(), ds.flags.size());
+  for (std::size_t i = 0; i < ds.flags.size(); ++i) {
+    EXPECT_EQ(back.flags.data()[i], ds.flags.data()[i]);
+  }
+}
+
+TEST(DatasetIoTest, FlagFreeDatasetStillWritesV1) {
+  BenchmarkConfig cfg;
+  cfg.nr_stations = 4;
+  cfg.nr_timesteps = 4;
+  auto ds = make_benchmark_dataset(cfg);
+  const std::string path = "/tmp/idg_test_v1.bin";
+  save_dataset(path, ds);
+  std::ifstream in(path, std::ios::binary);
+  char magic[8];
+  in.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "IDGDATA1");
+  in.close();
+  auto back = load_dataset(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.flags.size(), 0u);
+}
+
+TEST(DatasetTest, ApplyRfiFlagsIsDeterministicAndSeedDependent) {
+  BenchmarkConfig cfg;
+  cfg.nr_stations = 5;
+  cfg.nr_timesteps = 16;
+  auto a = make_benchmark_dataset(cfg);
+  auto b = make_benchmark_dataset(cfg);
+  auto c = make_benchmark_dataset(cfg);
+  EXPECT_EQ(apply_rfi_flags(a, 0.1, 3), apply_rfi_flags(b, 0.1, 3));
+  for (std::size_t i = 0; i < a.flags.size(); ++i) {
+    ASSERT_EQ(a.flags.data()[i], b.flags.data()[i]);
+  }
+  apply_rfi_flags(c, 0.1, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.flags.size(); ++i) {
+    if (a.flags.data()[i] != c.flags.data()[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  // fraction 0 allocates the (all-clear) mask but flags nothing.
+  Dataset d = make_benchmark_dataset(cfg);
+  EXPECT_EQ(apply_rfi_flags(d, 0.0, 1), 0u);
+  EXPECT_EQ(d.flags.size(), d.nr_visibilities());
 }
 
 }  // namespace
