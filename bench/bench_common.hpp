@@ -8,7 +8,7 @@
 //
 // Benches that measure pipeline stages additionally accept
 //   --backend <name>   execution backend (idg::make_backend names)
-//   --json <path>      per-stage metrics in the idg-obs/v4 JSON schema
+//   --json <path>      per-stage metrics in the idg-obs/v5 JSON schema
 //   --trace <path>     Chrome-trace/Perfetto event timeline (also enabled
 //                      by the IDG_TRACE environment variable; load the file
 //                      at ui.perfetto.dev or chrome://tracing)
@@ -19,6 +19,14 @@
 //   --flag-fraction F  mark ~F of the samples RFI-flagged (deterministic)
 //   --bad-policy P     reject | zero_and_continue | skip_work_group
 //                      (Parameters::bad_sample_policy, DESIGN.md §11)
+//   --retries N        wrap the backend in the resilient supervisor: up to
+//                      N failed attempts per work group before quarantine
+//                      (DESIGN.md §12)
+//   --deadline-ms D    abort the run with a CancelledError after D ms
+//                      (Parameters::deadline_ms; 0 = no deadline)
+//   --checkpoint P     major-cycle binaries: snapshot loop state to P after
+//                      each completed cycle (IDGCKPT1, clean/major_cycle.hpp)
+//   --resume P         major-cycle binaries: restart from the snapshot at P
 // so downstream plotting reads one stable schema instead of scraping
 // per-bench table formats. parse_bench_options() rejects unknown and
 // duplicate options, reporting every problem in one error.
@@ -30,8 +38,10 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/report.hpp"
 #include "idg/backend.hpp"
+#include "idg/supervisor.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
 #include "obs/export.hpp"
@@ -58,9 +68,10 @@ struct BenchSetup {
 inline const std::vector<std::string>& known_bench_options() {
   static const std::vector<std::string> options = {
       "aterm-interval", "backend",    "bad-policy",        "channels",
-      "csv",            "cycles",     "flag-fraction",     "grid",
-      "json",           "kernel-size", "kernels",          "max-nw",
-      "max-timesteps",  "phase-rms",  "save-pgm",          "seconds-per-point",
+      "checkpoint",     "csv",        "cycles",            "deadline-ms",
+      "flag-fraction",  "grid",       "json",              "kernel-size",
+      "kernels",        "max-nw",     "max-timesteps",     "phase-rms",
+      "resume",         "retries",    "save-pgm",          "seconds-per-point",
       "stations",       "subgrid",    "support",           "tile-size",
       "time",           "trace",      "unsorted",          "w-planes",
       "w-scale",
@@ -115,6 +126,10 @@ inline Parameters params_from(const sim::BenchmarkConfig& cfg,
                 "' (expected reject, zero_and_continue or skip_work_group)");
   }
   params.bad_sample_policy = *parsed;
+  // --deadline-ms D aborts the run with a CancelledError once D ms have
+  // elapsed (0 = no deadline, DESIGN.md §12).
+  params.deadline_ms =
+      static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
   return params;
 }
 
@@ -162,7 +177,7 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
   }
 }
 
-/// Writes the per-stage metrics snapshot as idg-obs/v4 JSON when --json
+/// Writes the per-stage metrics snapshot as idg-obs/v5 JSON when --json
 /// <path> was given.
 inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
                              const Options& opts) {
@@ -203,11 +218,31 @@ class TraceGuard {
 };
 
 /// Creates the execution backend selected by --backend (default:
-/// synchronous). The KernelSet must outlive the returned backend.
+/// synchronous). --retries N wraps the selection in the resilient
+/// supervisor (N failed attempts per work group before quarantine,
+/// DESIGN.md §12); spell --backend resilient[:inner] instead to get the
+/// default recovery policy. The KernelSet must outlive the returned
+/// backend.
 inline std::unique_ptr<GridderBackend> backend_from_options(
     const Options& opts, const Parameters& params, const KernelSet& kernels) {
-  return make_backend(opts.get("backend", std::string("synchronous")), params,
-                      kernels);
+  const std::string name = opts.get("backend", std::string("synchronous"));
+  auto backend = make_backend(name, params, kernels);
+  const long retries = opts.get("retries", 0L);
+  if (retries > 0) {
+    IDG_CHECK(backend->name() != "resilient",
+              "--retries cannot rewrap --backend " << name
+                                                   << "; it is already "
+                                                      "supervised");
+    SupervisorConfig config;
+    config.max_attempts_per_group = static_cast<std::uint32_t>(retries);
+    std::unique_ptr<GridderBackend> fallback;
+    if (backend->name() != "synchronous") {
+      fallback = make_backend("synchronous", params, kernels);
+    }
+    backend = make_resilient_backend(std::move(backend), std::move(fallback),
+                                     config);
+  }
+  return backend;
 }
 
 }  // namespace idg::bench

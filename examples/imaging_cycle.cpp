@@ -3,7 +3,15 @@
 // degridding working together, and reports the recovered source fluxes.
 //
 // Run: ./imaging_cycle [--cycles N] [--stations N] ...
+//
+// Recovery knobs (DESIGN.md §12): --checkpoint <path> snapshots the loop
+// state after every completed major cycle; --resume <path> restarts a
+// killed run from such a snapshot, bit-identically to never having
+// stopped; --retries N supervises the backend (N failed attempts per work
+// group before quarantine); --deadline-ms D aborts the whole run after D
+// milliseconds. The CI kill-and-resume smoke drives exactly this binary.
 #include <iostream>
+#include <memory>
 
 #include "clean/major_cycle.hpp"
 #include "common/cli.hpp"
@@ -11,6 +19,7 @@
 #include "example_util.hpp"
 #include "idg/plan.hpp"
 #include "idg/processor.hpp"
+#include "idg/supervisor.hpp"
 #include "kernels/optimized.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
@@ -45,17 +54,30 @@ int main(int argc, char** argv) {
   params.image_size = ds.image_size;
   params.nr_stations = cfg.nr_stations;
   params.kernel_size = 16;
+  params.deadline_ms = static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
   Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
   auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
                                           cfg.subgrid_size);
 
-  Processor processor(params, kernels::optimized_kernels());
+  std::unique_ptr<GridderBackend> backend =
+      std::make_unique<Processor>(params, kernels::optimized_kernels());
+  const long retries = opts.get("retries", 0L);
+  if (retries > 0) {
+    SupervisorConfig sup;
+    sup.max_attempts_per_group = static_cast<std::uint32_t>(retries);
+    backend = make_resilient_backend(std::move(backend), nullptr, sup);
+  }
   clean::MajorCycleConfig mc;
   mc.nr_major_cycles = static_cast<int>(opts.get("cycles", 4L));
   mc.minor.gain = 0.2f;
   mc.minor.max_iterations = 200;
+  mc.checkpoint_path = opts.get("checkpoint", std::string{});
+  mc.resume_path = opts.get("resume", std::string{});
+  if (!mc.resume_path.empty()) {
+    std::cout << "resuming from checkpoint " << mc.resume_path << "\n";
+  }
 
-  auto result = clean::run_major_cycles(processor, plan, ds.uvw.cview(),
+  auto result = clean::run_major_cycles(*backend, plan, ds.uvw.cview(),
                                         vis.cview(), aterms.cview(), mc);
 
   std::cout << "residual Stokes-I peak per major cycle:\n";

@@ -1,0 +1,42 @@
+#include "common/cancel.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace idg {
+
+namespace {
+
+// Registry of the tokens of in-flight runs. Tiny (one entry per concurrent
+// supervised/deadlined run) and read only from slow paths (injected delay
+// sleeps, backoff waits), so a mutex-guarded vector is plenty.
+std::mutex registry_mutex;
+std::vector<const CancelToken*>& registry() {
+  static std::vector<const CancelToken*> tokens;
+  return tokens;
+}
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken& token) : token_(&token) {
+  std::lock_guard lock(registry_mutex);
+  registry().push_back(token_);
+}
+
+CancelScope::~CancelScope() {
+  std::lock_guard lock(registry_mutex);
+  auto& tokens = registry();
+  const auto it = std::find(tokens.begin(), tokens.end(), token_);
+  if (it != tokens.end()) tokens.erase(it);
+}
+
+bool any_cancel_requested() {
+  std::lock_guard lock(registry_mutex);
+  for (const CancelToken* token : registry()) {
+    if (token->cancelled()) return true;
+  }
+  return false;
+}
+
+}  // namespace idg

@@ -1,0 +1,118 @@
+#include "common/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace idg {
+
+namespace {
+
+constexpr std::size_t kMagicSize = 8;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = crc_table()[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void CheckpointWriter::append(const void* data, std::size_t size) {
+  payload_.append(static_cast<const char*>(data), size);
+}
+
+void CheckpointWriter::commit(const std::string& path,
+                              const char* magic) const {
+  IDG_CHECK(std::strlen(magic) == kMagicSize,
+            "checkpoint magic must be exactly 8 bytes");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    IDG_CHECK(out.good(),
+              "cannot open checkpoint temp file for writing: " << tmp);
+    out.write(magic, kMagicSize);
+    out.write(payload_.data(),
+              static_cast<std::streamsize>(payload_.size()));
+    const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("failed writing checkpoint temp file: " + tmp);
+    }
+  }
+  // The atomic replace: a reader sees the old complete file or the new
+  // complete file, never a torn one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("failed renaming checkpoint '" + tmp + "' to '" + path +
+                "'");
+  }
+}
+
+CheckpointReader::CheckpointReader(const std::string& path,
+                                   const char* magic)
+    : path_(path) {
+  IDG_CHECK(std::strlen(magic) == kMagicSize,
+            "checkpoint magic must be exactly 8 bytes");
+  std::ifstream in(path, std::ios::binary);
+  IDG_CHECK(in.good(), "cannot open checkpoint file: " << path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  IDG_CHECK(contents.size() >= kMagicSize + sizeof(std::uint32_t),
+            "checkpoint file truncated (shorter than magic + CRC): "
+                << path);
+  IDG_CHECK(std::memcmp(contents.data(), magic, kMagicSize) == 0,
+            "not a '" << magic << "' checkpoint file: " << path);
+
+  const std::size_t payload_size =
+      contents.size() - kMagicSize - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, contents.data() + kMagicSize + payload_size,
+              sizeof(stored));
+  const std::uint32_t computed =
+      crc32(contents.data() + kMagicSize, payload_size);
+  IDG_CHECK(stored == computed,
+            "checkpoint CRC mismatch (corrupt or partially written): "
+                << path);
+  payload_ = contents.substr(kMagicSize, payload_size);
+}
+
+void CheckpointReader::extract(void* out, std::size_t size,
+                               const char* what) {
+  IDG_CHECK(size <= payload_.size() - offset_,
+            "checkpoint file truncated reading " << what << ": " << path_);
+  std::memcpy(out, payload_.data() + offset_, size);
+  offset_ += size;
+}
+
+void CheckpointReader::finish() const {
+  IDG_CHECK(offset_ == payload_.size(),
+            "checkpoint file has " << (payload_.size() - offset_)
+                                   << " trailing bytes: " << path_);
+}
+
+}  // namespace idg

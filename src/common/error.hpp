@@ -19,25 +19,59 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Runs `fn`, rethrowing any exception as idg::Error prefixed with the
-/// pipeline stage site and work-group id — the error-propagation contract
-/// (DESIGN.md §11): a stage failure always surfaces as one descriptive
-/// idg::Error naming where it happened.
+/// Thrown once a CancelToken (common/cancel.hpp) is cancelled — explicitly
+/// or by its deadline. A distinct type on purpose: the resilient
+/// supervisor (idg/supervisor.hpp) retries StageFailure but rethrows
+/// cancellation immediately, and both with_stage_context and
+/// PipelineError preserve the type when a cancellation unwinds a stage.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// A stage failure with its provenance attached: which stage site threw
+/// and which work group it was executing (-1 when not attributable to a
+/// group). The what() string carries the same human-readable message as
+/// before; the structured fields exist so the resilient supervisor
+/// (DESIGN.md §12) can retry or quarantine the exact failed group instead
+/// of parsing error text.
+class StageFailure : public Error {
+ public:
+  StageFailure(const std::string& what, std::string site, long long group)
+      : Error(what), site_(std::move(site)), group_(group) {}
+
+  const std::string& site() const { return site_; }
+  long long group() const { return group_; }
+
+ private:
+  std::string site_;
+  long long group_;
+};
+
+/// Runs `fn`, rethrowing any exception as idg::StageFailure prefixed with
+/// the pipeline stage site and work-group id — the error-propagation
+/// contract (DESIGN.md §11): a stage failure always surfaces as one
+/// descriptive idg::Error naming where it happened (StageFailure derives
+/// from Error, so existing catch sites are unchanged). Cancellation
+/// (CancelledError) passes through untouched: a deadline abort is not a
+/// stage failure and must never be retried as one.
 template <typename Fn>
 decltype(auto) with_stage_context(const char* site, long long group,
                                   Fn&& fn) {
   try {
     return fn();
+  } catch (const CancelledError&) {
+    throw;
   } catch (const std::exception& e) {
     std::ostringstream oss;
     oss << "stage '" << site << "' failed on work group " << group << ": "
         << e.what();
-    throw Error(oss.str());
+    throw StageFailure(oss.str(), site, group);
   } catch (...) {
     std::ostringstream oss;
     oss << "stage '" << site << "' failed on work group " << group
         << " with an unknown exception";
-    throw Error(oss.str());
+    throw StageFailure(oss.str(), site, group);
   }
 }
 

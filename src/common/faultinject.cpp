@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 
 namespace idg::fault {
@@ -100,6 +101,17 @@ void Injector::arm_from_spec(const std::string& spec) {
     const std::string action = part.substr(eq + 1);
     if (action == "throw") {
       arm.action = Action::kThrow;
+    } else if (action.rfind("throw:", 0) == 0) {
+      // Transient fault: fire at most <count> times, then pass.
+      arm.action = Action::kThrow;
+      try {
+        arm.max_fires = static_cast<std::uint32_t>(
+            std::stoul(action.substr(sizeof("throw:") - 1)));
+      } catch (const std::exception&) {
+        throw Error("malformed fault spec throw count in '" + part + "'");
+      }
+      IDG_CHECK(arm.max_fires > 0,
+                "fault spec '" << part << "' has a zero throw count");
     } else if (action == "corrupt") {
       arm.action = Action::kCorrupt;
     } else if (action.rfind("delay:", 0) == 0) {
@@ -147,11 +159,13 @@ void Injector::hit(const char* site, std::int64_t index) {
   bool throws = false;
   {
     std::lock_guard lock(state_->mutex);
-    for (const Arm& arm : state_->arms) {
+    for (Arm& arm : state_->arms) {
       if (arm.action == Action::kCorrupt) continue;
       if (arm.site != site) continue;
       if (arm.index != -1 && arm.index != index) continue;
+      if (arm.max_fires != 0 && arm.fires >= arm.max_fires) continue;
       if (!draw_fires(arm, site, index)) continue;
+      ++arm.fires;
       ++state_->fired[arm.site];
       if (arm.action == Action::kThrow) {
         throws = true;
@@ -161,8 +175,19 @@ void Injector::hit(const char* site, std::int64_t index) {
     }
   }
   if (delay_ms > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(std::min(delay_ms, kMaxDelayMs)));
+    // The sleep polls the cancel registry in short slices: a deadline
+    // abort (CancelToken, DESIGN.md §12) must not wait out the injected
+    // delay — an armed `delay:2000` otherwise wedges every deadline test
+    // for the full two seconds per fire.
+    using clock = std::chrono::steady_clock;
+    constexpr auto kSlice = std::chrono::milliseconds(1);
+    const auto deadline =
+        clock::now() +
+        std::chrono::milliseconds(std::min(delay_ms, kMaxDelayMs));
+    while (clock::now() < deadline) {
+      if (any_cancel_requested()) break;
+      std::this_thread::sleep_for(kSlice);
+    }
   }
   if (throws) {
     std::ostringstream oss;
@@ -173,11 +198,13 @@ void Injector::hit(const char* site, std::int64_t index) {
 
 bool Injector::wants_corrupt(const char* site, std::int64_t index) {
   std::lock_guard lock(state_->mutex);
-  for (const Arm& arm : state_->arms) {
+  for (Arm& arm : state_->arms) {
     if (arm.action != Action::kCorrupt) continue;
     if (arm.site != site) continue;
     if (arm.index != -1 && arm.index != index) continue;
+    if (arm.max_fires != 0 && arm.fires >= arm.max_fires) continue;
     if (!draw_fires(arm, site, index)) continue;
+    ++arm.fires;
     ++state_->fired[arm.site];
     return true;
   }

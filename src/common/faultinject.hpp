@@ -55,6 +55,12 @@ struct Arm {
   /// function of (seed, site, index) — deterministic across runs.
   double probability = 1.0;
   std::uint64_t seed = 0;
+  /// Transient faults: stop firing after this many fires; 0 = unlimited
+  /// (persistent). `throw:<n>` in the spec syntax. The supervisor's
+  /// retry-success tests arm `throw:1` — the first attempt fails, the
+  /// retry passes — deterministically, with no RNG.
+  std::uint32_t max_fires = 0;
+  std::uint32_t fires = 0;  ///< internal fire count (guarded by the mutex)
 };
 
 /// Process-wide injection registry. All methods are thread-safe; the
@@ -70,8 +76,10 @@ class Injector {
   ///
   ///   spec   := arm (';' arm)*
   ///   arm    := site ['@' index] '=' action
-  ///   action := 'throw' | 'corrupt' | 'delay:' <ms>
+  ///   action := 'throw' [':' <count>] | 'corrupt' | 'delay:' <ms>
   ///
+  /// `throw:<count>` is a transient fault: it fires at most <count> times,
+  /// then the site passes (the supervisor's retry path recovers from it).
   /// e.g. IDG_FAULT="pipelined.grid.kernel@2=throw;pipelined.grid.fft=delay:10"
   /// Throws idg::Error on malformed specs.
   void arm_from_spec(const std::string& spec);

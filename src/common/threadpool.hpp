@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "obs/trace.hpp"
 
 namespace idg {
@@ -72,16 +73,27 @@ class WorkerPool {
   /// drained without running fn, every thread leaves the job cleanly, and
   /// the FIRST exception is rethrown here on the calling thread — a
   /// throwing job never wedges the pool or terminates a worker.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ///
+  /// Cooperative cancellation (DESIGN.md §12): when `cancel` is non-null,
+  /// every worker checks it before claiming the next index; a cancelled
+  /// token aborts the job through the same first-exception path (the
+  /// CancelledError from the check is what rethrows here), so a deadline
+  /// cannot strand a long fan-out mid-job.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancelToken* cancel = nullptr) {
     if (n == 0) return;
     if (workers_.empty()) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cancel != nullptr) cancel->check("threadpool.parallel_for");
+        fn(i);
+      }
       return;
     }
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->n = n;
     job->pending = n;
+    job->cancel = cancel;
     {
       std::lock_guard lock(mutex_);
       job_ = job;
@@ -104,6 +116,7 @@ class WorkerPool {
     std::atomic<bool> failed{false};  ///< set once fn threw; skip the rest
     std::exception_ptr error;         ///< first exception; guarded by mutex_
     std::size_t pending = 0;  // guarded by mutex_; last decrement signals
+    const CancelToken* cancel = nullptr;  ///< optional cooperative cancel
   };
 
   void run(Job& job) {
@@ -115,6 +128,9 @@ class WorkerPool {
       // down (pending must reach 0 to release the caller) but fn is skipped.
       if (!job.failed.load(std::memory_order_relaxed)) {
         try {
+          if (job.cancel != nullptr) {
+            job.cancel->check("threadpool.parallel_for");
+          }
           (*job.fn)(i);
         } catch (...) {
           std::lock_guard lock(mutex_);

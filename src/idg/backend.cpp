@@ -5,10 +5,13 @@
 #include "common/error.hpp"
 #include "idg/pipelined.hpp"
 #include "idg/processor.hpp"
+#include "idg/supervisor.hpp"
 
 namespace idg {
 
-std::vector<std::string> backend_names() { return {"synchronous", "pipelined"}; }
+std::vector<std::string> backend_names() {
+  return {"synchronous", "pipelined", "resilient"};
+}
 
 std::unique_ptr<GridderBackend> make_backend(const std::string& name,
                                              const Parameters& params,
@@ -18,6 +21,23 @@ std::unique_ptr<GridderBackend> make_backend(const std::string& name,
   }
   if (name == "pipelined" || name == "async") {
     return std::make_unique<PipelinedProcessor>(params, kernels);
+  }
+  // "resilient" wraps the pipelined executor with the synchronous one as
+  // the failover target; "resilient:<inner>" wraps a specific inner
+  // backend ("resilient:synchronous" then has no distinct fallback left,
+  // so it runs with retry/quarantine only).
+  if (name == "resilient" || name.rfind("resilient:", 0) == 0) {
+    const std::string inner = name == "resilient"
+                                  ? std::string("pipelined")
+                                  : name.substr(sizeof("resilient:") - 1);
+    IDG_CHECK(inner.rfind("resilient", 0) != 0,
+              "cannot nest resilient backends ('" << name << "')");
+    auto primary = make_backend(inner, params, kernels);
+    std::unique_ptr<GridderBackend> fallback;
+    if (primary->name() != "synchronous") {
+      fallback = make_backend("synchronous", params, kernels);
+    }
+    return make_resilient_backend(std::move(primary), std::move(fallback));
   }
   std::ostringstream oss;
   oss << "unknown gridder backend '" << name << "'; valid backends:";

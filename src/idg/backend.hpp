@@ -9,11 +9,15 @@
 // every backend reports into the same observability layer (obs::MetricsSink).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/array.hpp"
+#include "common/cancel.hpp"
 #include "common/types.hpp"
 #include "idg/kernels.hpp"
 #include "idg/parameters.hpp"
@@ -21,6 +25,57 @@
 #include "obs/sink.hpp"
 
 namespace idg {
+
+/// Per-run execution controls threaded through every backend (DESIGN.md
+/// §12): an optional cooperative CancelToken polled at the catalogued
+/// check sites, and an optional per-work-group skip mask (one byte per
+/// plan work group, non-zero = skip) used by the resilient supervisor to
+/// re-run only the groups that still need work after a retry/quarantine
+/// decision. The default-constructed value means "run everything, never
+/// cancel" — the behaviour of every pre-supervisor call site.
+struct RunControl {
+  const CancelToken* cancel = nullptr;
+  std::span<const std::uint8_t> skip_groups;
+
+  /// True when work group `g` must be skipped. Groups beyond the mask run
+  /// normally, so an empty mask skips nothing.
+  bool group_skipped(std::size_t g) const {
+    return g < skip_groups.size() && skip_groups[g] != 0;
+  }
+
+  /// Polls the cancel token (no-op when none is attached).
+  void check_cancel(const char* site, std::int64_t group = -1) const {
+    if (cancel != nullptr) cancel->check(site, group);
+  }
+};
+
+/// Binds Parameters::deadline_ms to a RunControl for the duration of one
+/// grid/degrid call: when the caller's RunControl carries no token and the
+/// parameters set a deadline, owns a fresh deadline token; either way the
+/// effective token is registered in the process-wide cancel registry
+/// (CancelScope) so injected delay sleeps stay interruptible. Used by both
+/// executors at the top of every run.
+class ScopedRunControl {
+ public:
+  ScopedRunControl(const RunControl& ctl, std::uint32_t deadline_ms)
+      : eff_(ctl) {
+    if (eff_.cancel == nullptr && deadline_ms > 0) {
+      deadline_.emplace(deadline_ms);
+      eff_.cancel = &*deadline_;
+    }
+    if (eff_.cancel != nullptr) scope_.emplace(*eff_.cancel);
+  }
+
+  ScopedRunControl(const ScopedRunControl&) = delete;
+  ScopedRunControl& operator=(const ScopedRunControl&) = delete;
+
+  const RunControl& ctl() const { return eff_; }
+
+ private:
+  RunControl eff_;
+  std::optional<CancelToken> deadline_;
+  std::optional<CancelScope> scope_;
+};
 
 /// Gridding/degridding over a Plan, metrics reported into a MetricsSink.
 class GridderBackend {
@@ -36,23 +91,43 @@ class GridderBackend {
   /// per-stage wall time and op counts are recorded into `sink`. `flags`
   /// is the dataset's per-visibility mask (empty = nothing flagged);
   /// flagged and non-finite samples are handled per
-  /// Parameters::bad_sample_policy (idg/scrub.hpp, DESIGN.md §11).
+  /// Parameters::bad_sample_policy (idg/scrub.hpp, DESIGN.md §11). `ctl`
+  /// carries the run's cancellation token and work-group skip mask; groups
+  /// masked out by ctl contribute nothing to `grid` (partial-result
+  /// semantics identical to BadSamplePolicy::kSkipWorkGroup).
   virtual void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
                     ArrayView<const Visibility, 3> visibilities,
                     FlagView flags, ArrayView<const Jones, 4> aterms,
-                    ArrayView<cfloat, 3> grid,
-                    obs::MetricsSink& sink) const = 0;
+                    ArrayView<cfloat, 3> grid, obs::MetricsSink& sink,
+                    const RunControl& ctl) const = 0;
 
   /// Predicts all planned visibilities from `grid` (overwrites the covered
   /// entries of `visibilities`); metrics are recorded into `sink`. Flagged
-  /// predictions are handled per Parameters::bad_sample_policy.
+  /// predictions are handled per Parameters::bad_sample_policy; groups
+  /// masked out by `ctl` leave their visibilities untouched.
   virtual void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
                       ArrayView<const cfloat, 3> grid, FlagView flags,
                       ArrayView<const Jones, 4> aterms,
                       ArrayView<Visibility, 3> visibilities,
-                      obs::MetricsSink& sink) const = 0;
+                      obs::MetricsSink& sink,
+                      const RunControl& ctl) const = 0;
 
-  /// Convenience overloads without a flag mask and/or metrics sink.
+  /// Convenience overloads without run controls, flag mask and/or sink.
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities, FlagView flags,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
+            obs::MetricsSink& sink) const {
+    this->grid(plan, uvw, visibilities, flags, aterms, grid, sink,
+               RunControl{});
+  }
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid, FlagView flags,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities,
+              obs::MetricsSink& sink) const {
+    this->degrid(plan, uvw, grid, flags, aterms, visibilities, sink,
+                 RunControl{});
+  }
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
             ArrayView<const Visibility, 3> visibilities,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
@@ -82,7 +157,9 @@ class GridderBackend {
 };
 
 /// Names accepted by make_backend(), in preference order:
-/// "synchronous" (Processor) and "pipelined" (PipelinedProcessor).
+/// "synchronous" (Processor), "pipelined" (PipelinedProcessor) and
+/// "resilient" (ResilientBackend wrapping "pipelined"; spell
+/// "resilient:<inner>" to wrap a specific inner backend).
 std::vector<std::string> backend_names();
 
 /// Creates the backend registered under `name` ("sync" and "async" are

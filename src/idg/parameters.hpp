@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string_view>
@@ -100,6 +101,13 @@ struct Parameters {
   /// How the pipelines treat flagged / non-finite visibility samples
   /// (idg/scrub.hpp applies it before the kernels run).
   BadSamplePolicy bad_sample_policy = BadSamplePolicy::kZeroAndContinue;
+
+  /// Per-run deadline in milliseconds; 0 = none. When set, the executors
+  /// construct a deadline CancelToken for the run and poll it cooperatively
+  /// at catalogued check sites (per work group, per pipeline ticket, in
+  /// queue wait loops), so an over-deadline run aborts with a descriptive
+  /// CancelledError within bounded time instead of hanging (DESIGN.md §12).
+  std::uint32_t deadline_ms = 0;
 
   /// Checks every setting for consistency and returns a descriptive
   /// idg::Error for the first violation, or std::nullopt when the

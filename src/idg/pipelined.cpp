@@ -60,7 +60,10 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
                                          FlagView flags,
                                          ArrayView<const Jones, 4> aterms,
                                          ArrayView<cfloat, 3> grid,
-                                         obs::MetricsSink& sink) const {
+                                         obs::MetricsSink& sink,
+                                         const RunControl& ctl_in) const {
+  const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
+  const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
@@ -70,7 +73,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   // only ever see a clean cube, and skipped groups are never dispatched.
   const ScrubbedVisibilities scrubbed = [&] {
     obs::Span span(sink, stage::kScrub);
-    return scrub_gridder_input(params_, plan, visibilities, flags);
+    return scrub_gridder_input(params_, plan, visibilities, flags, ctl.cancel);
   }();
   sink.record_data_quality(stage::kScrub, scrubbed.report().scrubbed(),
                            scrubbed.report().skipped_samples);
@@ -127,6 +130,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
       while (to_kernel.pop(ticket)) {
         const auto items = plan.work_group(ticket.group);
         group = static_cast<std::int64_t>(ticket.group);
+        ctl.check_cancel("pipelined.grid.kernel", group);
         {
           site = stage::kGridder;
           obs::Span span(sink, stage::kGridder, group);
@@ -173,6 +177,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
         const TileBinning& binning = plan.work_group_tiles(ticket.group);
         const auto subgrids = buffers[ticket.buffer].cview();
         group = static_cast<std::int64_t>(ticket.group);
+        ctl.check_cancel("pipelined.grid.adder", group);
         IDG_FAULT_GUARD_FINITE(
             "pipelined.grid.adder", group,
             reinterpret_cast<const float*>(buffers[ticket.buffer].data()),
@@ -180,9 +185,12 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
         {
           obs::Span span(sink, stage::kAdder, group);
           IDG_FAULT_POINT("pipelined.grid.adder", group);
-          adder_pool.parallel_for(binning.nr_tiles(), [&](std::size_t tile) {
-            add_tile(params_, items, binning, tile, subgrids, grid);
-          });
+          adder_pool.parallel_for(
+              binning.nr_tiles(),
+              [&](std::size_t tile) {
+                add_tile(params_, items, binning, tile, subgrids, grid);
+              },
+              ctl.cancel);
         }
         sink.record_bytes(stage::kAdder,
                           adder_moved_bytes(params_, items.size()));
@@ -197,22 +205,33 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   // The visibility gather happens inside the kernel; acquiring the buffer
   // is the back-pressure point that keeps at most nr_buffers_ groups in
   // flight. On failure the queues close, the wait returns kClosed, and the
-  // dispatch loop stops.
+  // dispatch loop stops. A cancellation (deadline) observed here fails the
+  // run through the same path — the queues close and the stage threads
+  // unwind — so the CancelledError below surfaces on the caller instead of
+  // a silently partial grid.
   bool aborted = false;
-  for (std::size_t g = 0; g < nr_groups && !aborted; ++g) {
-    if (scrubbed.group_skipped(g)) continue;
-    std::size_t buffer = 0;
-    for (;;) {
-      const QueueWaitResult r =
-          free_buffers.pop_for(buffer, kOrchestratorPollInterval);
-      if (r == QueueWaitResult::kOk) break;
-      if (r == QueueWaitResult::kClosed || error.failed()) {
-        aborted = true;
-        break;
+  try {
+    for (std::size_t g = 0; g < nr_groups && !aborted; ++g) {
+      if (scrubbed.group_skipped(g) || ctl.group_skipped(g)) continue;
+      ctl.check_cancel("pipelined.grid.dispatch",
+                       static_cast<std::int64_t>(g));
+      std::size_t buffer = 0;
+      for (;;) {
+        const QueueWaitResult r =
+            free_buffers.pop_for(buffer, kOrchestratorPollInterval);
+        if (r == QueueWaitResult::kOk) break;
+        ctl.check_cancel("pipelined.grid.dispatch",
+                         static_cast<std::int64_t>(g));
+        if (r == QueueWaitResult::kClosed || error.failed()) {
+          aborted = true;
+          break;
+        }
       }
+      if (aborted) break;
+      if (!to_kernel.push({g, buffer})) break;
     }
-    if (aborted) break;
-    if (!to_kernel.push({g, buffer})) break;
+  } catch (...) {
+    fail("dispatch", -1);
   }
   to_kernel.close();
 
@@ -241,7 +260,9 @@ void PipelinedDegridder::degrid_visibilities(
     const Plan& plan, ArrayView<const UVW, 2> uvw,
     ArrayView<const cfloat, 3> grid, FlagView flags,
     ArrayView<const Jones, 4> aterms, ArrayView<Visibility, 3> visibilities,
-    obs::MetricsSink& sink) const {
+    obs::MetricsSink& sink, const RunControl& ctl_in) const {
+  const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
+  const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
   const std::size_t nr_groups = plan.nr_work_groups();
   if (nr_groups == 0) return;
@@ -292,6 +313,7 @@ void PipelinedDegridder::degrid_visibilities(
       while (to_fft.pop(ticket)) {
         const auto items = plan.work_group(ticket.group);
         group = static_cast<std::int64_t>(ticket.group);
+        ctl.check_cancel("pipelined.degrid.fft", group);
         {
           obs::Span span(sink, stage::kSubgridFft, group);
           IDG_FAULT_POINT("pipelined.degrid.fft", group);
@@ -320,6 +342,7 @@ void PipelinedDegridder::degrid_visibilities(
       while (to_kernel.pop(ticket)) {
         const auto items = plan.work_group(ticket.group);
         group = static_cast<std::int64_t>(ticket.group);
+        ctl.check_cancel("pipelined.degrid.kernel", group);
         {
           obs::Span span(sink, stage::kDegridder, group);
           IDG_FAULT_POINT("pipelined.degrid.kernel", group);
@@ -340,12 +363,16 @@ void PipelinedDegridder::degrid_visibilities(
   bool aborted = false;
   try {
     for (std::size_t g = 0; g < nr_groups && !aborted; ++g) {
-      if (scrubbed.group_skipped(g)) continue;
+      if (scrubbed.group_skipped(g) || ctl.group_skipped(g)) continue;
+      ctl.check_cancel("pipelined.degrid.splitter",
+                       static_cast<std::int64_t>(g));
       std::size_t buffer = 0;
       for (;;) {
         const QueueWaitResult r =
             free_buffers.pop_for(buffer, kOrchestratorPollInterval);
         if (r == QueueWaitResult::kOk) break;
+        ctl.check_cancel("pipelined.degrid.splitter",
+                         static_cast<std::int64_t>(g));
         if (r == QueueWaitResult::kClosed || error.failed()) {
           aborted = true;
           break;

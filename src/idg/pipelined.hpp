@@ -229,8 +229,12 @@ class PipelineError {
 
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
-  /// Rethrows the stored failure as idg::Error with the stage site and
-  /// work-group id prepended; no-op when nothing failed.
+  /// Rethrows the stored failure as idg::StageFailure with the stage site
+  /// and work-group id prepended (and available structurally, for the
+  /// resilient supervisor's retry/quarantine decisions); no-op when
+  /// nothing failed. A CancelledError is rethrown unchanged: a deadline
+  /// abort that unwound a stage thread is a cancellation, not a stage
+  /// failure, and must never look retryable.
   void rethrow_if_failed() const {
     std::exception_ptr error;
     const char* site = nullptr;
@@ -248,10 +252,12 @@ class PipelineError {
     oss << " failed: ";
     try {
       std::rethrow_exception(error);
+    } catch (const CancelledError&) {
+      throw;
     } catch (const std::exception& e) {
-      throw Error(oss.str() + e.what());
+      throw StageFailure(oss.str() + e.what(), site, group);
     } catch (...) {
-      throw Error(oss.str() + "unknown exception");
+      throw StageFailure(oss.str() + "unknown exception", site, group);
     }
   }
 
@@ -281,12 +287,17 @@ class PipelinedGridder {
   /// spans concurrently into `sink` (thread-safe accumulation). Flagged /
   /// non-finite samples are scrubbed up front (on the calling thread) per
   /// Parameters::bad_sample_policy; a stage failure closes every queue,
-  /// joins the threads and rethrows as a descriptive idg::Error.
+  /// joins the threads and rethrows as a descriptive idg::StageFailure.
+  /// `ctl` carries the run's CancelToken (polled per ticket in every stage
+  /// thread and per poll interval in the dispatch wait loop — a deadline
+  /// abort surfaces as CancelledError within bounded time) and the
+  /// supervisor's work-group skip mask.
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          FlagView flags, ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink = obs::null_sink()) const;
+                         obs::MetricsSink& sink = obs::null_sink(),
+                         const RunControl& ctl = RunControl{}) const;
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
@@ -318,7 +329,8 @@ class PipelinedDegridder {
                            ArrayView<const cfloat, 3> grid, FlagView flags,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
-                           obs::MetricsSink& sink = obs::null_sink()) const;
+                           obs::MetricsSink& sink = obs::null_sink(),
+                           const RunControl& ctl = RunControl{}) const;
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
@@ -354,17 +366,17 @@ class PipelinedProcessor : public GridderBackend {
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
             ArrayView<const Visibility, 3> visibilities, FlagView flags,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
-            obs::MetricsSink& sink) const override {
+            obs::MetricsSink& sink, const RunControl& ctl) const override {
     gridder_.grid_visibilities(plan, uvw, visibilities, flags, aterms, grid,
-                               sink);
+                               sink, ctl);
   }
   void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
               ArrayView<const cfloat, 3> grid, FlagView flags,
               ArrayView<const Jones, 4> aterms,
-              ArrayView<Visibility, 3> visibilities,
-              obs::MetricsSink& sink) const override {
+              ArrayView<Visibility, 3> visibilities, obs::MetricsSink& sink,
+              const RunControl& ctl) const override {
     degridder_.degrid_visibilities(plan, uvw, grid, flags, aterms,
-                                   visibilities, sink);
+                                   visibilities, sink, ctl);
   }
 
  private:

@@ -22,7 +22,10 @@ void Processor::grid_visibilities(const Plan& plan,
                                   FlagView flags,
                                   ArrayView<const Jones, 4> aterms,
                                   ArrayView<cfloat, 3> grid,
-                                  obs::MetricsSink& sink) const {
+                                  obs::MetricsSink& sink,
+                                  const RunControl& ctl_in) const {
+  const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
+  const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
@@ -32,16 +35,17 @@ void Processor::grid_visibilities(const Plan& plan,
   // samples never reach the kernels. Runs once per call, for every backend.
   const ScrubbedVisibilities scrubbed = [&] {
     obs::Span span(sink, stage::kScrub);
-    return scrub_gridder_input(params_, plan, visibilities, flags);
+    return scrub_gridder_input(params_, plan, visibilities, flags, ctl.cancel);
   }();
   sink.record_data_quality(stage::kScrub, scrubbed.report().scrubbed(),
                            scrubbed.report().skipped_samples);
   const ArrayView<const Visibility, 3> vis = scrubbed.view();
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
-    if (scrubbed.group_skipped(g)) continue;
+    if (scrubbed.group_skipped(g) || ctl.group_skipped(g)) continue;
     const auto items = plan.work_group(g);
     const auto group = static_cast<std::int64_t>(g);
+    ctl.check_cancel("processor.grid", group);
     {
       obs::Span span(sink, stage::kGridder, group);
       with_stage_context(stage::kGridder, group, [&] {
@@ -90,7 +94,10 @@ void Processor::degrid_visibilities(const Plan& plan,
                                     FlagView flags,
                                     ArrayView<const Jones, 4> aterms,
                                     ArrayView<Visibility, 3> visibilities,
-                                    obs::MetricsSink& sink) const {
+                                    obs::MetricsSink& sink,
+                                    const RunControl& ctl_in) const {
+  const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
+  const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
@@ -106,9 +113,10 @@ void Processor::degrid_visibilities(const Plan& plan,
   }
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
-    if (scrubbed.group_skipped(g)) continue;
+    if (scrubbed.group_skipped(g) || ctl.group_skipped(g)) continue;
     const auto items = plan.work_group(g);
     const auto group = static_cast<std::int64_t>(g);
+    ctl.check_cancel("processor.degrid", group);
     {
       obs::Span span(sink, stage::kSplitter, group);
       with_stage_context(stage::kSplitter, group, [&] {

@@ -49,11 +49,15 @@ class Processor : public GridderBackend {
   /// Grids all planned visibilities onto `grid` ([4][N][N], accumulated).
   /// Per-stage wall time and op counts are recorded into `sink`; flagged /
   /// non-finite samples are scrubbed per Parameters::bad_sample_policy.
+  /// `ctl` (optional) carries the run's CancelToken and work-group skip
+  /// mask; Parameters::deadline_ms attaches a deadline token automatically
+  /// when `ctl` has none.
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          FlagView flags, ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 3> grid,
-                         obs::MetricsSink& sink = obs::null_sink()) const;
+                         obs::MetricsSink& sink = obs::null_sink(),
+                         const RunControl& ctl = RunControl{}) const;
   void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
@@ -68,7 +72,8 @@ class Processor : public GridderBackend {
                            ArrayView<const cfloat, 3> grid, FlagView flags,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
-                           obs::MetricsSink& sink = obs::null_sink()) const;
+                           obs::MetricsSink& sink = obs::null_sink(),
+                           const RunControl& ctl = RunControl{}) const;
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 3> grid,
                            ArrayView<const Jones, 4> aterms,
@@ -84,15 +89,16 @@ class Processor : public GridderBackend {
   void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
             ArrayView<const Visibility, 3> visibilities, FlagView flags,
             ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
-            obs::MetricsSink& sink) const override {
-    grid_visibilities(plan, uvw, visibilities, flags, aterms, grid, sink);
+            obs::MetricsSink& sink, const RunControl& ctl) const override {
+    grid_visibilities(plan, uvw, visibilities, flags, aterms, grid, sink, ctl);
   }
   void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
               ArrayView<const cfloat, 3> grid, FlagView flags,
               ArrayView<const Jones, 4> aterms,
-              ArrayView<Visibility, 3> visibilities,
-              obs::MetricsSink& sink) const override {
-    degrid_visibilities(plan, uvw, grid, flags, aterms, visibilities, sink);
+              ArrayView<Visibility, 3> visibilities, obs::MetricsSink& sink,
+              const RunControl& ctl) const override {
+    degrid_visibilities(plan, uvw, grid, flags, aterms, visibilities, sink,
+                        ctl);
   }
 
  private:

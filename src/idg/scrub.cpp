@@ -66,7 +66,8 @@ void scan_item(const WorkItem& item,
 
 ScrubbedVisibilities scrub_gridder_input(
     const Parameters& params, const Plan& plan,
-    ArrayView<const Visibility, 3> visibilities, FlagView flags) {
+    ArrayView<const Visibility, 3> visibilities, FlagView flags,
+    const CancelToken* cancel) {
   check_flag_shape(visibilities, flags);
   ScrubbedVisibilities out;
   out.original_ = visibilities;
@@ -78,6 +79,9 @@ ScrubbedVisibilities scrub_gridder_input(
     // (time x channel) range, so no sample is visited twice.
     out.skip_group_.assign(plan.nr_work_groups(), 0);
     for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+      if (cancel != nullptr) {
+        cancel->check("scrub.grid", static_cast<std::int64_t>(g));
+      }
       bool bad = false;
       for (const WorkItem& item : plan.work_group(g)) {
         scan_item(item, visibilities, flags,
@@ -101,6 +105,7 @@ ScrubbedVisibilities scrub_gridder_input(
   // buffer is corruption worth rejecting (or neutralising) even if the plan
   // happens not to cover it this run.
   for (std::size_t bl = 0; bl < visibilities.dim(0); ++bl) {
+    if (cancel != nullptr) cancel->check("scrub.grid");
     for (std::size_t t = 0; t < visibilities.dim(1); ++t) {
       for (std::size_t c = 0; c < visibilities.dim(2); ++c) {
         const bool flagged = has_flags && flags(bl, t, c) != 0;

@@ -21,7 +21,7 @@
 //                        units are skipped and counted.
 //
 // Counts flow into obs::MetricsSink::record_data_quality under the "scrub"
-// stage and from there into the idg-obs/v4 JSON/CSV export. Note the
+// stage and from there into the idg-obs/v5 JSON/CSV export. Note the
 // analytic op counters (idg/accounting.hpp) stay plan-derived even when
 // groups are skipped — skipped_samples records the gap.
 #pragma once
@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/array.hpp"
+#include "common/cancel.hpp"
 #include "common/types.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
@@ -68,7 +69,8 @@ class ScrubbedVisibilities {
  private:
   friend ScrubbedVisibilities scrub_gridder_input(
       const Parameters& params, const Plan& plan,
-      ArrayView<const Visibility, 3> visibilities, FlagView flags);
+      ArrayView<const Visibility, 3> visibilities, FlagView flags,
+      const CancelToken* cancel);
 
   ArrayView<const Visibility, 3> original_{};
   Array3D<Visibility> owned_;
@@ -79,10 +81,13 @@ class ScrubbedVisibilities {
 /// Applies params.bad_sample_policy to the gridder input. `flags` may be
 /// empty (nothing flagged) or must match the cube's shape; non-finite
 /// samples are treated as bad regardless of the mask. Throws idg::Error
-/// under kReject (or on a shape mismatch).
+/// under kReject (or on a shape mismatch). `cancel` (optional) is polled
+/// once per baseline row / work group so a deadline can abort the full-cube
+/// scan of a large dataset (DESIGN.md §12).
 ScrubbedVisibilities scrub_gridder_input(
     const Parameters& params, const Plan& plan,
-    ArrayView<const Visibility, 3> visibilities, FlagView flags);
+    ArrayView<const Visibility, 3> visibilities, FlagView flags,
+    const CancelToken* cancel = nullptr);
 
 /// Degridding pre-pass over the flag mask (prediction has no input cube to
 /// scan, so only the mask matters): kReject throws if any planned sample

@@ -1,0 +1,158 @@
+// Resilient execution supervisor (DESIGN.md §12).
+//
+// `ResilientBackend` wraps any GridderBackend and turns the fail-fast
+// error contract of §11 — first stage failure aborts the run — into
+// policy-driven recovery:
+//
+//   * retry     — a StageFailure attributed to a work group re-runs the
+//                 whole call with that group still active, after a seeded,
+//                 bounded backoff. Work groups are pure functions of their
+//                 inputs, so a retry of a group that did not fault is
+//                 bit-identical to its first attempt (pinned by
+//                 test_supervisor.cpp).
+//   * quarantine— a group that keeps failing after max_attempts_per_group
+//                 attempts is masked out via RunControl::skip_groups and
+//                 the run completes without it: partial-result semantics
+//                 identical to BadSamplePolicy::kSkipWorkGroup, reported
+//                 through MetricsSink::record_recovery and the
+//                 RecoveryReport.
+//   * failover  — repeated failures on the active backend (attributable or
+//                 not) switch the whole call to the fallback backend
+//                 (typically pipelined → synchronous), once.
+//   * deadline  — a CancelledError is never retried: cancellation is
+//                 final and rethrows immediately.
+//
+// Every attempt executes into a scratch copy of the caller's buffer and
+// copies back only on success, so a half-finished failed attempt can never
+// double-accumulate into the grid (or leave partially-predicted
+// visibilities behind). The scratch starts as a copy — not zeros — so the
+// successful attempt's result is bit-identical (including signed zeros) to
+// an unsupervised run writing the caller's buffer directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "idg/backend.hpp"
+
+namespace idg {
+
+namespace stage {
+inline constexpr const char* kSupervisor = "supervisor";
+}  // namespace stage
+
+/// Recovery policy of one ResilientBackend.
+struct SupervisorConfig {
+  /// Failed attempts a single work group is allowed before quarantine.
+  std::uint32_t max_attempts_per_group = 3;
+  /// Failures on the active backend before failing over to the fallback
+  /// (when one is configured). Counts every failed attempt, attributable
+  /// or not: a backend that keeps failing is suspect even when the
+  /// failures name a group.
+  std::uint32_t failover_after = 2;
+  /// Hard bound on attempts per grid/degrid call; 0 derives a bound that
+  /// still lets every group exhaust its attempts
+  /// (nr_groups * max_attempts_per_group + failover_after + 1).
+  std::uint32_t max_run_attempts = 0;
+  /// Backoff between attempts: min(cap, base << attempt) milliseconds plus
+  /// a deterministic jitter drawn from `seed` — bounded, reproducible, and
+  /// interruptible by the run's CancelToken.
+  std::uint32_t backoff_base_ms = 1;
+  std::uint32_t backoff_cap_ms = 50;
+  std::uint64_t seed = 0;
+  /// Per-run deadline override; 0 falls back to Parameters::deadline_ms.
+  /// The supervisor owns the deadline token so its backoff sleeps count
+  /// against the deadline too.
+  std::uint32_t deadline_ms = 0;
+};
+
+/// One quarantined work group, for the caller-facing report.
+struct QuarantinedGroup {
+  std::int64_t group = -1;
+  std::uint32_t attempts = 0;   ///< failed attempts before quarantine
+  std::string last_error;       ///< what() of the final failure
+};
+
+/// What the supervisor did across the calls made so far (reset_report()
+/// clears it; tests read it between runs).
+struct RecoveryReport {
+  /// Groups that failed at least once but eventually succeeded on retry.
+  std::uint64_t retried_work_groups = 0;
+  std::vector<QuarantinedGroup> quarantined;
+  std::uint64_t backend_failovers = 0;
+
+  bool clean() const {
+    return retried_work_groups == 0 && quarantined.empty() &&
+           backend_failovers == 0;
+  }
+};
+
+/// GridderBackend decorator applying the recovery policy above. Thread
+/// compatibility matches the wrapped backends (one call at a time — the
+/// retry bookkeeping is per call, guarded for the cross-call failover and
+/// report state).
+class ResilientBackend final : public GridderBackend {
+ public:
+  /// `fallback` may be null (no failover, only retry/quarantine). Both
+  /// backends must grid bit-identically (the repo's executors do; pinned
+  /// by tests) or a failover changes the result.
+  ResilientBackend(std::unique_ptr<GridderBackend> primary,
+                   std::unique_ptr<GridderBackend> fallback = nullptr,
+                   SupervisorConfig config = SupervisorConfig{});
+
+  std::string name() const override { return "resilient"; }
+  const Parameters& parameters() const override {
+    return primary_->parameters();
+  }
+  const SupervisorConfig& config() const { return config_; }
+
+  /// True once failover switched the active backend to the fallback.
+  bool failed_over() const;
+
+  /// Copy of the accumulated recovery report.
+  RecoveryReport report() const;
+  void reset_report();
+
+  using GridderBackend::grid;
+  using GridderBackend::degrid;
+  void grid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+            ArrayView<const Visibility, 3> visibilities, FlagView flags,
+            ArrayView<const Jones, 4> aterms, ArrayView<cfloat, 3> grid,
+            obs::MetricsSink& sink, const RunControl& ctl) const override;
+  void degrid(const Plan& plan, ArrayView<const UVW, 2> uvw,
+              ArrayView<const cfloat, 3> grid, FlagView flags,
+              ArrayView<const Jones, 4> aterms,
+              ArrayView<Visibility, 3> visibilities, obs::MetricsSink& sink,
+              const RunControl& ctl) const override;
+
+ private:
+  template <typename Attempt>
+  void supervise(const Plan& plan, obs::MetricsSink& sink,
+                 const RunControl& ctl, const char* what,
+                 Attempt&& attempt) const;
+
+  const GridderBackend& active() const;
+
+  std::unique_ptr<GridderBackend> primary_;
+  std::unique_ptr<GridderBackend> fallback_;
+  SupervisorConfig config_;
+
+  // Cross-call state (failover latches; the report accumulates). The
+  // GridderBackend interface is const, hence mutable + mutex.
+  mutable std::mutex mutex_;
+  mutable bool failed_over_ = false;
+  mutable std::uint32_t failures_on_active_ = 0;
+  mutable RecoveryReport report_;
+};
+
+/// Convenience factory mirroring make_backend(): wraps `primary` (and the
+/// optional `fallback`) in a ResilientBackend.
+std::unique_ptr<GridderBackend> make_resilient_backend(
+    std::unique_ptr<GridderBackend> primary,
+    std::unique_ptr<GridderBackend> fallback = nullptr,
+    SupervisorConfig config = SupervisorConfig{});
+
+}  // namespace idg

@@ -42,6 +42,15 @@ struct StageMetrics {
   /// BadSamplePolicy::kSkipWorkGroup.
   std::uint64_t scrubbed_samples = 0;
   std::uint64_t skipped_samples = 0;
+  /// Recovery counters (DESIGN.md §12), recorded by the resilient
+  /// supervisor under its own stage: work groups that failed at least once
+  /// but eventually succeeded on retry, work groups quarantined after
+  /// exhausting their attempts (their samples are absent from the result,
+  /// like skipped_samples), and whole-backend failovers (pipelined →
+  /// synchronous) taken after repeated non-attributable failures.
+  std::uint64_t retried_work_groups = 0;
+  std::uint64_t quarantined_work_groups = 0;
+  std::uint64_t backend_failovers = 0;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
@@ -51,6 +60,9 @@ struct StageMetrics {
     latency += other.latency;
     scrubbed_samples += other.scrubbed_samples;
     skipped_samples += other.skipped_samples;
+    retried_work_groups += other.retried_work_groups;
+    quarantined_work_groups += other.quarantined_work_groups;
+    backend_failovers += other.backend_failovers;
     return *this;
   }
 };

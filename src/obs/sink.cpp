@@ -35,6 +35,17 @@ void AggregateSink::record_data_quality(std::string_view stage,
   m.skipped_samples += skipped;
 }
 
+void AggregateSink::record_recovery(std::string_view stage,
+                                    std::uint64_t retried,
+                                    std::uint64_t quarantined,
+                                    std::uint64_t failovers) {
+  std::lock_guard lock(mutex_);
+  StageMetrics& m = metrics_[std::string(stage)];
+  m.retried_work_groups += retried;
+  m.quarantined_work_groups += quarantined;
+  m.backend_failovers += failovers;
+}
+
 MetricsSnapshot AggregateSink::snapshot() const {
   std::lock_guard lock(mutex_);
   return metrics_;

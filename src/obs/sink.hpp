@@ -53,6 +53,20 @@ class MetricsSink {
     (void)scrubbed;
     (void)skipped;
   }
+
+  /// Attributes recovery counters to `stage` (the resilient supervisor's
+  /// channel, DESIGN.md §12): `retried` work groups that succeeded after at
+  /// least one failed attempt, `quarantined` work groups dropped after
+  /// exhausting their attempts, and `failovers` whole-backend switches.
+  /// Default no-op, like record_bytes().
+  virtual void record_recovery(std::string_view stage, std::uint64_t retried,
+                               std::uint64_t quarantined,
+                               std::uint64_t failovers) {
+    (void)stage;
+    (void)retried;
+    (void)quarantined;
+    (void)failovers;
+  }
 };
 
 /// Discards everything. Used as the default when a caller does not care
@@ -76,6 +90,9 @@ class AggregateSink : public MetricsSink {
   void record_bytes(std::string_view stage, std::uint64_t bytes) override;
   void record_data_quality(std::string_view stage, std::uint64_t scrubbed,
                            std::uint64_t skipped) override;
+  void record_recovery(std::string_view stage, std::uint64_t retried,
+                       std::uint64_t quarantined,
+                       std::uint64_t failovers) override;
 
   /// Consistent copy of the current aggregated state.
   MetricsSnapshot snapshot() const;

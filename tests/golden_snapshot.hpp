@@ -14,8 +14,10 @@ namespace idg::testgolden {
 
 /// Deterministic fixture: one bulk-recorded stage (no latency samples) and
 /// one single-span stage (exactly one histogram sample), so the goldens
-/// pin both shapes of the idg-obs/v4 latency block, plus non-zero
-/// data-quality counters on both stages (the v4 addition).
+/// pin both shapes of the idg-obs/v5 latency block, plus non-zero
+/// data-quality counters on both stages (the v4 addition) and non-zero
+/// recovery counters (the v5 addition — the resilient supervisor's
+/// record_recovery channel).
 inline obs::MetricsSnapshot golden_snapshot() {
   obs::AggregateSink sink;
   sink.record("gridder", 1.5, 3);
@@ -23,6 +25,7 @@ inline obs::MetricsSnapshot golden_snapshot() {
   sink.record_bytes("adder", 786432);
   sink.record_data_quality("gridder", 7, 0);
   sink.record_data_quality("adder", 0, 128);
+  sink.record_recovery("supervisor", 2, 1, 1);
   OpCounts ops;
   ops.fma = 17;
   ops.mul = 8;

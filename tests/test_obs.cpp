@@ -278,7 +278,7 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v5\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 0"), std::string::npos);
   EXPECT_NO_THROW(testjson::parse(json));
@@ -286,10 +286,11 @@ TEST(ExportTest, EmptySnapshotIsValidJson) {
 
 TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   const auto doc = testjson::parse(obs::to_json(golden_snapshot()));
-  EXPECT_EQ(doc.at("schema").string, "idg-obs/v4");
+  EXPECT_EQ(doc.at("schema").string, "idg-obs/v5");
   const auto& stages = doc.at("stages");
-  ASSERT_EQ(stages.array.size(), 2u);
-  // Stages sort by name: adder (one sampled span) before gridder (bulk).
+  ASSERT_EQ(stages.array.size(), 3u);
+  // Stages sort by name: adder (one sampled span), gridder (bulk), then
+  // supervisor (recovery counters only — the v5 addition).
   const auto& adder = stages.at(0);
   EXPECT_EQ(adder.at("name").string, "adder");
   const auto& latency = adder.at("latency");
@@ -303,6 +304,12 @@ TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   const auto& gridder = stages.at(1);
   EXPECT_EQ(gridder.at("latency").at("samples").number, 0.0);
   EXPECT_EQ(gridder.at("latency").at("buckets").array.size(), 0u);
+  EXPECT_EQ(gridder.at("retried_work_groups").number, 0.0);
+  const auto& supervisor = stages.at(2);
+  EXPECT_EQ(supervisor.at("name").string, "supervisor");
+  EXPECT_EQ(supervisor.at("retried_work_groups").number, 2.0);
+  EXPECT_EQ(supervisor.at("quarantined_work_groups").number, 1.0);
+  EXPECT_EQ(supervisor.at("backend_failovers").number, 1.0);
 }
 
 TEST(ExportTest, EscapesStageNames) {
