@@ -60,31 +60,20 @@ struct BenchSetup {
   sim::ATermCube aterms;
 };
 
-/// The union of every option any bench binary understands (value-taking
-/// options; the boolean flags live in the Options default flag list). Kept
-/// in one place so parse_bench_options() can reject typos: an option not in
-/// this catalogue aborts the run with a descriptive error instead of being
-/// silently ignored.
+/// The union of every option any bench binary understands. One shared
+/// catalogue (common/cli.hpp, also used by the examples) so
+/// parse_bench_options() can reject typos: an option not in the catalogue
+/// aborts the run with a descriptive error instead of being silently
+/// ignored, and a flag declared once (e.g. --epsilon, --sweep) is known to
+/// benches and examples alike.
 inline const std::vector<std::string>& known_bench_options() {
-  static const std::vector<std::string> options = {
-      "aterm-interval", "backend",    "bad-policy",        "channels",
-      "checkpoint",     "csv",        "cycles",            "deadline-ms",
-      "flag-fraction",  "grid",       "json",              "kernel-size",
-      "kernels",        "max-nw",     "max-timesteps",     "phase-rms",
-      "resume",         "retries",    "save-pgm",          "seconds-per-point",
-      "stations",       "subgrid",    "support",           "tile-size",
-      "time",           "trace",      "unsorted",          "w-planes",
-      "w-scale",
-  };
-  return options;
+  return standard_option_catalogue();
 }
 
-/// Parses argv with the shared bench option catalogue: unknown options and
+/// Parses argv with the shared option catalogue: unknown options and
 /// duplicates are rejected (all problems reported in one idg::Error).
 inline Options parse_bench_options(int argc, const char* const* argv) {
-  return Options(argc, argv,
-                 {"paper", "help", "verbose", "sorted", "unsorted"},
-                 known_bench_options());
+  return parse_standard_options(argc, argv);
 }
 
 inline sim::BenchmarkConfig config_from_options(const Options& opts) {
@@ -130,6 +119,13 @@ inline Parameters params_from(const sim::BenchmarkConfig& cfg,
   // elapsed (0 = no deadline, DESIGN.md §12).
   params.deadline_ms =
       static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
+  // --epsilon E requests an accuracy contract: auto_configure() picks the
+  // taper, kernel size, subgrid padding and accumulation precision for the
+  // requested error (DESIGN.md §13). Applied last so the derived
+  // configuration wins over the explicit --kernel-size/--subgrid knobs.
+  if (opts.has("epsilon")) {
+    params.auto_configure(opts.get("epsilon", 1e-3));
+  }
   return params;
 }
 
@@ -154,8 +150,10 @@ inline BenchSetup make_setup(const Options& opts, bool fill_visibilities = true)
   Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
   const int nr_slots =
       (cfg.nr_timesteps + cfg.aterm_interval - 1) / cfg.aterm_interval;
+  // A-terms live on the subgrid raster: params.subgrid_size, not the cfg
+  // knob (--epsilon's science tier pads the subgrid past it).
   sim::ATermCube aterms = sim::make_identity_aterms(
-      nr_slots, cfg.nr_stations, cfg.subgrid_size);
+      nr_slots, cfg.nr_stations, params.subgrid_size);
   return {cfg, std::move(ds), params, std::move(plan), std::move(aterms)};
 }
 
@@ -217,32 +215,35 @@ class TraceGuard {
   obs::TraceSession session_;
 };
 
-/// Creates the execution backend selected by --backend (default:
-/// synchronous). --retries N wraps the selection in the resilient
-/// supervisor (N failed attempts per work group before quarantine,
-/// DESIGN.md §12); spell --backend resilient[:inner] instead to get the
-/// default recovery policy. The KernelSet must outlive the returned
-/// backend.
-inline std::unique_ptr<GridderBackend> backend_from_options(
-    const Options& opts, const Parameters& params, const KernelSet& kernels) {
+/// Translates --backend/--retries into a BackendOptions struct: the
+/// backend spec is parsed by idg::parse_backend_spec and --retries N sets
+/// a SupervisorConfig with N attempts per work group (for a non-resilient
+/// executor this wraps it in the supervisor, DESIGN.md §12; spell
+/// --backend resilient[:inner] instead to get the default policy).
+inline BackendOptions backend_options_from(const Options& opts,
+                                           const KernelSet& kernels) {
   const std::string name = opts.get("backend", std::string("synchronous"));
-  auto backend = make_backend(name, params, kernels);
+  BackendOptions options = parse_backend_spec(name);
+  options.kernels = &kernels;
   const long retries = opts.get("retries", 0L);
   if (retries > 0) {
-    IDG_CHECK(backend->name() != "resilient",
+    IDG_CHECK(options.executor != "resilient",
               "--retries cannot rewrap --backend " << name
                                                    << "; it is already "
                                                       "supervised");
     SupervisorConfig config;
     config.max_attempts_per_group = static_cast<std::uint32_t>(retries);
-    std::unique_ptr<GridderBackend> fallback;
-    if (backend->name() != "synchronous") {
-      fallback = make_backend("synchronous", params, kernels);
-    }
-    backend = make_resilient_backend(std::move(backend), std::move(fallback),
-                                     config);
+    options.supervisor = config;
   }
-  return backend;
+  return options;
+}
+
+/// Creates the execution backend selected by --backend (default:
+/// synchronous), with --retries N wrapping non-resilient selections in the
+/// resilient supervisor. The KernelSet must outlive the returned backend.
+inline std::unique_ptr<GridderBackend> backend_from_options(
+    const Options& opts, const Parameters& params, const KernelSet& kernels) {
+  return make_backend(backend_options_from(opts, kernels), params);
 }
 
 }  // namespace idg::bench

@@ -2,16 +2,19 @@
 //
 //  1. simulate an observation (SKA1-low-like layout, earth-rotation uvw),
 //  2. predict visibilities for a small sky of point sources (exact DFT),
-//  3. build the IDG execution plan,
+//  3. ask for an accuracy contract: params.auto_configure(epsilon) picks
+//     the taper, kernel size, subgrid padding and accumulation precision
+//     for the requested image error (DESIGN.md §13),
 //  4. grid the visibilities and make the taper-corrected dirty image,
 //  5. verify the sources reappear at their positions.
 //
-// Run: ./quickstart [--stations N] [--time T] ...
+// Run: ./quickstart [--epsilon E] [--stations N] [--time T] ...
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/imageio.hpp"
 #include "example_util.hpp"
+#include "idg/accuracy.hpp"
 #include "idg/backend.hpp"
 #include "idg/image.hpp"
 #include "idg/plan.hpp"
@@ -23,7 +26,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = parse_standard_options(argc, argv);
 
   // 1. Observation: stations, baselines, uvw tracks, frequencies.
   sim::BenchmarkConfig cfg;
@@ -45,30 +48,50 @@ int main(int argc, char** argv) {
   };
   auto vis = sim::predict_visibilities(sky, ds.uvw, ds.baselines, ds.obs);
 
-  // 3. IDG parameters and execution plan.
+  // 3. IDG parameters: one accuracy knob. auto_configure(epsilon) selects
+  // the taper family, kernel size, subgrid padding and accumulation
+  // precision so the dirty image is within epsilon of the exact DFT
+  // (relative l2 over the inner field); kernel-size/subgrid knobs set by
+  // hand stay available but are overridden by the contract.
+  const double epsilon = opts.get("epsilon", 1e-3);
   Parameters params;
   params.grid_size = cfg.grid_size;
   params.subgrid_size = cfg.subgrid_size;
   params.image_size = ds.image_size;
   params.nr_stations = cfg.nr_stations;
-  params.kernel_size = 8;
+  params.auto_configure(epsilon);
+  std::cout << "accuracy contract: epsilon = " << epsilon << " -> tier '"
+            << accuracy::tier_for(epsilon).name
+            << "' (taper " << to_string(params.taper) << ", kernel "
+            << params.kernel_size << ", subgrid " << params.subgrid_size
+            << ", " << to_string(params.accumulation)
+            << " accumulation)\n";
   Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
   std::cout << "plan: " << plan.nr_subgrids() << " subgrids, "
             << plan.avg_visibilities_per_subgrid()
             << " visibilities/subgrid\n";
 
   // 4. Grid and image (identity A-terms: no direction-dependent effects).
-  // --backend selects the execution strategy: "synchronous" (default) or
-  // "pipelined" (the paper's triple-buffered Fig 7 pipeline).
+  // --backend selects the execution strategy: "synchronous" (default),
+  // "pipelined" (the paper's triple-buffered Fig 7 pipeline) or
+  // "resilient[:inner]". The kernel set honouring the contract is named by
+  // accuracy::preferred_kernel_set (the LUT sincos path for the preview
+  // tier, the reference set — which implements double accumulation — for
+  // the tighter tiers).
+  // A-terms are sampled on the subgrid raster, so they follow the
+  // contract's (possibly padded) params.subgrid_size, not the cfg knob.
   auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
-                                          cfg.subgrid_size);
-  auto backend = make_backend(opts.get("backend", std::string("synchronous")),
-                              params, kernels::optimized_kernels());
+                                          params.subgrid_size);
+  BackendOptions backend_options =
+      parse_backend_spec(opts.get("backend", std::string("synchronous")));
+  backend_options.kernels =
+      &kernels::kernel_set(accuracy::preferred_kernel_set(params));
+  auto backend = make_backend(backend_options, params);
   Array3D<cfloat> grid(4, params.grid_size, params.grid_size);
   obs::AggregateSink metrics;
   backend->grid(plan, ds.uvw.cview(), vis.cview(), aterms.cview(),
                 grid.view(), metrics);
-  auto dirty = make_dirty_image(grid, plan.nr_planned_visibilities());
+  auto dirty = make_dirty_image(grid, plan.nr_planned_visibilities(), params);
   std::cout << "gridded in " << metrics.total_seconds() << " s ("
             << backend->name() << " backend)\n";
 

@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace idg;
-  Options opts(argc, argv);
+  Options opts = parse_standard_options(argc, argv);
 
   sim::BenchmarkConfig cfg;
   cfg.nr_stations = static_cast<int>(opts.get("stations", 8L));

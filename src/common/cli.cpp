@@ -120,4 +120,30 @@ double Options::get(const std::string& name, double fallback) const {
   }
 }
 
+const std::vector<std::string>& standard_option_catalogue() {
+  static const std::vector<std::string> options = {
+      "aterm-interval", "backend",    "bad-policy",        "channels",
+      "checkpoint",     "csv",        "cycles",            "deadline-ms",
+      "epsilon",        "flag-fraction", "grid",           "json",
+      "kernel-size",    "kernels",    "max-nw",            "max-timesteps",
+      "phase-rms",      "resume",     "retries",           "save-pgm",
+      "seconds-per-point", "stations", "subgrid",          "support",
+      "tile-size",      "time",       "trace",             "w-planes",
+      "w-scale",
+  };
+  return options;
+}
+
+const std::vector<std::string>& standard_flag_names() {
+  static const std::vector<std::string> flags = {
+      "paper", "help", "verbose", "sorted", "unsorted", "sweep",
+  };
+  return flags;
+}
+
+Options parse_standard_options(int argc, const char* const* argv) {
+  return Options(argc, argv, standard_flag_names(),
+                 standard_option_catalogue());
+}
+
 }  // namespace idg

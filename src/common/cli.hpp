@@ -56,4 +56,19 @@ class Options {
   std::vector<std::string> positional_;
 };
 
+/// The one shared catalogue of value-taking options every bench and example
+/// binary understands (--stations, --grid, --epsilon, ...). Declared once
+/// here so the bench harness (bench/bench_common.hpp) and the examples
+/// stay in sync: a flag added for one is immediately known — and
+/// typo-checked — for all.
+const std::vector<std::string>& standard_option_catalogue();
+
+/// The shared boolean flags (--paper, --help, --verbose, --sorted,
+/// --unsorted, --sweep).
+const std::vector<std::string>& standard_flag_names();
+
+/// Parses argv against the shared catalogue: unknown and duplicate options
+/// are rejected, all problems reported in one idg::Error.
+Options parse_standard_options(int argc, const char* const* argv);
+
 }  // namespace idg

@@ -4,13 +4,14 @@
 // splitter, grid FFT) separately to reproduce the runtime-distribution and
 // energy figures (Figs 9, 14).
 //
-// DEPRECATED: `StageTimes` (and the `StageTimes*` out-parameter overloads
-// of the pipelines) are superseded by the observability layer in src/obs/
-// — inject an `obs::MetricsSink` (e.g. `obs::AggregateSink`) instead, which
-// additionally captures invocation counts and op/byte counters and is safe
-// to share across the pipeline threads. The adapter `obs::StageTimesSink`
-// bridges old call sites; both will be removed one release after the obs
-// layer landed.
+// DEPRECATED: `StageTimes` is superseded by the observability layer in
+// src/obs/ — inject an `obs::MetricsSink` (e.g. `obs::AggregateSink`)
+// instead, which additionally captures invocation counts and op/byte
+// counters and is safe to share across the pipeline threads. The
+// `StageTimes*` out-parameter overloads of the pipelines have been removed;
+// `StageTimes` itself (and the `obs::StageTimesSink` adapter) remain for
+// callers that aggregate named duration buckets directly, e.g.
+// clean/major_cycle's per-cycle totals.
 #pragma once
 
 #include <chrono>

@@ -156,15 +156,81 @@ class GridderBackend {
   }
 };
 
-/// Names accepted by make_backend(), in preference order:
-/// "synchronous" (Processor), "pipelined" (PipelinedProcessor) and
+/// Recovery policy of one ResilientBackend (DESIGN.md §12). Lives here —
+/// not in supervisor.hpp — so BackendOptions can carry the supervisor
+/// knobs without a header cycle.
+struct SupervisorConfig {
+  /// Failed attempts a single work group is allowed before quarantine.
+  std::uint32_t max_attempts_per_group = 3;
+  /// Failures on the active backend before failing over to the fallback
+  /// (when one is configured). Counts every failed attempt, attributable
+  /// or not: a backend that keeps failing is suspect even when the
+  /// failures name a group.
+  std::uint32_t failover_after = 2;
+  /// Hard bound on attempts per grid/degrid call; 0 derives a bound that
+  /// still lets every group exhaust its attempts
+  /// (nr_groups * max_attempts_per_group + failover_after + 1).
+  std::uint32_t max_run_attempts = 0;
+  /// Backoff between attempts: min(cap, base << attempt) milliseconds plus
+  /// a deterministic jitter drawn from `seed` — bounded, reproducible, and
+  /// interruptible by the run's CancelToken.
+  std::uint32_t backoff_base_ms = 1;
+  std::uint32_t backoff_cap_ms = 50;
+  std::uint64_t seed = 0;
+  /// Per-run deadline override; 0 falls back to Parameters::deadline_ms.
+  /// The supervisor owns the deadline token so its backoff sleeps count
+  /// against the deadline too.
+  std::uint32_t deadline_ms = 0;
+};
+
+/// Structured backend selection: what the string spelling
+/// ("resilient:<inner>" etc.) used to encode, in one options struct (the
+/// string form remains as parse_backend_spec, a thin parser over this).
+struct BackendOptions {
+  /// Executor: "synchronous" (Processor), "pipelined" (PipelinedProcessor)
+  /// or "resilient" (ResilientBackend). Aliases "sync"/"processor" and
+  /// "async" are accepted.
+  std::string executor = "synchronous";
+
+  /// Inner executor wrapped by a resilient backend; empty = "pipelined"
+  /// (the default pairing: pipelined primary, synchronous failover).
+  /// Ignored for non-resilient executors.
+  std::string inner;
+
+  /// Supervisor knobs for the resilient executor; nullopt = defaults.
+  /// Setting this on a non-resilient executor wraps it in a
+  /// ResilientBackend (the --retries convention of the benches).
+  std::optional<SupervisorConfig> supervisor;
+
+  /// Kernel set the executors run; nullptr = the reference set. The
+  /// reference set honours Parameters::accumulation, so an
+  /// epsilon-configured Parameters keeps its accuracy contract with the
+  /// default. Callers linking the optimized kernel library can resolve
+  /// accuracy::preferred_kernel_set(params) for the tier's faster sincos
+  /// path. Must outlive the returned backend.
+  const KernelSet* kernels = nullptr;
+};
+
+/// Parses the string spelling of a backend selection into options:
+/// "synchronous" | "sync" | "processor" | "pipelined" | "async" |
+/// "resilient" | "resilient:<inner>". Throws idg::Error for unknown names,
+/// listing the valid ones.
+BackendOptions parse_backend_spec(const std::string& spec);
+
+/// Names accepted by parse_backend_spec()/make_backend(), in preference
+/// order: "synchronous" (Processor), "pipelined" (PipelinedProcessor) and
 /// "resilient" (ResilientBackend wrapping "pipelined"; spell
 /// "resilient:<inner>" to wrap a specific inner backend).
 std::vector<std::string> backend_names();
 
-/// Creates the backend registered under `name` ("sync" and "async" are
-/// accepted as aliases). Throws idg::Error for unknown names, listing the
-/// valid ones. The KernelSet must outlive the returned backend.
+/// Creates the backend the options describe. A resilient selection wraps
+/// the inner executor with the synchronous executor as failover (unless
+/// the inner IS synchronous, which then runs with retry/quarantine only).
+std::unique_ptr<GridderBackend> make_backend(const BackendOptions& options,
+                                             const Parameters& params);
+
+/// String-spelling convenience: make_backend(parse_backend_spec(name) with
+/// `kernels`). The KernelSet must outlive the returned backend.
 std::unique_ptr<GridderBackend> make_backend(
     const std::string& name, const Parameters& params,
     const KernelSet& kernels = reference_kernels());

@@ -18,6 +18,7 @@
 
 #include "common/array.hpp"
 #include "common/types.hpp"
+#include "idg/parameters.hpp"
 
 namespace idg {
 
@@ -36,7 +37,20 @@ Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
 Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
                                  std::uint64_t nr_visibilities);
 
+/// Parameter-aware variants: the correction raster matches the taper family
+/// the subgrids were tapered with (Parameters::taper — required whenever
+/// the epsilon contract selected the ES taper). The parameter-less
+/// overloads above keep the historical PSWF correction.
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 double normalization,
+                                 const Parameters& params);
+Array3D<cfloat> make_dirty_image(const Array3D<cfloat>& grid,
+                                 std::uint64_t nr_visibilities,
+                                 const Parameters& params);
+
 /// Prepares a model grid for degridding: grid = FFT(model_image / taper).
 Array3D<cfloat> model_image_to_grid(const Array3D<cfloat>& model_image);
+Array3D<cfloat> model_image_to_grid(const Array3D<cfloat>& model_image,
+                                    const Parameters& params);
 
 }  // namespace idg

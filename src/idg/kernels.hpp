@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/array.hpp"
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "idg/parameters.hpp"
 #include "idg/plan.hpp"
@@ -26,6 +27,18 @@ struct KernelData {
   ArrayView<const Jones, 4> aterms;      ///< [slot][station][y][x]
   ArrayView<const float, 2> taper;       ///< [y][x], subgrid raster
 };
+
+/// The kernels sample A-terms on the subgrid raster; a mismatched raster
+/// (easy to hit when auto_configure pads the subgrid) would read out of
+/// bounds, so every backend rejects it by name at its entry point.
+inline void check_aterm_raster(ArrayView<const Jones, 4> aterms,
+                               std::size_t subgrid_size) {
+  IDG_CHECK(aterms.dim(2) == subgrid_size && aterms.dim(3) == subgrid_size,
+            "A-term raster is " << aterms.dim(2) << "x" << aterms.dim(3)
+                                << " but subgrid_size is " << subgrid_size
+                                << "; size A-terms with params.subgrid_size "
+                                   "after auto_configure");
+}
 
 /// A gridder/degridder implementation pair.
 class KernelSet {

@@ -57,6 +57,59 @@ inline std::optional<BadSamplePolicy> bad_sample_policy_from_string(
   return std::nullopt;
 }
 
+/// Precision of the gridder/degridder phase math and polarization
+/// accumulators. Subgrid storage is cfloat either way; kDouble evaluates
+/// phases, phasors and the accumulation in double before rounding once at
+/// the end, removing the ~1.5e-3 float phase-error floor (DESIGN.md §13).
+enum class Accumulation {
+  kSingle,  ///< float phases/accumulators — the paper's GPU configuration
+  kDouble,  ///< double phases/accumulators — required below epsilon ~5e-3
+};
+
+inline const char* to_string(Accumulation accumulation) {
+  switch (accumulation) {
+    case Accumulation::kSingle: return "single";
+    case Accumulation::kDouble: return "double";
+  }
+  return "invalid";
+}
+
+/// Anti-aliasing taper family applied to every subgrid in the image domain.
+enum class TaperKind {
+  /// Schwab's prolate spheroidal (m = 6, alpha = 1) — CASA/ASTRON-IDG
+  /// default. Out-of-band leakage ~3e-4: fine down to epsilon ~1e-3.
+  kPSWF,
+  /// Exponential of semicircle (ducc wgridder): exp(beta*(sqrt(1-nu^2)-1))
+  /// over Parameters::kernel_size uv cells. Leakage falls exponentially in
+  /// the support, reaching ~3e-6 at kernel_size 12 — the science tier.
+  kES,
+};
+
+inline const char* to_string(TaperKind kind) {
+  switch (kind) {
+    case TaperKind::kPSWF: return "pswf";
+    case TaperKind::kES: return "es";
+  }
+  return "invalid";
+}
+
+/// Calibrated accuracy constants of the epsilon contract (DESIGN.md §13).
+/// The floors carry a ~3x safety margin over the dirty-image l2 errors
+/// measured against a direct double-precision DFT on grids of 128-512.
+namespace accuracy {
+/// Requests must satisfy kEpsilonFloor <= epsilon < kEpsilonCeiling.
+inline constexpr double kEpsilonCeiling = 1.0;
+/// Tightest provable contract: double accumulation + ES taper with
+/// kernel_size >= 12 measures l2 <= ~3.1e-6.
+inline constexpr double kEpsilonFloor = 1e-5;
+/// Float phase math floors at l2 ~1.6e-3 regardless of the sincos path
+/// (the analogue of ducc's "singleprec and epsilon < 5e-5" skip — our
+/// visibilities, grids and uvw are all float32, so the floor sits higher).
+inline constexpr double kSinglePrecisionFloor = 5e-3;
+/// The PSWF taper's out-of-band leakage floors at l2 ~2.9e-4.
+inline constexpr double kPswfFloor = 1e-3;
+}  // namespace accuracy
+
 /// Static configuration of one gridding/degridding run.
 ///
 /// Geometry convention (DESIGN.md §6): the master grid has `grid_size`
@@ -109,6 +162,53 @@ struct Parameters {
   /// CancelledError within bounded time instead of hanging (DESIGN.md §12).
   std::uint32_t deadline_ms = 0;
 
+  /// Requested dirty-image l2 accuracy contract (DESIGN.md §13): the
+  /// configuration must keep the l2 error against a direct DFT below this
+  /// value. Normally set through auto_configure(), which also derives the
+  /// taper / kernel_size / subgrid padding / accumulation; when set by
+  /// hand, validated() proves the rest of the configuration can honour it
+  /// (error_floor() <= epsilon) and rejects it otherwise. nullopt — the
+  /// default — keeps the pre-contract behaviour bit-identical.
+  std::optional<double> epsilon;
+
+  /// Gridder/degridder phase + accumulation precision (see Accumulation).
+  /// Honoured by the reference kernel set; the optimized kernel variants
+  /// are single-precision by construction.
+  Accumulation accumulation = Accumulation::kSingle;
+
+  /// Anti-aliasing taper family (see TaperKind). The ES taper's support is
+  /// kernel_size uv cells with shape beta = es_beta_per_cell*kernel_size/2.
+  TaperKind taper = TaperKind::kPSWF;
+
+  /// ES shape parameter per uv cell of support (ducc wgridder uses ~2.3
+  /// at these supports); ignored for the PSWF taper.
+  double es_beta_per_cell = 2.3;
+
+  /// Conservative lower bound on the dirty-image l2 error this
+  /// configuration can achieve (the calibrated model of DESIGN.md §13).
+  /// validated() rejects an epsilon below this floor.
+  double error_floor() const {
+    if (accumulation == Accumulation::kSingle)
+      return accuracy::kSinglePrecisionFloor;
+    if (taper == TaperKind::kPSWF) return accuracy::kPswfFloor;
+    // ES + double: leakage falls with the uv support; the tightest tier
+    // additionally needs subgrid room for the wider taper (measured: the
+    // correction amplifies float storage noise when the support crowds the
+    // subgrid).
+    if (kernel_size >= 12 && subgrid_size >= 2 * kernel_size) return 1e-5;
+    if (kernel_size >= 10) return 3e-5;
+    if (kernel_size >= 8) return 1e-4;
+    return accuracy::kPswfFloor;  // narrow ES supports: uncalibrated
+  }
+
+  /// Derives the accuracy-related settings (taper, kernel_size, subgrid
+  /// padding, accumulation) from one requested epsilon and records the
+  /// contract in `epsilon` (defined in idg/accuracy.cpp; the tier table
+  /// lives in idg/accuracy.hpp). Explicit geometry (grid_size, image_size)
+  /// is never touched; subgrid_size only ever grows. Throws idg::Error for
+  /// an unachievable epsilon. Returns *this for builder-style chaining.
+  Parameters& auto_configure(double requested_epsilon);
+
   /// Checks every setting for consistency and returns a descriptive
   /// idg::Error for the first violation, or std::nullopt when the
   /// configuration is valid. Lets callers report bad configurations at the
@@ -150,6 +250,42 @@ struct Parameters {
       return fail("bad_sample_policy enum value (", p,
                   ") out of range (0=reject, 1=zero_and_continue, "
                   "2=skip_work_group)");
+    if (const int a = static_cast<int>(accumulation); a < 0 || a > 1)
+      return fail("accumulation enum value (", a,
+                  ") out of range (0=single, 1=double)");
+    if (const int t = static_cast<int>(taper); t < 0 || t > 1)
+      return fail("taper enum value (", t, ") out of range (0=pswf, 1=es)");
+    if (taper == TaperKind::kES &&
+        (!(es_beta_per_cell > 0.0) || !(es_beta_per_cell <= 8.0)))
+      return fail("es_beta_per_cell (", es_beta_per_cell,
+                  ") must be in (0, 8] for the ES taper");
+    // The epsilon contract (DESIGN.md §13): the request must be in range
+    // and achievable by the configured taper/precision, so a caller who
+    // set the knobs by hand gets a proof-or-rejection at the API boundary.
+    if (epsilon.has_value()) {
+      const double eps = *epsilon;
+      if (!std::isfinite(eps) || !(eps > 0.0) ||
+          eps >= accuracy::kEpsilonCeiling)
+        return fail("epsilon (", eps, ") must be in [",
+                    accuracy::kEpsilonFloor, ", ", accuracy::kEpsilonCeiling,
+                    ")");
+      if (eps < accuracy::kEpsilonFloor)
+        return fail("epsilon (", eps, ") is below the achievable floor (",
+                    accuracy::kEpsilonFloor,
+                    "): no calibrated configuration reaches it");
+      if (accumulation == Accumulation::kSingle &&
+          eps < accuracy::kSinglePrecisionFloor)
+        return fail("epsilon (", eps,
+                    ") is below the single-precision floor (",
+                    accuracy::kSinglePrecisionFloor,
+                    "); use Accumulation::kDouble (auto_configure does)");
+      if (eps < error_floor())
+        return fail("epsilon (", eps, ") is below the error floor (",
+                    error_floor(), ") of this configuration (taper=",
+                    to_string(taper), ", kernel_size=", kernel_size,
+                    ", subgrid_size=", subgrid_size,
+                    "); use auto_configure(epsilon)");
+    }
     return std::nullopt;
   }
 
@@ -166,6 +302,13 @@ struct Parameters {
     return static_cast<float>(
         (static_cast<double>(x) - static_cast<double>(subgrid_size) / 2.0) *
         image_size / static_cast<double>(subgrid_size));
+  }
+
+  /// Direction cosine of subgrid pixel x in full double precision (the
+  /// Accumulation::kDouble kernel path).
+  double subgrid_lm_d(std::size_t x) const {
+    return (static_cast<double>(x) - static_cast<double>(subgrid_size) / 2.0) *
+           image_size / static_cast<double>(subgrid_size);
   }
 
   /// Direction cosine of master-grid pixel x.

@@ -49,7 +49,7 @@ PipelinedGridder::PipelinedGridder(Parameters params, const KernelSet& kernels,
       nr_buffers_(nr_buffers),
       nr_adder_threads_(nr_adder_threads == 0 ? default_adder_threads()
                                               : nr_adder_threads),
-      taper_(make_taper(params.subgrid_size)) {
+      taper_(make_taper_for(params)) {
   params_.validate();
   IDG_CHECK(nr_buffers_ >= 2, "pipelining needs at least two buffers");
 }
@@ -92,6 +92,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
   [[maybe_unused]] const std::size_t active_floats =
       static_cast<std::size_t>(kNrPolarizations) * n * n * 2;
 
+  check_aterm_raster(aterms, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
   // Queues between the stages; free_buffers recycles finished buffers back
@@ -251,7 +252,7 @@ PipelinedDegridder::PipelinedDegridder(Parameters params,
     : params_(params),
       kernels_(&kernels),
       nr_buffers_(nr_buffers),
-      taper_(make_taper(params.subgrid_size)) {
+      taper_(make_taper_for(params)) {
   params_.validate();
   IDG_CHECK(nr_buffers_ >= 2, "pipelining needs at least two buffers");
 }
@@ -284,6 +285,7 @@ void PipelinedDegridder::degrid_visibilities(
                          static_cast<std::size_t>(kNrPolarizations), n, n);
   }
 
+  check_aterm_raster(aterms, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
   BoundedQueue<std::size_t> free_buffers(nr_buffers_);

@@ -12,7 +12,7 @@
 namespace idg {
 
 Processor::Processor(Parameters params, const KernelSet& kernels)
-    : params_(params), kernels_(&kernels), taper_(make_taper(params.subgrid_size)) {
+    : params_(params), kernels_(&kernels), taper_(make_taper_for(params)) {
   params_.validate();
 }
 
@@ -27,6 +27,7 @@ void Processor::grid_visibilities(const Plan& plan,
   const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
   const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
+  check_aterm_raster(aterms, n);
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
@@ -99,6 +100,7 @@ void Processor::degrid_visibilities(const Plan& plan,
   const ScopedRunControl scoped(ctl_in, params_.deadline_ms);
   const RunControl& ctl = scoped.ctl();
   const std::size_t n = params_.subgrid_size;
+  check_aterm_raster(aterms, n);
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};

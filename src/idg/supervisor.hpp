@@ -44,30 +44,8 @@ namespace stage {
 inline constexpr const char* kSupervisor = "supervisor";
 }  // namespace stage
 
-/// Recovery policy of one ResilientBackend.
-struct SupervisorConfig {
-  /// Failed attempts a single work group is allowed before quarantine.
-  std::uint32_t max_attempts_per_group = 3;
-  /// Failures on the active backend before failing over to the fallback
-  /// (when one is configured). Counts every failed attempt, attributable
-  /// or not: a backend that keeps failing is suspect even when the
-  /// failures name a group.
-  std::uint32_t failover_after = 2;
-  /// Hard bound on attempts per grid/degrid call; 0 derives a bound that
-  /// still lets every group exhaust its attempts
-  /// (nr_groups * max_attempts_per_group + failover_after + 1).
-  std::uint32_t max_run_attempts = 0;
-  /// Backoff between attempts: min(cap, base << attempt) milliseconds plus
-  /// a deterministic jitter drawn from `seed` — bounded, reproducible, and
-  /// interruptible by the run's CancelToken.
-  std::uint32_t backoff_base_ms = 1;
-  std::uint32_t backoff_cap_ms = 50;
-  std::uint64_t seed = 0;
-  /// Per-run deadline override; 0 falls back to Parameters::deadline_ms.
-  /// The supervisor owns the deadline token so its backoff sleeps count
-  /// against the deadline too.
-  std::uint32_t deadline_ms = 0;
-};
+// SupervisorConfig (the recovery policy) is defined in idg/backend.hpp so
+// BackendOptions can embed it; it is re-exported here transitively.
 
 /// One quarantined work group, for the caller-facing report.
 struct QuarantinedGroup {

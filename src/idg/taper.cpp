@@ -1,6 +1,7 @@
 #include "idg/taper.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "common/error.hpp"
 
@@ -61,6 +62,74 @@ Array2D<float> make_taper_correction(std::size_t n, double floor) {
       const double t = taper(y, x);
       correction(y, x) =
           t > floor ? static_cast<float>(1.0 / t) : 0.0f;
+    }
+  }
+  return correction;
+}
+
+double es_beta(double beta_per_cell, std::size_t support) {
+  return beta_per_cell * static_cast<double>(support) / 2.0;
+}
+
+std::vector<double> es_taper_line(std::size_t n, double support, double beta) {
+  IDG_CHECK(n >= 2, "taper raster must have at least 2 pixels");
+  // 256-point midpoint rule; the integrand is smooth and the cos frequency
+  // stays below pi*support/2, so this is converged to ~1e-12 for the
+  // supports in use (<= ~32 cells).
+  constexpr int q = 256;
+  std::vector<double> weight(q), nu(q);
+  double norm = 0.0;
+  for (int i = 0; i < q; ++i) {
+    nu[i] = -1.0 + (2.0 * i + 1.0) / q;
+    weight[i] = std::exp(beta * (std::sqrt(1.0 - nu[i] * nu[i]) - 1.0));
+    norm += weight[i];
+  }
+  std::vector<double> line(n);
+  const double half_support_pi = std::numbers::pi * support / 2.0;
+  for (std::size_t x = 0; x < n; ++x) {
+    const double eta = eta_of(x, n);
+    double acc = 0.0;
+    for (int i = 0; i < q; ++i)
+      acc += weight[i] * std::cos(half_support_pi * nu[i] * eta);
+    line[x] = acc / norm;
+  }
+  return line;
+}
+
+namespace {
+/// Separable product of one taper line with itself, as float.
+Array2D<float> outer_product(const std::vector<double>& line) {
+  const std::size_t n = line.size();
+  Array2D<float> taper(n, n);
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x)
+      taper(y, x) = static_cast<float>(line[y] * line[x]);
+  return taper;
+}
+}  // namespace
+
+Array2D<float> make_taper_for(const Parameters& params) {
+  if (params.taper == TaperKind::kPSWF)
+    return make_taper(params.subgrid_size);
+  const double beta = es_beta(params.es_beta_per_cell, params.kernel_size);
+  return outer_product(es_taper_line(
+      params.subgrid_size, static_cast<double>(params.kernel_size), beta));
+}
+
+Array2D<float> make_taper_correction_for(const Parameters& params) {
+  const std::size_t n = params.grid_size;
+  if (params.taper == TaperKind::kPSWF) return make_taper_correction(n);
+  const double beta = es_beta(params.es_beta_per_cell, params.kernel_size);
+  const std::vector<double> line =
+      es_taper_line(n, static_cast<double>(params.kernel_size), beta);
+  // The ES line crosses zero near the field edge, so clamp on |t|.
+  constexpr double kFloor = 1e-6;
+  Array2D<float> correction(n, n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double t = line[y] * line[x];
+      correction(y, x) =
+          std::abs(t) > kFloor ? static_cast<float>(1.0 / t) : 0.0f;
     }
   }
   return correction;

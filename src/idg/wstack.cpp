@@ -56,7 +56,7 @@ WStackProcessor::WStackProcessor(Parameters params, WPlaneModel wplanes,
     : params_(params),
       wplanes_(wplanes),
       kernels_(&kernels),
-      taper_(make_taper(params.subgrid_size)) {
+      taper_(make_taper_for(params)) {
   params_.validate();
 }
 
@@ -83,6 +83,7 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
+  check_aterm_raster(aterms, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
@@ -134,21 +135,6 @@ void WStackProcessor::grid_visibilities(const Plan& plan,
   sink.record_ops(stage::kAdder, adder_op_counts(plan));
 }
 
-void WStackProcessor::grid_visibilities(const Plan& plan,
-                                        ArrayView<const UVW, 2> uvw,
-                                        ArrayView<const Visibility, 3> visibilities,
-                                        ArrayView<const Jones, 4> aterms,
-                                        ArrayView<cfloat, 4> grids,
-                                        StageTimes* times) const {
-  if (times == nullptr) {
-    grid_visibilities(plan, uvw, visibilities, aterms, grids,
-                      obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  grid_visibilities(plan, uvw, visibilities, aterms, grids, adapter);
-}
-
 void WStackProcessor::degrid_visibilities(const Plan& plan,
                                           ArrayView<const UVW, 2> uvw,
                                           ArrayView<const cfloat, 4> grids,
@@ -160,6 +146,7 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
   const std::size_t n = params_.subgrid_size;
   Array4D<cfloat> subgrids(params_.work_group_size,
                            static_cast<std::size_t>(kNrPolarizations), n, n);
+  check_aterm_raster(aterms, n);
   KernelData data{uvw, plan.wavenumbers(), aterms, taper_.cview()};
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
@@ -201,21 +188,6 @@ void WStackProcessor::degrid_visibilities(const Plan& plan,
   sink.record_ops(stage::kDegridder, degridder_op_counts(plan));
 }
 
-void WStackProcessor::degrid_visibilities(const Plan& plan,
-                                          ArrayView<const UVW, 2> uvw,
-                                          ArrayView<const cfloat, 4> grids,
-                                          ArrayView<const Jones, 4> aterms,
-                                          ArrayView<Visibility, 3> visibilities,
-                                          StageTimes* times) const {
-  if (times == nullptr) {
-    degrid_visibilities(plan, uvw, grids, aterms, visibilities,
-                        obs::null_sink());
-    return;
-  }
-  obs::StageTimesSink adapter(*times);
-  degrid_visibilities(plan, uvw, grids, aterms, visibilities, adapter);
-}
-
 Array3D<cfloat> WStackProcessor::make_dirty_image(
     ArrayView<const cfloat, 4> grids, std::uint64_t nr_visibilities) const {
   IDG_CHECK(nr_visibilities > 0, "nr_visibilities must be positive");
@@ -233,7 +205,7 @@ Array3D<cfloat> WStackProcessor::make_dirty_image(
       accum.data()[i] += work.data()[i];
   }
 
-  const Array2D<float> correction = make_taper_correction(g);
+  const Array2D<float> correction = make_taper_correction_for(params_);
   const float scale = 1.0f / static_cast<float>(nr_visibilities);
 #pragma omp parallel for schedule(static)
   for (std::size_t p = 0; p < kNrPolarizations; ++p)
@@ -248,7 +220,7 @@ Array4D<cfloat> WStackProcessor::model_image_to_grids(
   const std::size_t g = params_.grid_size;
   IDG_CHECK(model_image.dim(1) == g, "model image size mismatch");
   Array4D<cfloat> grids = make_grids();
-  const Array2D<float> correction = make_taper_correction(g);
+  const Array2D<float> correction = make_taper_correction_for(params_);
 
   for (int p = 0; p < wplanes_.nr_planes(); ++p) {
     auto plane = plane_slice(grids.view(), p);

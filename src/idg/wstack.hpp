@@ -19,7 +19,6 @@
 #pragma once
 
 #include "common/array.hpp"
-#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "idg/kernels.hpp"
 #include "idg/parameters.hpp"
@@ -54,27 +53,14 @@ class WStackProcessor {
                          ArrayView<const Visibility, 3> visibilities,
                          ArrayView<const Jones, 4> aterms,
                          ArrayView<cfloat, 4> grids,
-                         obs::MetricsSink& sink) const;
+                         obs::MetricsSink& sink = obs::null_sink()) const;
 
   /// Predicts all planned visibilities from the plane stack.
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
                            ArrayView<const cfloat, 4> grids,
                            ArrayView<const Jones, 4> aterms,
                            ArrayView<Visibility, 3> visibilities,
-                           obs::MetricsSink& sink) const;
-
-  /// DEPRECATED: StageTimes out-parameter variants, kept for one release;
-  /// inject an obs::MetricsSink instead.
-  void grid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                         ArrayView<const Visibility, 3> visibilities,
-                         ArrayView<const Jones, 4> aterms,
-                         ArrayView<cfloat, 4> grids,
-                         StageTimes* times = nullptr) const;
-  void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,
-                           ArrayView<const cfloat, 4> grids,
-                           ArrayView<const Jones, 4> aterms,
-                           ArrayView<Visibility, 3> visibilities,
-                           StageTimes* times = nullptr) const;
+                           obs::MetricsSink& sink = obs::null_sink()) const;
 
   /// Combines the plane stack into the taper-corrected dirty image
   /// (per-plane IFFT, w-screen multiply, sum, correction).

@@ -115,11 +115,10 @@ class AggregateSink : public MetricsSink {
 };
 
 /// Adapter for the legacy `StageTimes` accumulator: forwards wall time into
-/// the wrapped StageTimes and drops everything else.
-///
-/// DEPRECATED: exists only so the `StageTimes*` out-parameter overloads of
-/// the pipelines can keep working for one release; new code should inject
-/// an AggregateSink (or the registry) instead.
+/// the wrapped StageTimes and drops everything else. The pipelines' old
+/// `StageTimes*` out-parameter overloads are gone (the deprecation cycle is
+/// complete); this adapter remains for callers that aggregate into a
+/// StageTimes themselves (e.g. clean/major_cycle's per-cycle totals).
 class StageTimesSink final : public MetricsSink {
  public:
   explicit StageTimesSink(StageTimes& times) : times_(&times) {}
