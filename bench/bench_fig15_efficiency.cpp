@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
   }
 
   // Host: measured kernel times.
-  const KernelSet& kernels =
-      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  const KernelSet& kernels = bench::kernel_set_from_options(
+      opts, setup.params, static_cast<std::size_t>(setup.config.nr_channels));
   Processor proc(setup.params, kernels);
   Array3D<cfloat> grid(4, setup.params.grid_size, setup.params.grid_size);
   obs::AggregateSink gt, dt;

@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
   }
 
   // --- IDG sweep over subgrid size N-tilde ----------------------------------------
-  const KernelSet& kernels =
-      kernels::kernel_set(opts.get("kernels", std::string("optimized")));
+  const KernelSet& kernels = bench::kernel_set_from_options(
+      opts, setup.params, static_cast<std::size_t>(setup.config.nr_channels));
   for (long n : {8L, 16L, 24L, 32L}) {
     Parameters p = setup.params;
     p.subgrid_size = static_cast<std::size_t>(n);

@@ -1,7 +1,28 @@
 // google-benchmark microbenchmarks for the individual components: kernel
-// variants (the §V-B optimization ablation), subgrid FFTs, adder/splitter
-// and the vectorized math library.
+// variants (the §V-B optimization ablation plus the coarsened family of
+// DESIGN.md §14), subgrid FFTs, adder/splitter and the vectorized math
+// library.
+//
+// The gridder/degridder benches are registered dynamically over the kernel
+// registry:
+//
+//   bench_kernels                       sweep every registered variant
+//   bench_kernels --kernel-set tuned    benchmark one named variant
+//   bench_kernels --kernel-set all --json-dir out/
+//                                       additionally emit one comparable
+//                                       idg-obs JSON per variant
+//                                       (out/kernels_<name>.json)
+//
+// All other command-line arguments are forwarded to google-benchmark
+// (--benchmark_filter=..., --benchmark_min_time=..., ...).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/aligned.hpp"
 #include "fft/fft.hpp"
@@ -13,6 +34,9 @@
 #include "idg/taper.hpp"
 #include "kernels/optimized.hpp"
 #include "kernels/vmath.hpp"
+#include "obs/export.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
 
@@ -162,18 +186,6 @@ void BM_Fft2D(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 
-BENCHMARK_CAPTURE(BM_Gridder, reference, "reference")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Gridder, optimized, "optimized")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Gridder, optimized_lut, "optimized-lut")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Gridder, optimized_libm, "optimized-libm")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Gridder, optimized_phasor, "optimized-phasor")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Gridder, jit, "jit")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, reference, "reference")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, optimized, "optimized")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, optimized_lut, "optimized-lut")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, optimized_libm, "optimized-libm")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, optimized_phasor, "optimized-phasor")->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Degridder, jit, "jit")->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SubgridFft)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Adder)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Splitter)->Unit(benchmark::kMillisecond);
@@ -182,6 +194,107 @@ BENCHMARK_CAPTURE(BM_Sincos, lut, &vmath::sincos_lut)->Arg(4096);
 BENCHMARK_CAPTURE(BM_Sincos, libm, &vmath::sincos_libm)->Arg(4096);
 BENCHMARK(BM_Fft2D)->Arg(24)->Arg(32)->Arg(64)->Arg(256);
 
+/// One timed grid+degrid pass per variant, exported as the same idg-obs
+/// JSON the figure benches emit — so a registry sweep yields directly
+/// comparable per-variant stage metrics (--kernel-set all --json-dir out/).
+void export_variant_json(const std::vector<std::string>& names,
+                         const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const Fixture& f = Fixture::get();
+  for (const std::string& name : names) {
+    const KernelSet& k = kernels::kernel_set(name);
+    obs::AggregateSink sink;
+    Array4D<cfloat> out(f.plan.nr_subgrids(), 4, f.params.subgrid_size,
+                        f.params.subgrid_size);
+    Array3D<Visibility> vis(f.ds.nr_baselines(), f.ds.nr_timesteps(),
+                            f.ds.nr_channels());
+    {
+      obs::Span span(sink, stage::kGridder);
+      k.grid(f.params, f.data(), f.plan.items(), f.ds.visibilities.cview(),
+             out.view());
+    }
+    {
+      obs::Span span(sink, stage::kDegridder);
+      k.degrid(f.params, f.data(), f.plan.items(), f.subgrids.cview(),
+               vis.view());
+    }
+    OpCounts ops;
+    ops.visibilities = f.plan.nr_planned_visibilities();
+    sink.record_ops(stage::kGridder, ops);
+    sink.record_ops(stage::kDegridder, ops);
+    const std::string path = dir + "/kernels_" + name + ".json";
+    obs::write_json_file(path, sink.snapshot());
+    std::cout << "wrote " << path << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own options before google-benchmark sees the rest.
+  std::string kernel_set = "all";
+  std::string json_dir;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](const char* opt, std::string& out) {
+      const std::string prefix = std::string(opt) + "=";
+      if (arg == opt && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (take("--kernel-set", kernel_set) || take("--json-dir", json_dir)) {
+      continue;
+    }
+    fwd.push_back(argv[i]);
+  }
+
+  std::vector<std::string> names;
+  try {
+    if (kernel_set == "all") {
+      names = kernels::kernel_set_names();
+    } else {
+      names.push_back(kernels::kernel_set(kernel_set).name());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_kernels: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<std::string>> name_storage;
+  for (const std::string& name : names) {
+    name_storage.push_back(std::make_unique<std::string>(name));
+    const std::string& stable = *name_storage.back();
+    benchmark::RegisterBenchmark(
+        ("BM_Gridder/" + name).c_str(),
+        [&stable](benchmark::State& s) { BM_Gridder(s, stable); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_Degridder/" + name).c_str(),
+        [&stable](benchmark::State& s) { BM_Degridder(s, stable); })
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_dir.empty()) {
+    try {
+      export_variant_json(names, json_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_kernels: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

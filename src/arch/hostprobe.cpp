@@ -7,6 +7,7 @@
 
 #include "common/aligned.hpp"
 #include "common/timer.hpp"
+#include "kernels/autotune.hpp"
 #include "kernels/vmath.hpp"
 
 namespace idg::arch {
@@ -105,5 +106,7 @@ const HostCapabilities& probe_host() {
   }();
   return caps;
 }
+
+std::string host_fingerprint() { return kernels::host_fingerprint(); }
 
 }  // namespace idg::arch

@@ -5,6 +5,8 @@
 // modeled 2017 machines.
 #pragma once
 
+#include <string>
+
 namespace idg::arch {
 
 struct HostCapabilities {
@@ -17,5 +19,11 @@ struct HostCapabilities {
 /// Runs the microbenchmarks (~0.2 s total). Results are cached after the
 /// first call.
 const HostCapabilities& probe_host();
+
+/// Stable identity string of this host (uname machine + CPU model name +
+/// hardware thread count). Deliberately timing-free — unlike probe_host()
+/// it is identical run to run — so it keys the per-host tuning database
+/// (kernels/autotune.hpp, which this delegates to).
+std::string host_fingerprint();
 
 }  // namespace idg::arch

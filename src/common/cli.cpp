@@ -122,21 +122,22 @@ double Options::get(const std::string& name, double fallback) const {
 
 const std::vector<std::string>& standard_option_catalogue() {
   static const std::vector<std::string> options = {
-      "aterm-interval", "backend",    "bad-policy",        "channels",
-      "checkpoint",     "csv",        "cycles",            "deadline-ms",
-      "epsilon",        "flag-fraction", "grid",           "json",
-      "kernel-size",    "kernels",    "max-nw",            "max-timesteps",
-      "phase-rms",      "resume",     "retries",           "save-pgm",
-      "seconds-per-point", "stations", "subgrid",          "support",
-      "tile-size",      "time",       "trace",             "w-planes",
-      "w-scale",
+      "aterm-interval", "backend",    "bad-policy",        "candidates",
+      "channels",       "checkpoint", "csv",               "cycles",
+      "deadline-ms",    "epsilon",    "flag-fraction",     "grid",
+      "json",           "kernel-set", "kernel-size",       "kernels",
+      "max-nw",         "max-timesteps", "phase-rms",      "repeats",
+      "resume",         "retries",    "save-pgm",          "seconds-per-point",
+      "stations",       "subgrid",    "support",           "tile-size",
+      "time",           "trace",      "tune-db",           "w-planes",
+      "w-scale",        "warmup",
   };
   return options;
 }
 
 const std::vector<std::string>& standard_flag_names() {
   static const std::vector<std::string> flags = {
-      "paper", "help", "verbose", "sorted", "unsorted", "sweep",
+      "paper", "help", "verbose", "sorted", "unsorted", "sweep", "tune",
   };
   return flags;
 }

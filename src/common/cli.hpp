@@ -64,7 +64,8 @@ class Options {
 const std::vector<std::string>& standard_option_catalogue();
 
 /// The shared boolean flags (--paper, --help, --verbose, --sorted,
-/// --unsorted, --sweep).
+/// --unsorted, --sweep, --tune — the last runs the kernel autotuner for
+/// the bench's shape before the measured run, see kernels/autotune.hpp).
 const std::vector<std::string>& standard_flag_names();
 
 /// Parses argv against the shared catalogue: unknown and duplicate options

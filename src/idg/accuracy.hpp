@@ -31,9 +31,11 @@ struct TierConfig {
   std::size_t min_subgrid_size;  ///< subgrid_size is padded up to this
   /// Preferred kernel set (idg::kernels registry name). Advisory: the
   /// contract holds for any kernel set honouring `accumulation` (the
-  /// reference set does); the preview tier prefers the LUT sincos path for
-  /// speed since its accuracy is indistinguishable from polynomial/libm at
-  /// the float phase-error floor.
+  /// reference set does); the preview tier prefers "tuned" — the
+  /// autotuned dispatch over the single-precision family, every member of
+  /// which sits at the float phase-error floor — which falls back to
+  /// "optimized" when no tuning database exists and delegates to the
+  /// reference kernels under Accumulation::kDouble.
   const char* kernel_set;
 };
 

@@ -209,7 +209,26 @@ struct BackendOptions {
   /// accuracy::preferred_kernel_set(params) for the tier's faster sincos
   /// path. Must outlive the returned backend.
   const KernelSet* kernels = nullptr;
+
+  /// Registry name of the kernel set to run ("tuned", "optimized",
+  /// "coarsen4x2c4", ...), resolved at make_backend() time when `kernels`
+  /// is null; empty keeps the `kernels`/reference behaviour above.
+  /// "reference" always resolves; every other name needs the idg_kernels
+  /// library linked (it installs the registry resolver below at static
+  /// initialization) — without it make_backend() throws a named error.
+  std::string kernel_set;
 };
+
+/// Resolves a registry name to a kernel set (the signature of
+/// idg::kernels::kernel_set). The core library cannot link the kernel
+/// library (the dependency points the other way), so the registry installs
+/// itself through this hook.
+using KernelSetResolver = const KernelSet& (*)(const std::string&);
+
+/// Installs the registry resolver BackendOptions::kernel_set dispatches
+/// through. Called by idg_kernels at static initialization; tests may
+/// override. Passing nullptr uninstalls.
+void set_kernel_set_resolver(KernelSetResolver resolver);
 
 /// Parses the string spelling of a backend selection into options:
 /// "synchronous" | "sync" | "processor" | "pipelined" | "async" |

@@ -1,0 +1,48 @@
+// Thread-coarsened kernel variants (Merry, arXiv 1605.07023): each work
+// item processes blocks of several visibilities/pixels at once so the
+// phasor setup (geometry term, batched sincos) amortizes over a larger
+// tile and the reductions see longer, better-vectorizable trip counts.
+//
+// The family is parameterized by three compile-time factors:
+//   V  visibility (timestep) coarsening: the gridder computes phases for V
+//      timesteps per sincos batch; the degridder predicts V timesteps per
+//      pixel sweep.
+//   P  pixel register-tile: the gridder accumulates P subgrid pixels per
+//      phase batch, reusing the staged visibility block P times per pass.
+//   C  channel batch width: inner channel loops are blocked with a
+//      compile-time trip count of C so they fully unroll into vector ops.
+//      (The degridder pairs C channels with the V timesteps per block; the
+//      pixel tile P is a gridder-side knob.)
+//
+// All factors are *maximum* block sizes: ragged shapes (channel counts,
+// timestep counts or pixel counts that do not divide the factor) are
+// handled with shortened tail blocks, so every variant accepts any shape
+// the generic kernels accept. The arithmetic per element is identical to
+// the "optimized" kernels (same vmath sincos polynomial, same phase
+// formula); only the accumulation order changes, so results agree with the
+// reference kernels to the same tier epsilon as "optimized" rather than
+// bit-exactly.
+//
+// Variants are statically instantiated (no toolchain required — this is
+// the fallback path for the runtime-compiled "jit-coarsen*" twins) and
+// registered as "coarsen<V>x<P>c<C>" in the kernel registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "idg/kernels.hpp"
+
+namespace idg::kernels {
+
+/// One statically-instantiated coarsened variant. Throws idg::Error when
+/// (v, p, c) is not in the instantiated set (see coarsened_variant_names()).
+const KernelSet& coarsened_kernel_set(int v, int p, int c);
+
+/// All statically-instantiated coarsened variants, in registry order.
+const std::vector<const KernelSet*>& coarsened_kernel_sets();
+
+/// Registry names ("coarsen<V>x<P>c<C>") of the instantiated variants.
+std::vector<std::string> coarsened_variant_names();
+
+}  // namespace idg::kernels

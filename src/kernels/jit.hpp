@@ -11,24 +11,39 @@
 // remainders. Items whose shape has no specialization (or any toolchain
 // failure) fall back to the generic optimized kernels, so the JIT path is
 // always safe to select.
+//
+// The emitter also generates thread-coarsened twins of the static
+// kernels/coarsen.hpp family ("jit-coarsen<V>x<P>c<C>"): same block
+// structure, but with the shape AND the coarsening factors baked in as
+// compile-time constants. Without a toolchain they degrade to the
+// statically-instantiated variant with the same factors.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "idg/kernels.hpp"
 
 namespace idg::kernels {
 
 /// The runtime-compiled kernel set. Thread-safe; compilation happens at
-/// most once per shape per process.
+/// most once per (shape, variant) per process, and compiled objects are
+/// reused across processes via the persistent cache directory.
 const KernelSet& jit_kernels();
+
+/// The runtime-compiled coarsened variants ("jit-coarsen<V>x<P>c<C>"), in
+/// registry order.
+const std::vector<const KernelSet*>& jit_coarsened_kernel_sets();
+std::vector<std::string> jit_coarsened_variant_names();
 
 /// True if a toolchain is available and a probe compilation succeeded.
 /// When false, jit_kernels() silently behaves like optimized_kernels().
 bool jit_available();
 
-/// The directory used for generated sources and shared objects
-/// (default: $TMPDIR or /tmp, under idg-jit-<pid>).
+/// The persistent object cache: $TMPDIR/idg-jit-v<emitter>-<hash> where
+/// the hash covers the compiler version and flags, so repeated runs and
+/// the autotuner reuse compiled objects while compiler or emitter changes
+/// start a fresh directory.
 std::string jit_cache_directory();
 
 }  // namespace idg::kernels

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "idg/backend.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/coarsen.hpp"
 #include "kernels/internal.hpp"
 #include "kernels/jit.hpp"
 #include "kernels/vmath.hpp"
@@ -222,14 +225,36 @@ const KernelSet& kernel_set(const std::string& name) {
   if (name == "optimized-libm") return optimized_libm_kernels();
   if (name == "optimized-phasor") return optimized_phasor_kernels();
   if (name == "jit") return jit_kernels();
-  throw Error("unknown kernel set: '" + name +
-              "' (expected reference | optimized | optimized-lut | "
-              "optimized-libm | optimized-phasor | jit)");
+  if (name == "tuned") return tuned_kernels();
+  for (const KernelSet* set : coarsened_kernel_sets())
+    if (set->name() == name) return *set;
+  for (const KernelSet* set : jit_coarsened_kernel_sets())
+    if (set->name() == name) return *set;
+  std::string known;
+  for (const std::string& n : kernel_set_names())
+    known += (known.empty() ? "" : " | ") + n;
+  throw Error("unknown kernel set: '" + name + "' (expected " + known + ")");
 }
 
 std::vector<std::string> kernel_set_names() {
-  return {"reference",      "optimized", "optimized-lut",
-          "optimized-libm", "optimized-phasor", "jit"};
+  std::vector<std::string> names = {"reference",        "optimized",
+                                    "optimized-lut",    "optimized-libm",
+                                    "optimized-phasor", "jit",
+                                    "tuned"};
+  for (const std::string& n : coarsened_variant_names()) names.push_back(n);
+  for (const std::string& n : jit_coarsened_variant_names())
+    names.push_back(n);
+  return names;
 }
+
+namespace {
+/// Installs the registry into the core library's resolver hook so
+/// BackendOptions::kernel_set = "<name>" works in every binary that links
+/// idg_kernels. Lives in this TU because every registry user pulls it in.
+[[maybe_unused]] const bool kResolverInstalled = [] {
+  set_kernel_set_resolver(&kernel_set);
+  return true;
+}();
+}  // namespace
 
 }  // namespace idg::kernels

@@ -226,14 +226,14 @@ TEST(TierTableTest, PreferredKernelSetResolvesInRegistry) {
   EXPECT_STREQ(accuracy::preferred_kernel_set(params), "reference");
   for (const double eps : {1e-1, 1e-3, 1e-5}) {
     params.auto_configure(eps);
-    // Every preferred set must resolve: the preview tier names the LUT
-    // sincos path, the others the (accumulation-honouring) reference set.
+    // Every preferred set must resolve: the preview tier names the
+    // autotuned dispatch, the others the (accumulation-honouring)
+    // reference set.
     const std::string name = accuracy::preferred_kernel_set(params);
     EXPECT_NO_THROW(kernels::kernel_set(name)) << name;
   }
   params.auto_configure(1e-1);
-  EXPECT_EQ(std::string(accuracy::preferred_kernel_set(params)),
-            "optimized-lut");
+  EXPECT_EQ(std::string(accuracy::preferred_kernel_set(params)), "tuned");
 }
 
 TEST(AutoConfigureTest, ScienceTierDerivesTaperKernelAndPadding) {
@@ -363,6 +363,30 @@ TEST(AccuracyContractFlagged, AdjointnessHoldsUnderFlagPolicies) {
     EXPECT_LE(defect, 1e-3) << "policy " << to_string(policy);
     EXPECT_LE(adjointness_defect(s, "pipelined"), 1e-3)
         << "policy " << to_string(policy);
+  }
+}
+
+// The autotuned dispatch is contract-safe on every tier: it selects among
+// the single-precision family only where the float phase-error floor
+// already bounds the error (preview), and delegates to the reference
+// kernels under double-precision accumulation (standard/science). Prove
+// the DFT l2 contract with kernel_set="tuned" explicitly on all three
+// tiers — whatever winner the process tuning database currently names.
+TEST(TunedKernelSetContract, DirtyImageMeetsEpsilonOnEveryTier) {
+  for (const double epsilon : {1e-1, 1e-3, 1e-5}) {
+    const auto s = ContractSetup::make(epsilon);
+    BackendOptions options;
+    options.executor = "synchronous";
+    options.kernel_set = "tuned";
+    auto backend = make_backend(options, s.params);
+    Array3D<cfloat> grid(kNrPolarizations, s.params.grid_size,
+                         s.params.grid_size);
+    backend->grid(s.plan, s.ds.uvw.cview(), s.vis.cview(), s.ds.flag_view(),
+                  s.aterms.cview(), grid.view(), obs::null_sink());
+    const auto dirty =
+        make_dirty_image(grid, s.plan.nr_planned_visibilities(), s.params);
+    EXPECT_LE(dft_l2_error(s, dirty), epsilon)
+        << "tuned kernel set, tier epsilon " << epsilon;
   }
 }
 

@@ -12,6 +12,7 @@
 #include "idg/plan.hpp"
 #include "idg/processor.hpp"
 #include "idg/taper.hpp"
+#include "kernels/coarsen.hpp"
 #include "kernels/jit.hpp"
 #include "kernels/optimized.hpp"
 #include "kernels/vmath.hpp"
@@ -164,7 +165,7 @@ struct KernelFixture {
   }
 };
 
-class OptimizedVsReference : public ::testing::TestWithParam<const char*> {};
+class OptimizedVsReference : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(OptimizedVsReference, GridderMatches) {
   auto f = KernelFixture::make(/*nontrivial_aterms=*/true);
@@ -238,6 +239,125 @@ INSTANTIATE_TEST_SUITE_P(Variants, OptimizedVsReference,
                          ::testing::Values("optimized", "optimized-libm",
                                            "optimized-lut",
                                            "optimized-phasor"));
+
+// Every statically-instantiated coarsened variant, plus the JIT twins
+// (which fall back to their static coarsen counterpart without a
+// toolchain), must meet the same tier-epsilon contract as "optimized":
+// coarsening only reorders the accumulation, never the arithmetic.
+INSTANTIATE_TEST_SUITE_P(
+    Coarsened, OptimizedVsReference,
+    ::testing::ValuesIn(kernels::coarsened_variant_names()));
+INSTANTIATE_TEST_SUITE_P(
+    JitCoarsened, OptimizedVsReference,
+    ::testing::ValuesIn(kernels::jit_coarsened_variant_names()));
+
+// --- ragged shapes vs the coarsening block sizes --------------------------------
+//
+// V/P/C are MAXIMUM block sizes: every tail (channel counts that do not
+// divide C, subgrid sizes that do not divide P, timestep runs shorter than
+// V — down to single-visibility and single-channel items) must be handled
+// by shortened blocks, bit-compatible in structure with the full blocks.
+
+struct RaggedShape {
+  int nr_channels;
+  std::size_t subgrid_size;
+  int nr_timesteps;
+  int max_timesteps_per_subgrid;
+};
+
+class CoarsenedRaggedShapes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CoarsenedRaggedShapes, GridderAndDegridderMatchReference) {
+  const KernelSet& candidate = kernels::kernel_set(GetParam());
+  const std::vector<RaggedShape> shapes = {
+      // 1 channel + max_timesteps 1: single-visibility work items.
+      {1, 16, 9, 1},
+      // Odd channel counts and subgrid sizes that divide none of C/P.
+      {3, 15, 9, 5},
+      {5, 18, 10, 32},
+      {7, 17, 12, 7},
+  };
+  for (const RaggedShape& shape : shapes) {
+    SCOPED_TRACE("channels=" + std::to_string(shape.nr_channels) +
+                 " subgrid=" + std::to_string(shape.subgrid_size) +
+                 " timesteps=" + std::to_string(shape.nr_timesteps) +
+                 " max_ts=" + std::to_string(shape.max_timesteps_per_subgrid));
+    sim::BenchmarkConfig cfg;
+    cfg.nr_stations = 4;
+    cfg.nr_timesteps = shape.nr_timesteps;
+    cfg.nr_channels = shape.nr_channels;
+    cfg.grid_size = 128;
+    cfg.subgrid_size = shape.subgrid_size;
+    auto ds = sim::make_benchmark_dataset(cfg);
+
+    Parameters params;
+    params.grid_size = cfg.grid_size;
+    params.subgrid_size = cfg.subgrid_size;
+    params.image_size = ds.image_size;
+    params.nr_stations = cfg.nr_stations;
+    params.kernel_size = 4;
+    params.max_timesteps_per_subgrid = shape.max_timesteps_per_subgrid;
+
+    Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
+    auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
+                                            cfg.subgrid_size);
+    auto taper = make_taper(cfg.subgrid_size);
+    KernelData data{ds.uvw.cview(), plan.wavenumbers(), aterms.cview(),
+                    taper.cview()};
+
+    // Gridder.
+    const std::size_t n = params.subgrid_size;
+    Array4D<cfloat> ref(plan.nr_subgrids(), 4, n, n);
+    Array4D<cfloat> got(plan.nr_subgrids(), 4, n, n);
+    reference_kernels().grid(params, data, plan.items(),
+                             ds.visibilities.cview(), ref.view());
+    candidate.grid(params, data, plan.items(), ds.visibilities.cview(),
+                   got.view());
+    double max_err = 0.0, max_val = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      max_err = std::max(max_err, static_cast<double>(std::abs(
+                                      ref.data()[i] - got.data()[i])));
+      max_val = std::max(max_val,
+                         static_cast<double>(std::abs(ref.data()[i])));
+    }
+    EXPECT_LT(max_err, 5e-3 * std::max(max_val, 1.0))
+        << candidate.name() << " gridder: max_err=" << max_err;
+
+    // Degridder.
+    Array4D<cfloat> subgrids(plan.nr_subgrids(), 4, n, n);
+    std::mt19937 rng(31);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (auto& v : subgrids) v = {dist(rng), dist(rng)};
+    Array3D<Visibility> vref(ds.nr_baselines(), ds.nr_timesteps(),
+                             ds.nr_channels());
+    Array3D<Visibility> vgot(ds.nr_baselines(), ds.nr_timesteps(),
+                             ds.nr_channels());
+    reference_kernels().degrid(params, data, plan.items(), subgrids.cview(),
+                               vref.view());
+    candidate.degrid(params, data, plan.items(), subgrids.cview(),
+                     vgot.view());
+    max_err = 0.0;
+    max_val = 0.0;
+    for (std::size_t i = 0; i < vref.size(); ++i) {
+      for (int p = 0; p < kNrPolarizations; ++p) {
+        max_err = std::max(max_err,
+                           static_cast<double>(std::abs(vref.data()[i][p] -
+                                                        vgot.data()[i][p])));
+        max_val = std::max(max_val,
+                           static_cast<double>(std::abs(vref.data()[i][p])));
+      }
+    }
+    EXPECT_LT(max_err, 1e-2 * std::max(max_val, 1.0))
+        << candidate.name() << " degridder: max_err=" << max_err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coarsened, CoarsenedRaggedShapes,
+    ::testing::ValuesIn(kernels::coarsened_variant_names()));
+INSTANTIATE_TEST_SUITE_P(
+    JitCoarsened, CoarsenedRaggedShapes,
+    ::testing::ValuesIn(kernels::jit_coarsened_variant_names()));
 
 // --- runtime-compiled kernels ---------------------------------------------------
 
