@@ -15,12 +15,20 @@
 //       [--json PATH]                  idg-autotune/v1 report with the full
 //                                      per-candidate ranking (the perf-smoke
 //                                      gate checks winner vs optimized here)
+//       [--hw]                         re-run the winners through the real
+//                                      backend with hardware counters live
+//                                      and record each winner's measured IPC
+//                                      and LLC miss rate in the report
+//                                      (optional fields; omitted when the
+//                                      host masks counter access)
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 
 #include "bench_common.hpp"
+#include "idg/processor.hpp"
 #include "kernels/autotune.hpp"
 
 namespace {
@@ -34,7 +42,8 @@ std::string format_double(double d) {
 }
 
 void write_report_json(const std::string& path,
-                       const std::vector<kernels::AutotuneResult>& results) {
+                       const std::vector<kernels::AutotuneResult>& results,
+                       const std::map<std::string, obs::HwCounters>& hw) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   IDG_CHECK(out.good(), "cannot write '" << path << "'");
   out << "{\n  \"schema\": \"idg-autotune/v1\",\n  \"host\": \""
@@ -51,8 +60,16 @@ void write_report_json(const std::string& path,
         << "\",\n      \"winner_seconds\": " << format_double(r.entry.seconds)
         << ",\n      \"optimized_seconds\": "
         << format_double(optimized_seconds)
-        << ",\n      \"speedup\": " << format_double(r.entry.speedup())
-        << ",\n      \"candidates\": [";
+        << ",\n      \"speedup\": " << format_double(r.entry.speedup());
+    // Optional measured-counter fields (--hw with live counters only), so
+    // counter-less runs keep emitting the exact report they always did.
+    const auto hw_it = hw.find(to_string(r.entry.op));
+    if (hw_it != hw.end() && hw_it->second.any()) {
+      out << ",\n      \"winner_ipc\": " << format_double(hw_it->second.ipc())
+          << ",\n      \"winner_llc_miss_rate\": "
+          << format_double(hw_it->second.llc_miss_rate());
+    }
+    out << ",\n      \"candidates\": [";
     bool cfirst = true;
     for (const kernels::CandidateTiming& c : r.ranking) {
       out << (cfirst ? "" : ",") << "\n        {\"name\": \"" << c.kernel_set
@@ -120,9 +137,47 @@ int main(int argc, char** argv) {
     kernels::reload_process_tuning_database(db_path);
     std::cout << "(wrote " << db_path << ")\n";
 
+    // --hw: measure the winners for real. Re-run both directions through
+    // the backend with the "tuned" dispatch (which now resolves to the
+    // winners persisted above) under a live counter session, and report
+    // each winner's measured IPC / LLC miss rate.
+    std::map<std::string, obs::HwCounters> winner_hw;
+    if (opts.flag("hw")) {
+      bench::PerfGuard perf(opts);
+      if (perf.live()) {
+        auto setup = bench::make_setup(opts);
+        const KernelSet& tuned = kernels::kernel_set("tuned");
+        auto backend = bench::backend_from_options(opts, setup.params, tuned);
+        Array3D<cfloat> grid(4, setup.params.grid_size,
+                             setup.params.grid_size);
+        obs::AggregateSink sink;
+        backend->grid(setup.plan, setup.dataset.uvw.cview(),
+                      setup.dataset.visibilities.cview(),
+                      setup.aterms.cview(), grid.view(), sink);
+        backend->degrid(setup.plan, setup.dataset.uvw.cview(), grid.cview(),
+                        setup.aterms.cview(),
+                        setup.dataset.visibilities.view(), sink);
+        const obs::MetricsSnapshot snap = sink.snapshot();
+        // Key by the TuneOp name ("grid"/"degrid") the report uses, joined
+        // from the kernel stage that implements that operation.
+        for (const auto& [op, stage] :
+             {std::pair{"grid", stage::kGridder},
+              std::pair{"degrid", stage::kDegridder}}) {
+          const auto it = snap.find(stage);
+          if (it == snap.end() || !it->second.hw.any()) continue;
+          winner_hw[op] = it->second.hw;
+          std::cout << "   " << op
+                    << " winner: IPC " << std::setprecision(2) << std::fixed
+                    << it->second.hw.ipc() << ", LLC miss rate "
+                    << std::setprecision(3) << it->second.hw.llc_miss_rate()
+                    << "\n";
+        }
+      }
+    }
+
     if (opts.has("json")) {
       const std::string json_path = opts.get("json", std::string{});
-      write_report_json(json_path, results);
+      write_report_json(json_path, results, winner_hw);
       std::cout << "(wrote " << json_path << ")\n";
     }
     return 0;

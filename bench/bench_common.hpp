@@ -8,10 +8,13 @@
 //
 // Benches that measure pipeline stages additionally accept
 //   --backend <name>   execution backend (idg::make_backend names)
-//   --json <path>      per-stage metrics in the idg-obs/v5 JSON schema
+//   --json <path>      per-stage metrics in the idg-obs/v6 JSON schema
 //   --trace <path>     Chrome-trace/Perfetto event timeline (also enabled
 //                      by the IDG_TRACE environment variable; load the file
 //                      at ui.perfetto.dev or chrome://tracing)
+//   --hw               sample hardware perf_event counters per stage
+//                      (DESIGN.md §15); degrades with a printed note when
+//                      the host masks counter access — never fails the run
 //   --sorted | --unsorted   plan tile-locality ordering ablation (default
 //                      sorted; grids are bit-identical, only adder locality
 //                      changes)
@@ -48,6 +51,7 @@
 #include "idg/plan.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfcounters.hpp"
 #include "obs/trace.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
@@ -177,7 +181,7 @@ inline void maybe_write_csv(const Table& table, const Options& opts) {
   }
 }
 
-/// Writes the per-stage metrics snapshot as idg-obs/v5 JSON when --json
+/// Writes the per-stage metrics snapshot as idg-obs/v6 JSON when --json
 /// <path> was given.
 inline void maybe_write_json(const obs::MetricsSnapshot& snapshot,
                              const Options& opts) {
@@ -279,6 +283,41 @@ class TraceGuard {
 
  private:
   obs::TraceSession session_;
+};
+
+/// RAII activation of per-stage hardware counters for a bench run
+/// (--hw, DESIGN.md §15): opens a PerfCounterSession and installs it as
+/// the global session so every obs::Span attributes counter deltas to its
+/// stage. When the host refuses (perf_event_paranoid, seccomp, non-Linux
+/// build) the guard prints why and the run continues with analytic counts
+/// only — counters never fail a bench. Construct BEFORE creating backends
+/// so pipeline stage threads warm their counter groups at startup.
+class PerfGuard {
+ public:
+  explicit PerfGuard(const Options& opts) {
+    if (!opts.flag("hw")) return;
+    std::string why;
+    session_ = obs::PerfCounterSession::open(&why);
+    if (session_ == nullptr) {
+      std::cout << "   (hw counters unavailable: " << why
+                << " — continuing with analytic counts only)\n";
+      return;
+    }
+    obs::set_global_perf_session(session_.get());
+    std::cout << "   hw counters: " << session_->counter_list()
+              << " (perf_event_paranoid=" << session_->paranoid_level()
+              << ")\n";
+  }
+  ~PerfGuard() {
+    if (session_ != nullptr) obs::set_global_perf_session(nullptr);
+  }
+  bool live() const { return session_ != nullptr; }
+
+  PerfGuard(const PerfGuard&) = delete;
+  PerfGuard& operator=(const PerfGuard&) = delete;
+
+ private:
+  std::unique_ptr<obs::PerfCounterSession> session_;
 };
 
 /// Translates --backend/--retries into a BackendOptions struct: the

@@ -5,7 +5,7 @@
 // The measured breakdown comes from the observability layer: the selected
 // backend (--backend synchronous|pipelined) records every stage span into
 // an obs::AggregateSink, and --json <path> exports the per-stage metrics in
-// the stable idg-obs/v5 schema.
+// the stable idg-obs/v6 schema.
 //
 // Expected shape (paper §VI-B): "For all architectures, runtime is
 // dominated by the gridder and degridder kernels (more than 93%)."

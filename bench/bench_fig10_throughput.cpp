@@ -3,7 +3,7 @@
 //
 // The measured numbers come from two obs::AggregateSinks (one per
 // direction) fed by the selected backend (--backend synchronous|pipelined);
-// --json <path> exports the combined per-stage metrics (idg-obs/v5).
+// --json <path> exports the combined per-stage metrics (idg-obs/v6).
 //
 // Expected shape: both GPUs almost an order of magnitude above the CPU.
 #include <iostream>

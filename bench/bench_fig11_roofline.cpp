@@ -8,8 +8,12 @@
 // (--backend, default synchronous): the analytic op counts recorded by the
 // run are divided by the measured per-stage seconds and attributed against
 // the host's rooflines (arch/attribution.hpp). --json <path> writes the
-// full per-stage attribution in the idg-roofline/v1 schema; --trace <path>
-// additionally records the run's event timeline.
+// full per-stage attribution in the idg-roofline/v2 schema; --hw samples
+// hardware perf_event counters per stage so the v2 output carries measured
+// instructions/cycles/LLC-miss bytes and a measured-vs-analytic agreement
+// ratio beside the analytic points (graceful note when the host masks
+// counter access); --trace <path> additionally records the run's event
+// timeline.
 //
 // Expected shape: all kernels compute-bound; PASCAL near its theoretical
 // peak (74% gridder / 55% degridder); HASWELL and FIJI far below peak but
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
   using namespace idg;
   Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
+  bench::PerfGuard perf(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 11: modified roofline analysis", setup);
 

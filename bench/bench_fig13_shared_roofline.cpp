@@ -8,7 +8,8 @@
 // shared-memory ceiling is reported as n/a and the binding ceiling is the
 // op-mix or device-bandwidth roofline, which is exactly the contrast the
 // figure makes. --json <path> writes the measured attribution
-// (idg-roofline/v1); --trace <path> records the run's event timeline.
+// (idg-roofline/v2); --hw adds measured perf_event counters per stage to
+// that output (DESIGN.md §15); --trace records the run's event timeline.
 //
 // Expected shape: on PASCAL both kernels sit close to the shared-memory
 // bandwidth bound — which explains why the gridder reaches only 74% and
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   using namespace idg;
   Options opts = bench::parse_bench_options(argc, argv);
   bench::TraceGuard trace(opts);
+  bench::PerfGuard perf(opts);
   auto setup = bench::make_setup(opts);
   bench::print_header("Fig 13: shared-memory roofline (GPU kernels)", setup);
 

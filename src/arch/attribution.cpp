@@ -32,6 +32,29 @@ StageAttribution attribute_one(const Machine& m, const std::string& stage,
         static_cast<double>(metrics.moved_bytes) / metrics.seconds / 1e9;
   }
 
+  // Join the measured perf_event counters (when the run recorded any)
+  // against the analytic model. Done before the pure-traffic early return
+  // so adder/splitter get a measured-vs-analytic traffic ratio too.
+  if (metrics.hw.any()) {
+    a.hw_valid = true;
+    a.hw = metrics.hw;
+    const auto instructions = static_cast<double>(metrics.hw.instructions);
+    const auto miss_bytes = static_cast<double>(metrics.hw.llc_miss_bytes());
+    if (a.seconds > 0.0) {
+      a.hw_instr_per_s = instructions / a.seconds;
+      a.hw_llc_gbs = miss_bytes / a.seconds / 1e9;
+    }
+    if (a.ops > 0) {
+      a.hw_instr_per_op = instructions / static_cast<double>(a.ops);
+    }
+    const std::uint64_t analytic_bytes =
+        metrics.ops.dev_bytes > 0 ? metrics.ops.dev_bytes : metrics.moved_bytes;
+    if (analytic_bytes > 0) {
+      a.hw_bytes_vs_analytic =
+          miss_bytes / static_cast<double>(analytic_bytes);
+    }
+  }
+
   if (a.ops == 0) {
     // Pure data movement (adder/splitter with analytic dev_bytes only, or
     // a stage that never recorded counts): bandwidth is the only axis.
@@ -129,6 +152,26 @@ void write_attribution_table(std::ostream& os, const Machine& machine,
        << to_string(a.bound) << std::setw(9) << a.pct_of_bound << std::setw(8)
        << a.pct_of_peak << "\n";
   }
+  const bool any_hw = std::any_of(rows.begin(), rows.end(),
+                                  [](const auto& r) { return r.hw_valid; });
+  if (any_hw) {
+    os << "measured hardware counters (perf_event, multiplex-scaled)\n";
+    os << std::left << std::setw(14) << "stage" << std::right << std::setw(10)
+       << "IPC" << std::setw(12) << "Ginstr/s" << std::setw(12) << "LLC GB/s"
+       << std::setw(12) << "miss rate" << std::setw(12) << "instr/op"
+       << std::setw(12) << "meas/anl" << std::setw(8) << "mux"
+       << "\n";
+    for (const StageAttribution& a : rows) {
+      if (!a.hw_valid) continue;
+      os << std::left << std::setw(14) << a.stage << std::right << std::fixed
+         << std::setprecision(2) << std::setw(10) << a.hw.ipc()
+         << std::setw(12) << a.hw_instr_per_s / 1e9 << std::setw(12)
+         << a.hw_llc_gbs << std::setprecision(3) << std::setw(12)
+         << a.hw.llc_miss_rate() << std::setprecision(2) << std::setw(12)
+         << a.hw_instr_per_op << std::setw(12) << a.hw_bytes_vs_analytic
+         << std::setw(8) << a.hw.multiplex_fraction() << "\n";
+    }
+  }
   os.flags(flags);
 }
 
@@ -137,7 +180,7 @@ void write_attribution_json(std::ostream& os, const Machine& machine,
   using obs::format_double;
   using obs::json_escape;
   os << "{\n";
-  os << "  \"schema\": \"idg-roofline/v1\",\n";
+  os << "  \"schema\": \"idg-roofline/v2\",\n";
   os << "  \"machine\": \"" << json_escape(machine.name) << "\",\n";
   os << "  \"peak_gops\": " << format_double(machine.peak_ops() / 1e9)
      << ",\n";
@@ -165,7 +208,29 @@ void write_attribution_json(std::ostream& os, const Machine& machine,
        << format_double(a.ceiling_shared / 1e9) << ",\n";
     os << "      \"bound\": \"" << to_string(a.bound) << "\",\n";
     os << "      \"pct_of_peak\": " << format_double(a.pct_of_peak) << ",\n";
-    os << "      \"pct_of_bound\": " << format_double(a.pct_of_bound) << "\n";
+    os << "      \"pct_of_bound\": " << format_double(a.pct_of_bound);
+    if (a.hw_valid) {
+      os << ",\n";
+      os << "      \"hw\": {\n";
+      os << "        \"instructions\": " << a.hw.instructions << ",\n";
+      os << "        \"cycles\": " << a.hw.cycles << ",\n";
+      os << "        \"llc_miss_bytes\": " << a.hw.llc_miss_bytes() << ",\n";
+      os << "        \"ipc\": " << format_double(a.hw.ipc()) << ",\n";
+      os << "        \"llc_miss_rate\": " << format_double(a.hw.llc_miss_rate())
+         << ",\n";
+      os << "        \"instr_per_s\": " << format_double(a.hw_instr_per_s)
+         << ",\n";
+      os << "        \"llc_gbs\": " << format_double(a.hw_llc_gbs) << ",\n";
+      os << "        \"instr_per_op\": " << format_double(a.hw_instr_per_op)
+         << ",\n";
+      os << "        \"bytes_vs_analytic\": "
+         << format_double(a.hw_bytes_vs_analytic) << ",\n";
+      os << "        \"multiplex_fraction\": "
+         << format_double(a.hw.multiplex_fraction()) << "\n";
+      os << "      }\n";
+    } else {
+      os << "\n";
+    }
     os << "    }";
   }
   os << (first ? "]\n" : "\n  ]\n");

@@ -60,6 +60,21 @@ struct StageAttribution {
   double bound_ceiling = 0.0;        ///< the binding ceiling's ops/s
   double pct_of_peak = 0.0;          ///< achieved / machine peak * 100
   double pct_of_bound = 0.0;         ///< achieved / binding ceiling * 100
+
+  // Measured hardware-counter join (DESIGN.md §15). Filled only when the
+  // run recorded perf_event windows for this stage (hw_valid); the v2 JSON
+  // omits the block otherwise, so counter-less hosts emit the same shape
+  // as before modulo the schema line.
+  bool hw_valid = false;
+  obs::HwCounters hw;                ///< multiplex-scaled raw totals
+  double hw_instr_per_s = 0.0;       ///< measured instructions / second
+  double hw_llc_gbs = 0.0;           ///< measured LLC-miss traffic, GB/s
+  double hw_instr_per_op = 0.0;      ///< instructions per analytic op
+  /// Agreement ratio: measured LLC-miss bytes / analytic bytes (ops
+  /// dev_bytes, falling back to moved_bytes for pure-traffic stages).
+  /// ~1 means the analytic traffic model matches the hardware; <1 means
+  /// the caches absorb traffic the model charges to memory.
+  double hw_bytes_vs_analytic = 0.0;
 };
 
 /// Attributes every stage of `snapshot` against `machine`'s rooflines.
@@ -77,10 +92,10 @@ StageAttribution attribute_total(const Machine& machine,
 void write_attribution_table(std::ostream& os, const Machine& machine,
                              const std::vector<StageAttribution>& rows);
 
-/// JSON serialization, schema "idg-roofline/v1":
+/// JSON serialization, schema "idg-roofline/v2":
 ///
 ///   {
-///     "schema": "idg-roofline/v1",
+///     "schema": "idg-roofline/v2",
 ///     "machine": "<name>",
 ///     "peak_gops": <number>,
 ///     "stages": [
@@ -90,11 +105,22 @@ void write_attribution_table(std::ostream& os, const Machine& machine,
 ///        "ceiling_opmix_gops": ..., "ceiling_dev_gops": ...,
 ///        "ceiling_shared_gops": ...,
 ///        "bound": "compute"|"sincos"|"bandwidth"|"shared-bandwidth"|"none",
-///        "pct_of_peak": ..., "pct_of_bound": ...}, ...
+///        "pct_of_peak": ..., "pct_of_bound": ...,
+///        "hw": {                       // OMITTED unless counters recorded
+///          "instructions": <uint>, "cycles": <uint>,
+///          "llc_miss_bytes": <uint>,
+///          "ipc": ..., "llc_miss_rate": ...,
+///          "instr_per_s": ..., "llc_gbs": ...,
+///          "instr_per_op": ..., "bytes_vs_analytic": ...,
+///          "multiplex_fraction": ...
+///        }}, ...
 ///     ]
 ///   }
 ///
-/// Numbers use obs::format_double (shortest round-trip, deterministic).
+/// v2 added the per-stage "hw" block (measured perf_event counters joined
+/// against the analytic model, DESIGN.md §15); v1 documents are a strict
+/// subset. Numbers use obs::format_double (shortest round-trip,
+/// deterministic).
 void write_attribution_json(std::ostream& os, const Machine& machine,
                             const std::vector<StageAttribution>& rows);
 

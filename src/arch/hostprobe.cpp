@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/vmath.hpp"
+#include "obs/perfcounters.hpp"
 
 namespace idg::arch {
 
@@ -108,5 +109,17 @@ const HostCapabilities& probe_host() {
 }
 
 std::string host_fingerprint() { return kernels::host_fingerprint(); }
+
+const PerfCounterStatus& host_perf_counter_status() {
+  static const PerfCounterStatus status = [] {
+    const obs::PerfProbe probe = obs::probe_perf_counters();
+    PerfCounterStatus s;
+    s.paranoid_level = probe.paranoid_level;
+    s.available = probe.available;
+    s.detail = probe.detail;
+    return s;
+  }();
+  return status;
+}
 
 }  // namespace idg::arch

@@ -26,4 +26,22 @@ const HostCapabilities& probe_host();
 /// (kernels/autotune.hpp, which this delegates to).
 std::string host_fingerprint();
 
+/// Hardware perf-counter access on this host (DESIGN.md §15).
+///
+/// Deliberately NOT folded into host_fingerprint(): counter access varies
+/// with kernel settings and container privileges, and must not invalidate
+/// a host's idg-tune/v1 database — the machine is the same machine whether
+/// or not we may watch its counters.
+struct PerfCounterStatus {
+  int paranoid_level = 0;  ///< /proc/sys/kernel/perf_event_paranoid
+                           ///  (obs::kPerfParanoidUnknown when unreadable)
+  bool available = false;  ///< a counter group actually opened
+  std::string detail;      ///< counter list, or the refusal reason
+};
+
+/// Probes (and caches) counter availability by opening a trial group via
+/// obs::probe_perf_counters(). Reported by bench_table1_machines next to
+/// the measured ceilings.
+const PerfCounterStatus& host_perf_counter_status();
+
 }  // namespace idg::arch

@@ -138,6 +138,7 @@ const std::vector<std::string>& standard_option_catalogue() {
 const std::vector<std::string>& standard_flag_names() {
   static const std::vector<std::string> flags = {
       "paper", "help", "verbose", "sorted", "unsorted", "sweep", "tune",
+      "hw",
   };
   return flags;
 }

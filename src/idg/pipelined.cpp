@@ -15,6 +15,7 @@
 #include "idg/scrub.hpp"
 #include "idg/subgrid_fft.hpp"
 #include "idg/taper.hpp"
+#include "obs/perfcounters.hpp"
 #include "obs/span.hpp"
 
 namespace idg {
@@ -124,6 +125,9 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:kernel");
     }
+    // Open this stage thread's counter group up front so the fd-open cost
+    // is not charged to the first span's window (no-op without a session).
+    obs::warm_thread_counters();
     const char* site = stage::kGridder;
     std::int64_t group = -1;
     try {
@@ -170,6 +174,7 @@ void PipelinedGridder::grid_visibilities(const Plan& plan,
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:adder");
     }
+    obs::warm_thread_counters();
     std::int64_t group = -1;
     try {
       Ticket ticket;
@@ -309,6 +314,7 @@ void PipelinedDegridder::degrid_visibilities(
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:fft");
     }
+    obs::warm_thread_counters();
     std::int64_t group = -1;
     try {
       Ticket ticket;
@@ -338,6 +344,9 @@ void PipelinedDegridder::degrid_visibilities(
     if (auto* trace = obs::global_trace()) {
       trace->set_thread_name("pipeline:kernel");
     }
+    // Open this stage thread's counter group up front so the fd-open cost
+    // is not charged to the first span's window (no-op without a session).
+    obs::warm_thread_counters();
     std::int64_t group = -1;
     try {
       Ticket ticket;

@@ -69,7 +69,7 @@ void write_latency_json(std::ostream& os, const LatencyHistogram& latency,
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "{\n";
-  os << "  \"schema\": \"idg-obs/v5\",\n";
+  os << "  \"schema\": \"idg-obs/v6\",\n";
   os << "  \"total_seconds\": " << format_double(total_seconds(snapshot))
      << ",\n";
   os << "  \"stages\": [";
@@ -89,6 +89,27 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
        << ",\n";
     os << "      \"backend_failovers\": " << m.backend_failovers << ",\n";
     write_latency_json(os, m.latency, "      ");
+    if (m.hw.any()) {
+      // Omitted (not zeroed) when no counters were recorded: flag-free
+      // runs and counter-less hosts keep byte-identical output, and the
+      // golden fixture never records hw (DESIGN.md §15).
+      os << "      \"hw\": {\n";
+      os << "        \"samples\": " << m.hw.samples << ",\n";
+      os << "        \"cycles\": " << m.hw.cycles << ",\n";
+      os << "        \"instructions\": " << m.hw.instructions << ",\n";
+      os << "        \"llc_loads\": " << m.hw.llc_loads << ",\n";
+      os << "        \"llc_misses\": " << m.hw.llc_misses << ",\n";
+      os << "        \"stalled_cycles_backend\": "
+         << m.hw.stalled_cycles_backend << ",\n";
+      os << "        \"task_clock_ns\": " << m.hw.task_clock_ns << ",\n";
+      os << "        \"llc_miss_bytes\": " << m.hw.llc_miss_bytes() << ",\n";
+      os << "        \"ipc\": " << format_double(m.hw.ipc()) << ",\n";
+      os << "        \"llc_miss_rate\": " << format_double(m.hw.llc_miss_rate())
+         << ",\n";
+      os << "        \"multiplex_fraction\": "
+         << format_double(m.hw.multiplex_fraction()) << "\n";
+      os << "      },\n";
+    }
     os << "      \"ops\": {\n";
     os << "        \"fma\": " << m.ops.fma << ",\n";
     os << "        \"mul\": " << m.ops.mul << ",\n";

@@ -1,11 +1,11 @@
 // Metric exporters: stable JSON and CSV serializations of a
 // MetricsSnapshot.
 //
-// JSON schema "idg-obs/v5" (pinned by tests/golden/metrics.json; the
+// JSON schema "idg-obs/v6" (pinned by tests/golden/metrics.json; the
 // figure benches emit it via --json and downstream plotting consumes it):
 //
 //   {
-//     "schema": "idg-obs/v5",
+//     "schema": "idg-obs/v6",
 //     "total_seconds": <number>,
 //     "stages": [                       // sorted by stage name
 //       {
@@ -22,6 +22,16 @@
 //             {"le": <upper bound, seconds>, "count": <uint>}, ...
 //           ]
 //         },
+//         "hw": {                       // OMITTED unless counters recorded
+//           "samples": <uint>,          // ScopedCounters windows merged
+//           "cycles": <uint>, "instructions": <uint>,   // multiplex-scaled
+//           "llc_loads": <uint>, "llc_misses": <uint>,
+//           "stalled_cycles_backend": <uint>,
+//           "task_clock_ns": <uint>,    // never multiplexed (own fd)
+//           "llc_miss_bytes": <uint>,   // llc_misses * 64
+//           "ipc": <number>, "llc_miss_rate": <number>,
+//           "multiplex_fraction": <number>   // running/enabled, 1 = no mux
+//         },
 //         "ops": {
 //           "fma": <uint>, "mul": <uint>, "add": <uint>, "sincos": <uint>,
 //           "dev_bytes": <uint>, "shared_bytes": <uint>,
@@ -37,7 +47,11 @@
 // libcs (no locale, no %g double-rounding) and parse back to exactly the
 // recorded double. v3 added the latency block and switched from fixed
 // 9-decimal to shortest-form numbers; v4 added the data-quality counters
-// (scrubbed_samples / skipped_samples, DESIGN.md §11).
+// (scrubbed_samples / skipped_samples, DESIGN.md §11); v6 added the hw
+// block of measured perf_event counters (DESIGN.md §15) — present only
+// when a PerfCounterSession recorded at least one window, so the export
+// stays byte-stable on hosts without counter access. The CSV schema is
+// unchanged (hw is JSON-only).
 //
 // CSV schema (pinned by tests/golden/metrics.csv): one row per stage,
 // sorted by name, with the same fields flattened:

@@ -23,6 +23,72 @@
 
 namespace idg::obs {
 
+/// Measured hardware counter totals (obs/perfcounters.hpp, DESIGN.md §15).
+///
+/// One HwCounters holds the multiplex-scaled deltas of the grouped
+/// perf_event counters accumulated over `samples` scoped windows (one
+/// window per completed span while a PerfCounterSession is installed).
+/// Counters are per *calling thread* and user-space only: a stage that
+/// fans work out to OpenMP/pool threads reports the orchestrating thread's
+/// share, so the derived ratios (ipc(), llc_miss_rate()) stay meaningful
+/// while the absolute totals are a per-thread view, not a machine-wide sum.
+/// `samples == 0` means "never measured": the exporters omit the hw block
+/// entirely (not zeroes) so counter-free output is byte-identical to a
+/// build without counter support.
+struct HwCounters {
+  std::uint64_t samples = 0;       ///< scoped windows aggregated
+  std::uint64_t cycles = 0;        ///< CPU cycles (user space)
+  std::uint64_t instructions = 0;  ///< retired instructions (user space)
+  std::uint64_t llc_loads = 0;     ///< last-level-cache read accesses
+  std::uint64_t llc_misses = 0;    ///< last-level-cache read misses
+  std::uint64_t stalled_cycles_backend = 0;  ///< backend stall cycles
+  std::uint64_t task_clock_ns = 0;           ///< on-CPU time (software clock)
+  /// Multiplex bookkeeping summed over the windows: when the PMU has fewer
+  /// slots than the group wants, the kernel time-slices the group and
+  /// time_running < time_enabled; the raw counts above are already scaled
+  /// by enabled/running (see obs::scale_multiplexed), these record how much
+  /// extrapolation that took.
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  /// An LLC miss moves one cache line to/from DRAM; this is the measured
+  /// counterpart of the analytic dev_bytes counts.
+  static constexpr std::uint64_t kCacheLineBytes = 64;
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  double llc_miss_rate() const {
+    return llc_loads > 0 ? static_cast<double>(llc_misses) /
+                               static_cast<double>(llc_loads)
+                         : 0.0;
+  }
+  std::uint64_t llc_miss_bytes() const { return llc_misses * kCacheLineBytes; }
+  /// Fraction of the enabled time the group was actually counting
+  /// (1 = never multiplexed). 1 when nothing was ever enabled.
+  double multiplex_fraction() const {
+    return time_enabled_ns > 0 ? static_cast<double>(time_running_ns) /
+                                     static_cast<double>(time_enabled_ns)
+                               : 1.0;
+  }
+  bool any() const { return samples != 0; }
+
+  HwCounters& operator+=(const HwCounters& other) {
+    samples += other.samples;
+    cycles += other.cycles;
+    instructions += other.instructions;
+    llc_loads += other.llc_loads;
+    llc_misses += other.llc_misses;
+    stalled_cycles_backend += other.stalled_cycles_backend;
+    task_clock_ns += other.task_clock_ns;
+    time_enabled_ns += other.time_enabled_ns;
+    time_running_ns += other.time_running_ns;
+    return *this;
+  }
+};
+
 /// Aggregated measurements for one named pipeline stage.
 struct StageMetrics {
   double seconds = 0.0;           ///< accumulated wall-clock time
@@ -51,6 +117,10 @@ struct StageMetrics {
   std::uint64_t retried_work_groups = 0;
   std::uint64_t quarantined_work_groups = 0;
   std::uint64_t backend_failovers = 0;
+  /// Measured hardware counter totals (DESIGN.md §15), accumulated by
+  /// record_hw() while a PerfCounterSession is live. hw.samples == 0 means
+  /// the stage was never measured and the exporters omit the block.
+  HwCounters hw;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
@@ -63,6 +133,7 @@ struct StageMetrics {
     retried_work_groups += other.retried_work_groups;
     quarantined_work_groups += other.quarantined_work_groups;
     backend_failovers += other.backend_failovers;
+    hw += other.hw;
     return *this;
   }
 };

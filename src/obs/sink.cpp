@@ -35,6 +35,11 @@ void AggregateSink::record_data_quality(std::string_view stage,
   m.skipped_samples += skipped;
 }
 
+void AggregateSink::record_hw(std::string_view stage, const HwCounters& hw) {
+  std::lock_guard lock(mutex_);
+  metrics_[std::string(stage)].hw += hw;
+}
+
 void AggregateSink::record_recovery(std::string_view stage,
                                     std::uint64_t retried,
                                     std::uint64_t quarantined,

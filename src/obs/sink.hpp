@@ -54,6 +54,17 @@ class MetricsSink {
     (void)skipped;
   }
 
+  /// Attributes measured hardware counter deltas to `stage` (DESIGN.md
+  /// §15): the multiplex-scaled perf_event totals of one ScopedCounters
+  /// window (obs/perfcounters.hpp). Only ever called while a
+  /// PerfCounterSession is installed, so sinks that never see counters
+  /// keep their flag-free output byte-identical. Default no-op, like
+  /// record_bytes().
+  virtual void record_hw(std::string_view stage, const HwCounters& hw) {
+    (void)stage;
+    (void)hw;
+  }
+
   /// Attributes recovery counters to `stage` (the resilient supervisor's
   /// channel, DESIGN.md §12): `retried` work groups that succeeded after at
   /// least one failed attempt, `quarantined` work groups dropped after
@@ -90,6 +101,7 @@ class AggregateSink : public MetricsSink {
   void record_bytes(std::string_view stage, std::uint64_t bytes) override;
   void record_data_quality(std::string_view stage, std::uint64_t scrubbed,
                            std::uint64_t skipped) override;
+  void record_hw(std::string_view stage, const HwCounters& hw) override;
   void record_recovery(std::string_view stage, std::uint64_t retried,
                        std::uint64_t quarantined,
                        std::uint64_t failovers) override;

@@ -11,13 +11,23 @@
 // work-group id passed at construction — this is how the Fig 7 stage
 // overlap shows up in the exported Chrome trace. Without a global trace
 // the extra cost is one relaxed atomic load per span.
+//
+// When a global PerfCounterSession is installed (obs/perfcounters.hpp,
+// DESIGN.md §15), every span additionally reads the calling thread's
+// grouped hardware counters at entry and exit and attributes the
+// multiplex-scaled delta to its stage via MetricsSink::record_hw — plus
+// hw:ipc / hw:llc-miss-rate counter tracks (per-mille) on the timeline
+// when tracing is also on. Without a session the extra cost is, again,
+// one relaxed atomic load.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <utility>
 
 #include "common/timer.hpp"
+#include "obs/perfcounters.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
@@ -41,11 +51,23 @@ class Span {
   /// Ends the span early (idempotent; the destructor becomes a no-op).
   void stop() {
     if (sink_ == nullptr) return;
+    // Close the counter window first so the trace/sink bookkeeping below
+    // is not charged to the hardware counters.
+    HwCounters hw;
+    const bool have_hw = hw_.stop(hw);
     if (trace_ != nullptr) {
       trace_->record_span(trace_->intern(stage_), trace_begin_ns_,
                           trace_->now_ns() - trace_begin_ns_, group_);
+      if (have_hw) {
+        // Per-mille: the trace counter tracks carry integers.
+        trace_->record_counter(trace_->intern("hw:ipc"),
+                               std::llround(hw.ipc() * 1000.0));
+        trace_->record_counter(trace_->intern("hw:llc-miss-rate"),
+                               std::llround(hw.llc_miss_rate() * 1000.0));
+      }
     }
     sink_->record(stage_, timer_.seconds());
+    if (have_hw) sink_->record_hw(stage_, hw);
     sink_ = nullptr;
   }
 
@@ -58,6 +80,9 @@ class Span {
   std::int64_t group_;
   TraceSink* trace_;
   std::int64_t trace_begin_ns_ = 0;
+  // Declared before timer_ so the counter read happens before the wall
+  // clock starts: the fd read cost sits outside the timed window.
+  ScopedCounters hw_;
   Timer timer_;
 };
 

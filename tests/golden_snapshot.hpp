@@ -14,7 +14,7 @@ namespace idg::testgolden {
 
 /// Deterministic fixture: one bulk-recorded stage (no latency samples) and
 /// one single-span stage (exactly one histogram sample), so the goldens
-/// pin both shapes of the idg-obs/v5 latency block, plus non-zero
+/// pin both shapes of the idg-obs/v6 latency block, plus non-zero
 /// data-quality counters on both stages (the v4 addition) and non-zero
 /// recovery counters (the v5 addition — the resilient supervisor's
 /// record_recovery channel).

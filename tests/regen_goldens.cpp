@@ -10,6 +10,7 @@
 
 #include "golden_snapshot.hpp"
 #include "obs/export.hpp"
+#include "obs/perfcounters.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
@@ -17,6 +18,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string dir = argv[1];
+  // The goldens pin the counter-free export: the "hw" block is omitted
+  // when no PerfCounterSession recorded, so force the session off to keep
+  // regeneration deterministic on any host (DESIGN.md §15).
+  idg::obs::set_global_perf_session(nullptr);
   const auto snapshot = idg::testgolden::golden_snapshot();
   idg::obs::write_json_file(dir + "/metrics.json", snapshot);
   idg::obs::write_csv_file(dir + "/metrics.csv", snapshot);

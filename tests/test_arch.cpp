@@ -421,7 +421,7 @@ TEST(AttributionTest, JsonIsValidAndCarriesTheSchema) {
   std::ostringstream oss;
   write_attribution_json(oss, h, attribute_roofline(h, snapshot));
   const auto doc = testjson::parse(oss.str());
-  EXPECT_EQ(doc.at("schema").string, "idg-roofline/v1");
+  EXPECT_EQ(doc.at("schema").string, "idg-roofline/v2");
   EXPECT_EQ(doc.at("machine").string, "HASWELL");
   ASSERT_EQ(doc.at("stages").array.size(), 1u);
   const auto& s = doc.at("stages").at(0);
@@ -429,6 +429,91 @@ TEST(AttributionTest, JsonIsValidAndCarriesTheSchema) {
   EXPECT_EQ(s.at("ops").number, static_cast<double>(ops.ops()));
   EXPECT_EQ(s.at("bound").string, "sincos");
   EXPECT_GT(s.at("achieved_gops").number, 0.0);
+}
+
+TEST(AttributionTest, JoinsHandBuiltHwCounters) {
+  const Machine h = haswell();
+  obs::MetricsSnapshot snapshot;
+  OpCounts ops;
+  ops.fma = 500;          // 1000 analytic ops
+  ops.dev_bytes = 4096;   // the analytic traffic model
+  obs::StageMetrics m = make_metrics(2.0, ops);
+  m.hw.samples = 4;
+  m.hw.cycles = 4000;
+  m.hw.instructions = 6000;
+  m.hw.llc_loads = 128;
+  m.hw.llc_misses = 32;   // 32 * 64 = 2048 measured bytes
+  m.hw.time_enabled_ns = 100;
+  m.hw.time_running_ns = 100;
+  snapshot["gridder"] = m;
+  snapshot["untouched"] = make_metrics(1.0, ops);  // no counters recorded
+
+  const auto rows = attribute_roofline(h, snapshot);
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& g = rows[0];
+  ASSERT_EQ(g.stage, "gridder");
+  ASSERT_TRUE(g.hw_valid);
+  EXPECT_EQ(g.hw.instructions, 6000u);
+  EXPECT_DOUBLE_EQ(g.hw_instr_per_s, 3000.0);          // 6000 / 2 s
+  EXPECT_DOUBLE_EQ(g.hw_llc_gbs, 2048.0 / 2.0 / 1e9);  // miss bytes / s
+  EXPECT_DOUBLE_EQ(g.hw_instr_per_op, 6.0);            // 6000 / 1000 ops
+  // Agreement ratio: measured LLC-miss bytes over analytic dev bytes.
+  EXPECT_DOUBLE_EQ(g.hw_bytes_vs_analytic, 2048.0 / 4096.0);
+  // A stage with no recorded counters stays hw-less.
+  EXPECT_FALSE(rows[1].hw_valid);
+  EXPECT_DOUBLE_EQ(rows[1].hw_instr_per_s, 0.0);
+
+  // The aggregate total inherits the merged counters of the hw stages.
+  const auto total = attribute_total(h, snapshot);
+  ASSERT_TRUE(total.hw_valid);
+  EXPECT_EQ(total.hw.instructions, 6000u);
+}
+
+TEST(AttributionTest, PureTrafficStageJoinsAgainstMovedBytes) {
+  const Machine h = haswell();
+  obs::MetricsSnapshot snapshot;
+  // Adder-like: no analytic ops, only moved bytes — the agreement ratio
+  // falls back to moved_bytes as the analytic side.
+  obs::StageMetrics m = make_metrics(1.0, OpCounts{}, /*moved_bytes=*/8192);
+  m.hw.samples = 1;
+  m.hw.llc_loads = 256;
+  m.hw.llc_misses = 64;  // 4096 measured bytes
+  snapshot["adder"] = m;
+  const auto rows = attribute_roofline(h, snapshot);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(rows[0].hw_valid);
+  EXPECT_EQ(rows[0].bound, RooflineBound::kBandwidth);
+  EXPECT_DOUBLE_EQ(rows[0].hw_bytes_vs_analytic, 4096.0 / 8192.0);
+  EXPECT_DOUBLE_EQ(rows[0].hw_instr_per_op, 0.0);  // no ops to divide by
+}
+
+TEST(AttributionTest, HwBlockInV2JsonOnlyWhenMeasured) {
+  const Machine h = haswell();
+  obs::MetricsSnapshot snapshot;
+  OpCounts ops;
+  ops.fma = 17;
+  ops.dev_bytes = 1;
+  obs::StageMetrics with_hw = make_metrics(0.5, ops);
+  with_hw.hw.samples = 2;
+  with_hw.hw.cycles = 100;
+  with_hw.hw.instructions = 250;
+  with_hw.hw.llc_misses = 2;
+  snapshot["measured"] = with_hw;
+  snapshot["unmeasured"] = make_metrics(0.5, ops);
+
+  std::ostringstream oss;
+  write_attribution_json(oss, h, attribute_roofline(h, snapshot));
+  const auto doc = testjson::parse(oss.str());
+  const auto& measured = doc.at("stages").at(0);
+  ASSERT_EQ(measured.at("name").string, "measured");
+  const auto& hw = measured.at("hw");
+  EXPECT_EQ(hw.at("instructions").number, 250.0);
+  EXPECT_EQ(hw.at("llc_miss_bytes").number, 128.0);
+  EXPECT_DOUBLE_EQ(hw.at("ipc").number, 2.5);
+  EXPECT_DOUBLE_EQ(hw.at("bytes_vs_analytic").number, 128.0);  // 128 B / 1 B
+  const auto& unmeasured = doc.at("stages").at(1);
+  ASSERT_EQ(unmeasured.at("name").string, "unmeasured");
+  EXPECT_THROW((void)unmeasured.at("hw"), std::exception);
 }
 
 TEST(CycleModelTest, UnknownStageThrows) {

@@ -28,6 +28,7 @@
 #include "json_mini.hpp"
 #include "obs/export.hpp"
 #include "obs/histogram.hpp"
+#include "obs/perfcounters.hpp"
 #include "obs/registry.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
@@ -278,7 +279,7 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v5\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v6\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 0"), std::string::npos);
   EXPECT_NO_THROW(testjson::parse(json));
@@ -286,7 +287,7 @@ TEST(ExportTest, EmptySnapshotIsValidJson) {
 
 TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   const auto doc = testjson::parse(obs::to_json(golden_snapshot()));
-  EXPECT_EQ(doc.at("schema").string, "idg-obs/v5");
+  EXPECT_EQ(doc.at("schema").string, "idg-obs/v6");
   const auto& stages = doc.at("stages");
   ASSERT_EQ(stages.array.size(), 3u);
   // Stages sort by name: adder (one sampled span), gridder (bulk), then
@@ -317,6 +318,264 @@ TEST(ExportTest, EscapesStageNames) {
   sink.record("weird\"stage\\name", 1.0);
   const std::string json = obs::to_json(sink.snapshot());
   EXPECT_NE(json.find("\"weird\\\"stage\\\\name\""), std::string::npos);
+}
+
+// --- hardware perf_event counters (obs/perfcounters.hpp, DESIGN.md §15) -------
+
+TEST(PerfCountersTest, MultiplexScalingMatchesSyntheticRatios) {
+  // Ran the whole window: raw passes through unscaled.
+  EXPECT_EQ(obs::scale_multiplexed(1000, 500, 500), 1000u);
+  EXPECT_EQ(obs::scale_multiplexed(1000, 500, 800), 1000u);
+  // Ran half the window: extrapolate by 2 (perf stat's estimate).
+  EXPECT_EQ(obs::scale_multiplexed(1000, 1000, 500), 2000u);
+  // One third, with rounding to nearest.
+  EXPECT_EQ(obs::scale_multiplexed(100, 3000, 1000), 300u);
+  EXPECT_EQ(obs::scale_multiplexed(1, 3, 2), 2u);  // 1.5 rounds up
+  // Never scheduled: nothing was counted, whatever raw claims.
+  EXPECT_EQ(obs::scale_multiplexed(1000, 500, 0), 0u);
+  EXPECT_EQ(obs::scale_multiplexed(0, 1000, 500), 0u);
+}
+
+TEST(PerfCountersTest, DeltaAppliesScalingPerWindow) {
+  using Raw = obs::PerfCounterSession::RawSample;
+  Raw begin, end;
+  begin.valid = end.valid = true;
+  begin.time_enabled_ns = 1000;
+  begin.time_running_ns = 1000;
+  end.time_enabled_ns = 3000;   // window enabled 2000 ns...
+  end.time_running_ns = 2000;   // ...but only counting for 1000 ns
+  for (std::size_t i = 0; i < obs::kNrHwCounters; ++i) {
+    begin.present[i] = end.present[i] = true;
+    begin.value[i] = 100;
+    end.value[i] = 100 + 50 * (i + 1);  // raw deltas 50, 100, 150, ...
+  }
+  begin.task_clock_present = end.task_clock_present = true;
+  begin.task_clock_ns = 500;
+  end.task_clock_ns = 2500;
+
+  const obs::HwCounters hw = obs::PerfCounterSession::delta(begin, end);
+  EXPECT_EQ(hw.samples, 1u);
+  // Every group member extrapolated by enabled/running = 2.
+  EXPECT_EQ(hw.cycles, 100u);
+  EXPECT_EQ(hw.instructions, 200u);
+  EXPECT_EQ(hw.llc_loads, 300u);
+  EXPECT_EQ(hw.llc_misses, 400u);
+  EXPECT_EQ(hw.stalled_cycles_backend, 500u);
+  // The task clock lives on its own fd: delta is never scaled.
+  EXPECT_EQ(hw.task_clock_ns, 2000u);
+  EXPECT_EQ(hw.time_enabled_ns, 2000u);
+  EXPECT_EQ(hw.time_running_ns, 1000u);
+  EXPECT_DOUBLE_EQ(hw.multiplex_fraction(), 0.5);
+}
+
+TEST(PerfCountersTest, DeltaSkipsAbsentCountersAndInvalidSamples) {
+  using Raw = obs::PerfCounterSession::RawSample;
+  Raw begin, end;
+  begin.valid = end.valid = true;
+  begin.time_enabled_ns = 0;
+  begin.time_running_ns = 0;
+  end.time_enabled_ns = 100;
+  end.time_running_ns = 100;
+  // Only cycles and instructions opened (e.g. a VM without LLC events).
+  for (auto i : {obs::kHwCycles, obs::kHwInstructions}) {
+    begin.present[i] = end.present[i] = true;
+    end.value[i] = 42;
+  }
+  end.value[obs::kHwLlcLoads] = 9999;  // garbage in an absent slot
+  obs::HwCounters hw = obs::PerfCounterSession::delta(begin, end);
+  EXPECT_EQ(hw.samples, 1u);
+  EXPECT_EQ(hw.cycles, 42u);
+  EXPECT_EQ(hw.llc_loads, 0u);  // absent counter contributes nothing
+  EXPECT_EQ(hw.task_clock_ns, 0u);
+
+  // An invalid endpoint yields the empty (samples == 0) result.
+  end.valid = false;
+  hw = obs::PerfCounterSession::delta(begin, end);
+  EXPECT_EQ(hw.samples, 0u);
+  EXPECT_FALSE(hw.any());
+}
+
+TEST(PerfCountersTest, HwCountersDerivedRatesAndMerge) {
+  obs::HwCounters a;
+  a.samples = 1;
+  a.cycles = 1000;
+  a.instructions = 2500;
+  a.llc_loads = 200;
+  a.llc_misses = 50;
+  a.time_enabled_ns = 100;
+  a.time_running_ns = 100;
+  EXPECT_DOUBLE_EQ(a.ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(a.llc_miss_rate(), 0.25);
+  EXPECT_EQ(a.llc_miss_bytes(), 50u * 64u);
+  EXPECT_DOUBLE_EQ(a.multiplex_fraction(), 1.0);
+
+  obs::HwCounters b = a;
+  b.cycles = 3000;
+  a += b;
+  EXPECT_EQ(a.samples, 2u);
+  EXPECT_EQ(a.cycles, 4000u);
+  EXPECT_EQ(a.instructions, 5000u);
+
+  // Zero denominators stay finite.
+  const obs::HwCounters zero;
+  EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.llc_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.multiplex_fraction(), 1.0);
+  EXPECT_FALSE(zero.any());
+}
+
+TEST(PerfCountersTest, AggregateSinkAccumulatesHwPerStage) {
+  obs::AggregateSink sink;
+  obs::HwCounters hw;
+  hw.samples = 1;
+  hw.cycles = 10;
+  hw.instructions = 20;
+  sink.record_hw("gridder", hw);
+  sink.record_hw("gridder", hw);
+  sink.record_hw("adder", hw);
+  const auto snap = sink.snapshot();
+  EXPECT_EQ(snap.at("gridder").hw.samples, 2u);
+  EXPECT_EQ(snap.at("gridder").hw.cycles, 20u);
+  EXPECT_EQ(snap.at("adder").hw.samples, 1u);
+  // record_hw alone creates no wall time / invocations.
+  EXPECT_EQ(snap.at("gridder").invocations, 0u);
+}
+
+TEST(PerfCountersTest, JsonOmitsHwBlockWithoutRecordedCounters) {
+  // The golden fixture never records counters: the schema bump to v6 must
+  // not change the export byte for byte beyond the version line, so a
+  // counter-less snapshot serializes with no "hw" key at all.
+  const std::string json = obs::to_json(golden_snapshot());
+  EXPECT_EQ(json.find("\"hw\""), std::string::npos);
+}
+
+TEST(PerfCountersTest, HwBlockExportedWhenRecorded) {
+  obs::AggregateSink sink;
+  sink.record("gridder", 2.0);
+  obs::HwCounters hw;
+  hw.samples = 3;
+  hw.cycles = 1000;
+  hw.instructions = 1500;
+  hw.llc_loads = 100;
+  hw.llc_misses = 25;
+  hw.stalled_cycles_backend = 80;
+  hw.task_clock_ns = 123456;
+  hw.time_enabled_ns = 200;
+  hw.time_running_ns = 100;
+  sink.record_hw("gridder", hw);
+  sink.record("idle", 1.0);  // no counters: stays hw-less in the same doc
+
+  const auto doc = testjson::parse(obs::to_json(sink.snapshot()));
+  const auto& gridder = doc.at("stages").at(0);
+  ASSERT_EQ(gridder.at("name").string, "gridder");
+  const auto& block = gridder.at("hw");
+  EXPECT_EQ(block.at("samples").number, 3.0);
+  EXPECT_EQ(block.at("cycles").number, 1000.0);
+  EXPECT_EQ(block.at("instructions").number, 1500.0);
+  EXPECT_EQ(block.at("llc_loads").number, 100.0);
+  EXPECT_EQ(block.at("llc_misses").number, 25.0);
+  EXPECT_EQ(block.at("stalled_cycles_backend").number, 80.0);
+  EXPECT_EQ(block.at("task_clock_ns").number, 123456.0);
+  EXPECT_EQ(block.at("llc_miss_bytes").number, 1600.0);
+  EXPECT_DOUBLE_EQ(block.at("ipc").number, 1.5);
+  EXPECT_DOUBLE_EQ(block.at("llc_miss_rate").number, 0.25);
+  EXPECT_DOUBLE_EQ(block.at("multiplex_fraction").number, 0.5);
+  const auto& idle = doc.at("stages").at(1);
+  ASSERT_EQ(idle.at("name").string, "idle");
+  EXPECT_THROW((void)idle.at("hw"), std::exception);
+}
+
+TEST(PerfCountersTest, ScopedCountersNoopWithoutSession) {
+  ASSERT_EQ(obs::global_perf_session(), nullptr);
+  obs::ScopedCounters window;
+  EXPECT_FALSE(window.active());
+  obs::HwCounters hw;
+  EXPECT_FALSE(window.stop(hw));
+  EXPECT_FALSE(hw.any());
+  // Spans keep working (and record no hw) with no session installed.
+  obs::AggregateSink sink;
+  { obs::Span span(sink, "stage"); }
+  EXPECT_FALSE(sink.snapshot().at("stage").hw.any());
+  obs::warm_thread_counters();  // no-op, must not crash
+}
+
+TEST(PerfCountersTest, PerfMetricsSinkForwardsAndAggregates) {
+  obs::AggregateSink inner;
+  obs::PerfMetricsSink sink(inner);
+  sink.record("gridder", 1.5);
+  sink.record_ops("gridder", OpCounts{});
+  obs::HwCounters hw;
+  hw.samples = 1;
+  hw.instructions = 7;
+  sink.record_hw("gridder", hw);
+  sink.record_hw("gridder", hw);
+
+  // Forwarded into the wrapped sink...
+  const auto snap = inner.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("gridder").seconds, 1.5);
+  EXPECT_EQ(snap.at("gridder").hw.samples, 2u);
+  // ...and aggregated by the decorator itself (survives inner sinks that
+  // ignore record_hw, e.g. NullSink).
+  const auto totals = sink.hw_totals();
+  ASSERT_EQ(totals.count("gridder"), 1u);
+  EXPECT_EQ(totals.at("gridder").samples, 2u);
+  EXPECT_EQ(totals.at("gridder").instructions, 14u);
+
+  obs::PerfMetricsSink null_wrapped(obs::null_sink());
+  null_wrapped.record_hw("adder", hw);
+  EXPECT_EQ(null_wrapped.hw_totals().at("adder").instructions, 7u);
+}
+
+TEST(PerfCountersTest, ProbeReportsParanoidLevelAndNamedReason) {
+  const obs::PerfProbe probe = obs::probe_perf_counters();
+  EXPECT_FALSE(probe.detail.empty());
+  if (probe.paranoid_level != obs::kPerfParanoidUnknown) {
+    // Real /proc values are small integers (-1..4 across kernels).
+    EXPECT_GE(probe.paranoid_level, -1);
+    EXPECT_LE(probe.paranoid_level, 4);
+  }
+  if (!probe.available) {
+    // The refusal is named, never silent.
+    EXPECT_NE(probe.detail, "ok");
+  }
+}
+
+TEST(PerfCountersTest, DisableEnvForcesStub) {
+  ::setenv("IDG_PERF_DISABLE", "1", 1);
+  std::string why;
+  auto session = obs::PerfCounterSession::open(&why);
+  EXPECT_EQ(session, nullptr);
+  EXPECT_NE(why.find("IDG_PERF_DISABLE"), std::string::npos);
+  const obs::PerfProbe probe = obs::probe_perf_counters();
+  EXPECT_FALSE(probe.available);
+  ::unsetenv("IDG_PERF_DISABLE");
+}
+
+TEST(PerfCountersTest, LiveSessionMeasuresSpansWhenAvailable) {
+  std::string why;
+  auto session = obs::PerfCounterSession::open(&why);
+  if (session == nullptr) {
+    GTEST_SKIP() << "hw counters unavailable on this host: " << why;
+  }
+  obs::set_global_perf_session(session.get());
+  obs::AggregateSink sink;
+  {
+    obs::Span span(sink, "busy");
+    // Enough user-space work that cycles/instructions cannot round to 0.
+    volatile double x = 1.0;
+    for (int i = 0; i < 200000; ++i) x = x * 1.0000001 + 1e-9;
+  }
+  obs::set_global_perf_session(nullptr);
+
+  const auto m = sink.snapshot().at("busy");
+  EXPECT_EQ(m.invocations, 1u);
+  ASSERT_TRUE(m.hw.any());
+  EXPECT_GT(m.hw.cycles, 0u);
+  EXPECT_GT(m.hw.instructions, 0u);
+  EXPECT_GT(m.hw.time_enabled_ns, 0u);
+  // The hw block then shows up in the v6 export.
+  const auto doc = testjson::parse(obs::to_json(sink.snapshot()));
+  EXPECT_GT(doc.at("stages").at(0).at("hw").at("cycles").number, 0.0);
 }
 
 // --- BoundedQueue --------------------------------------------------------------
