@@ -10,6 +10,15 @@
 // stopped; --retries N supervises the backend (N failed attempts per work
 // group before quarantine); --deadline-ms D aborts the whole run after D
 // milliseconds. The CI kill-and-resume smoke drives exactly this binary.
+//
+// Sharding knobs (DESIGN.md §16): --workers N runs every grid/degrid call
+// across N forked worker processes (bit-identical to --workers 0, the
+// in-process default); --shards M cuts each call into M shards (default
+// 2xN); --heartbeat-ms D replaces a worker silent for D ms. A SIGTERM
+// drains the loop at the next safe point, keeping the last checkpoint —
+// the CI kill-and-rebalance job SIGKILLs workers and the coordinator and
+// byte-compares the results.
+#include <csignal>
 #include <iostream>
 #include <memory>
 
@@ -21,12 +30,17 @@
 #include "idg/processor.hpp"
 #include "idg/supervisor.hpp"
 #include "kernels/optimized.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/worker.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
 #include "sim/predict.hpp"
 
 int main(int argc, char** argv) {
   using namespace idg;
+  // Worker mode: the shard coordinator re-execs this binary with
+  // --idg-shard-worker as argv[1]; everything below is coordinator-only.
+  if (const int rc = shard::maybe_run_worker(argc, argv); rc >= 0) return rc;
   Options opts = parse_standard_options(argc, argv);
 
   sim::BenchmarkConfig cfg;
@@ -54,18 +68,38 @@ int main(int argc, char** argv) {
   params.image_size = ds.image_size;
   params.nr_stations = cfg.nr_stations;
   params.kernel_size = 16;
+  // Small work groups so a sharded run (--workers) has enough groups to
+  // balance, rebalance after a kill, and merge in order. Grouping does not
+  // change the result: the adder applies items in the same flat sequence
+  // for any group size.
+  params.work_group_size = 8;
   params.deadline_ms = static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
   Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
   auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
                                           cfg.subgrid_size);
 
-  std::unique_ptr<GridderBackend> backend =
-      std::make_unique<Processor>(params, kernels::optimized_kernels());
+  std::unique_ptr<GridderBackend> backend;
+  const long workers = opts.get("workers", 0L);
   const long retries = opts.get("retries", 0L);
-  if (retries > 0) {
-    SupervisorConfig sup;
-    sup.max_attempts_per_group = static_cast<std::uint32_t>(retries);
-    backend = make_resilient_backend(std::move(backend), nullptr, sup);
+  if (workers > 0) {
+    shard::ShardConfig sc;
+    sc.nr_workers = static_cast<std::size_t>(workers);
+    sc.nr_shards = static_cast<std::size_t>(opts.get("shards", 0L));
+    sc.heartbeat_ms =
+        static_cast<std::uint32_t>(opts.get("heartbeat-ms", 60000L));
+    sc.worker_retries = retries > 0 ? static_cast<std::uint32_t>(retries) : 0;
+    sc.kernel_set = "optimized";
+    backend = shard::make_sharded_backend(params, sc);
+    std::cout << "sharded execution: " << sc.nr_workers << " worker(s), "
+              << (sc.nr_shards > 0 ? sc.nr_shards : 2 * sc.nr_workers)
+              << " shard(s) per call\n";
+  } else {
+    backend = std::make_unique<Processor>(params, kernels::optimized_kernels());
+    if (retries > 0) {
+      SupervisorConfig sup;
+      sup.max_attempts_per_group = static_cast<std::uint32_t>(retries);
+      backend = make_resilient_backend(std::move(backend), nullptr, sup);
+    }
   }
   clean::MajorCycleConfig mc;
   mc.nr_major_cycles = static_cast<int>(opts.get("cycles", 4L));
@@ -76,9 +110,26 @@ int main(int argc, char** argv) {
   if (!mc.resume_path.empty()) {
     std::cout << "resuming from checkpoint " << mc.resume_path << "\n";
   }
+  if (workers > 0) {
+    // Graceful drain: SIGTERM cancels the loop at its next safe point; the
+    // last completed cycle's checkpoint survives for a bit-identical
+    // --resume.
+    shard::install_sigterm_drain();
+    mc.cancel = &shard::drain_token();
+  }
 
-  auto result = clean::run_major_cycles(*backend, plan, ds.uvw.cview(),
-                                        vis.cview(), aterms.cview(), mc);
+  clean::MajorCycleResult result;
+  try {
+    result = clean::run_major_cycles(*backend, plan, ds.uvw.cview(),
+                                     vis.cview(), aterms.cview(), mc);
+  } catch (const CancelledError& e) {
+    if (shard::drain_requested() && !mc.checkpoint_path.empty()) {
+      std::cout << "drained on SIGTERM (" << e.what() << "); resume with "
+                << "--resume " << mc.checkpoint_path << "\n";
+      return 0;
+    }
+    throw;
+  }
 
   std::cout << "residual Stokes-I peak per major cycle:\n";
   for (std::size_t c = 0; c < result.peak_history.size(); ++c)

@@ -142,10 +142,18 @@ MajorCycleResult run_major_cycles(const GridderBackend& backend,
   Array3D<Visibility> model_vis(visibilities.dim(0), visibilities.dim(1),
                                 visibilities.dim(2));
 
+  RunControl ctl;
+  ctl.cancel = config.cancel;
+
   for (int cycle = first_cycle; cycle < config.nr_major_cycles; ++cycle) {
+    // A drain requested mid-cycle aborts here, after the previous cycle's
+    // checkpoint was committed — the resume is bit-identical.
+    ctl.check_cancel("clean.major_cycle", cycle);
+
     // --- image the residual (gridding + grid FFT) -------------------------
     Array3D<cfloat> grid(kNrPolarizations, g, g);
-    backend.grid(plan, uvw, residual_vis.cview(), aterms, grid.view(), sink);
+    backend.grid(plan, uvw, residual_vis.cview(), FlagView{}, aterms,
+                 grid.view(), sink, ctl);
     Array3D<cfloat> dirty = [&] {
       obs::Span span(sink, stage::kGridFft);
       return make_dirty_image(grid, plan.nr_planned_visibilities());
@@ -165,8 +173,8 @@ MajorCycleResult run_major_cycles(const GridderBackend& backend,
       obs::Span span(sink, stage::kGridFft);
       return model_image_to_grid(result.model_image);
     }();
-    backend.degrid(plan, uvw, model_grid.cview(), aterms, model_vis.view(),
-                   sink);
+    backend.degrid(plan, uvw, model_grid.cview(), FlagView{}, aterms,
+                   model_vis.view(), sink, ctl);
     for (std::size_t i = 0; i < residual_vis.size(); ++i) {
       residual_vis.data()[i] = visibilities.data()[i];
       residual_vis.data()[i] -= model_vis.data()[i];

@@ -36,6 +36,11 @@ struct MajorCycleConfig {
   /// When non-empty, load this checkpoint and restart mid-loop instead of
   /// from cycle 0. The result is bit-identical to never having stopped.
   std::string resume_path;
+  /// Optional cancellation token, checked between major cycles and threaded
+  /// into every grid/degrid call. Wire shard::drain_token() here so a
+  /// SIGTERM drain stops the loop after the current checkpointed cycle,
+  /// making a coordinator kill resumable bit-identically (DESIGN.md §16).
+  const CancelToken* cancel = nullptr;
 };
 
 struct MajorCycleResult {

@@ -1,5 +1,8 @@
 #include "common/checkpoint.hpp"
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -12,6 +15,32 @@ namespace idg {
 namespace {
 
 constexpr std::size_t kMagicSize = 8;
+
+/// Removes stale `<basename>.tmp*` siblings of `path`: leftovers of writers
+/// killed between opening the temp file and renaming it. Temp names embed
+/// the writer pid, so the current writer passes its own temp name to spare
+/// it. Sweep failures are ignored — an unreadable directory must not fail
+/// the commit that just succeeded.
+void sweep_stale_temps(const std::string& path, const std::string& keep) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const std::string base =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp";
+  const std::string keep_name =
+      keep.find_last_of('/') == std::string::npos
+          ? keep
+          : keep.substr(keep.find_last_of('/') + 1);
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(base, 0) != 0 || name == keep_name) continue;
+    std::remove((dir + "/" + name).c_str());
+  }
+  closedir(d);
+}
 
 const std::array<std::uint32_t, 256>& crc_table() {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -47,7 +76,11 @@ void CheckpointWriter::commit(const std::string& path,
                               const char* magic) const {
   IDG_CHECK(std::strlen(magic) == kMagicSize,
             "checkpoint magic must be exactly 8 bytes");
-  const std::string tmp = path + ".tmp";
+  // Predictable per-writer temp name; the sweep removes what previous
+  // (killed) writers left behind, including legacy un-suffixed `.tmp`
+  // files. Checkpoint files are single-writer per path by contract.
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  sweep_stale_temps(path, tmp);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     IDG_CHECK(out.good(),
@@ -71,6 +104,14 @@ void CheckpointWriter::commit(const std::string& path,
     throw Error("failed renaming checkpoint '" + tmp + "' to '" + path +
                 "'");
   }
+}
+
+CheckpointReader CheckpointReader::from_payload(std::string payload,
+                                                std::string label) {
+  CheckpointReader reader;
+  reader.path_ = std::move(label);
+  reader.payload_ = std::move(payload);
+  return reader;
 }
 
 CheckpointReader::CheckpointReader(const std::string& path,

@@ -49,9 +49,19 @@ class CheckpointWriter {
 
   /// Writes magic + payload + CRC to `path` atomically. `magic` must be
   /// exactly 8 bytes.
+  ///
+  /// The temp file is `<path>.tmp.<pid>` — predictable, so a commit also
+  /// sweeps stale `<path>.tmp*` leftovers of writers that were killed
+  /// mid-write (an orphan temp can otherwise accumulate forever next to a
+  /// checkpoint that is rewritten every cycle).
   void commit(const std::string& path, const char* magic) const;
 
   std::size_t payload_size() const { return payload_.size(); }
+
+  /// The accumulated payload, without magic or CRC. The shard wire protocol
+  /// (src/shard/protocol.hpp) reuses the writer as its message serializer
+  /// and frames the payload itself.
+  const std::string& payload() const { return payload_; }
 
  private:
   void append(const void* data, std::size_t size);
@@ -68,6 +78,12 @@ class CheckpointReader {
   /// file is missing, too short, carries the wrong magic, or fails the CRC
   /// check ("corrupt or partially written").
   CheckpointReader(const std::string& path, const char* magic);
+
+  /// Wraps an already-validated in-memory payload (no magic, no CRC) in the
+  /// same typed-read interface. `label` names the source in truncation
+  /// errors (the shard protocol passes the message type).
+  static CheckpointReader from_payload(std::string payload,
+                                       std::string label);
 
   template <typename T>
   void read_pod(T& value, const char* what) {
@@ -89,6 +105,7 @@ class CheckpointReader {
   const std::string& path() const { return path_; }
 
  private:
+  CheckpointReader() = default;
   void extract(void* out, std::size_t size, const char* what);
   std::string path_;
   std::string payload_;

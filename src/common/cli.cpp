@@ -125,12 +125,13 @@ const std::vector<std::string>& standard_option_catalogue() {
       "aterm-interval", "backend",    "bad-policy",        "candidates",
       "channels",       "checkpoint", "csv",               "cycles",
       "deadline-ms",    "epsilon",    "flag-fraction",     "grid",
-      "json",           "kernel-set", "kernel-size",       "kernels",
-      "max-nw",         "max-timesteps", "phase-rms",      "repeats",
-      "resume",         "retries",    "save-pgm",          "seconds-per-point",
-      "stations",       "subgrid",    "support",           "tile-size",
-      "time",           "trace",      "tune-db",           "w-planes",
-      "w-scale",        "warmup",
+      "heartbeat-ms",   "json",       "kernel-set",        "kernel-size",
+      "kernels",        "max-nw",     "max-timesteps",     "phase-rms",
+      "repeats",        "resume",     "retries",           "save-pgm",
+      "seconds-per-point", "shards",  "stations",          "subgrid",
+      "support",        "tile-size",  "time",              "trace",
+      "tune-db",        "w-planes",   "w-scale",           "warmup",
+      "workers",
   };
   return options;
 }

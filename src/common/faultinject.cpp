@@ -130,6 +130,17 @@ void Injector::arm_from_spec(const std::string& spec) {
   }
 }
 
+void Injector::rearm_for_worker() {
+  if (const char* spec = std::getenv("IDG_FAULT_WORKER")) {
+    disarm_all();
+    if (compiled_in()) arm_from_spec(spec);
+    return;
+  }
+  std::lock_guard lock(state_->mutex);
+  for (Arm& arm : state_->arms) arm.fires = 0;
+  state_->fired.clear();
+}
+
 void Injector::disarm_all() {
   std::lock_guard lock(state_->mutex);
   state_->arms.clear();

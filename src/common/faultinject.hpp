@@ -86,6 +86,16 @@ class Injector {
 
   void disarm_all();
 
+  /// Re-arms the registry for a shard worker process (src/shard/worker.cpp
+  /// calls it first thing). When IDG_FAULT_WORKER is set it REPLACES the
+  /// arms inherited from IDG_FAULT, so a test can fault only the workers
+  /// (or only the coordinator, by leaving it unset). Either way every fire
+  /// count is reset: draws are already a pure function of
+  /// (seed, site, index) — never the pid — so each (re)spawned worker
+  /// replays the identical fault schedule and injected kill schedules stay
+  /// deterministic across respawns.
+  void rearm_for_worker();
+
   /// True while at least one arm is registered (one relaxed atomic load).
   bool enabled() const;
 

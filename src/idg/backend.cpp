@@ -53,6 +53,12 @@ void set_kernel_set_resolver(KernelSetResolver resolver) {
   g_kernel_set_resolver = resolver;
 }
 
+const KernelSet& resolve_kernel_set(const std::string& name) {
+  BackendOptions options;
+  options.kernel_set = name;
+  return resolve_kernels(options);
+}
+
 BackendOptions parse_backend_spec(const std::string& spec) {
   BackendOptions options;
   // "resilient:<inner>" wraps a specific inner backend

@@ -230,6 +230,13 @@ using KernelSetResolver = const KernelSet& (*)(const std::string&);
 /// override. Passing nullptr uninstalls.
 void set_kernel_set_resolver(KernelSetResolver resolver);
 
+/// Resolves a registry name exactly like BackendOptions::kernel_set does:
+/// "" and "reference" always resolve to the reference set; any other name
+/// needs the idg_kernels resolver installed (throws a named error
+/// otherwise). Shard workers use this to reconstruct the coordinator's
+/// kernel selection from its wire-shipped name.
+const KernelSet& resolve_kernel_set(const std::string& name);
+
 /// Parses the string spelling of a backend selection into options:
 /// "synchronous" | "sync" | "processor" | "pipelined" | "async" |
 /// "resilient" | "resilient:<inner>". Throws idg::Error for unknown names,

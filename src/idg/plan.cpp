@@ -186,6 +186,26 @@ Plan::Plan(const Parameters& params, const Array2D<UVW>& uvw,
   }
 }
 
+Plan Plan::from_parts(const Parameters& params, std::vector<WorkItem> items,
+                      std::vector<float> wavenumbers,
+                      std::size_t planned_visibilities,
+                      std::size_t dropped_visibilities) {
+  Plan plan;
+  plan.params_ = params;
+  plan.params_.validate();
+  IDG_CHECK(!wavenumbers.empty(), "plan parts carry no wavenumbers");
+  plan.items_ = std::move(items);
+  plan.wavenumbers_ = std::move(wavenumbers);
+  plan.planned_visibilities_ = planned_visibilities;
+  plan.dropped_visibilities_ = dropped_visibilities;
+  plan.group_tiles_.reserve(plan.nr_work_groups());
+  for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
+    plan.group_tiles_.push_back(
+        bin_items_by_tile(plan.params_, plan.work_group(g)));
+  }
+  return plan;
+}
+
 void Plan::plan_baseline(std::size_t bl_index, const Array2D<UVW>& uvw,
                          const std::vector<double>& frequencies,
                          const Baseline& baseline,

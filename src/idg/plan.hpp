@@ -90,6 +90,18 @@ class Plan {
        const std::vector<Baseline>& baselines,
        const WPlaneModel* wplanes = nullptr);
 
+  /// Reassembles a plan from its serialized parts (the shard wire protocol
+  /// ships a coordinator-built plan to worker processes, src/shard/). The
+  /// items arrive exactly as the original plan ordered them — including the
+  /// stamped emission ranks — so no re-sorting happens here; the per-group
+  /// tile binnings are recomputed locally (a pure function of
+  /// params + items, cheaper than shipping them).
+  static Plan from_parts(const Parameters& params,
+                         std::vector<WorkItem> items,
+                         std::vector<float> wavenumbers,
+                         std::size_t planned_visibilities,
+                         std::size_t dropped_visibilities);
+
   const Parameters& parameters() const { return params_; }
   const std::vector<WorkItem>& items() const { return items_; }
   std::size_t nr_subgrids() const { return items_.size(); }
@@ -117,6 +129,7 @@ class Plan {
   const std::vector<float>& wavenumbers() const { return wavenumbers_; }
 
  private:
+  Plan() = default;
   void plan_baseline(std::size_t bl_index, const Array2D<UVW>& uvw,
                      const std::vector<double>& frequencies,
                      const Baseline& baseline, const WPlaneModel* wplanes);

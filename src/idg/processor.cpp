@@ -44,42 +44,10 @@ void Processor::grid_visibilities(const Plan& plan,
 
   for (std::size_t g = 0; g < plan.nr_work_groups(); ++g) {
     if (scrubbed.group_skipped(g) || ctl.group_skipped(g)) continue;
-    const auto items = plan.work_group(g);
     const auto group = static_cast<std::int64_t>(g);
     ctl.check_cancel("processor.grid", group);
-    {
-      obs::Span span(sink, stage::kGridder, group);
-      with_stage_context(stage::kGridder, group, [&] {
-        IDG_FAULT_POINT("processor.grid.kernel", group);
-        kernels_->grid(params_, data, items, vis, subgrids.view());
-      });
-    }
-    {
-      obs::Span span(sink, stage::kSubgridFft, group);
-      with_stage_context(stage::kSubgridFft, group, [&] {
-        IDG_FAULT_POINT("processor.grid.fft", group);
-        subgrid_fft(SubgridFftDirection::ToFourier, subgrids.view(),
-                    items.size());
-      });
-    }
-    IDG_FAULT_CORRUPT("processor.grid.buffer", group,
-                      reinterpret_cast<float*>(subgrids.data()),
-                      items.size() * static_cast<std::size_t>(kNrPolarizations) *
-                          n * n * 2);
-    {
-      obs::Span span(sink, stage::kAdder, group);
-      with_stage_context(stage::kAdder, group, [&] {
-        IDG_FAULT_POINT("processor.grid.adder", group);
-        IDG_FAULT_GUARD_FINITE(
-            "processor.grid.adder", group,
-            reinterpret_cast<const float*>(subgrids.data()),
-            items.size() * static_cast<std::size_t>(kNrPolarizations) * n * n *
-                2);
-        add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
-                             subgrids.cview(), grid);
-      });
-    }
-    sink.record_bytes(stage::kAdder, adder_moved_bytes(params_, items.size()));
+    grid_group_subgrids(plan, g, data, vis, subgrids.view(), sink);
+    add_group_to_grid(plan, g, subgrids.cview(), grid, sink);
   }
 
   // Analytic op/byte counters for the whole call (derived from the plan,
@@ -87,6 +55,57 @@ void Processor::grid_visibilities(const Plan& plan,
   sink.record_ops(stage::kGridder, gridder_op_counts(plan));
   sink.record_ops(stage::kSubgridFft, subgrid_fft_op_counts(plan));
   sink.record_ops(stage::kAdder, adder_op_counts(plan));
+}
+
+void Processor::grid_group_subgrids(const Plan& plan, std::size_t g,
+                                    const KernelData& data,
+                                    ArrayView<const Visibility, 3> visibilities,
+                                    ArrayView<cfloat, 4> subgrids,
+                                    obs::MetricsSink& sink) const {
+  const std::size_t n = params_.subgrid_size;
+  const auto items = plan.work_group(g);
+  const auto group = static_cast<std::int64_t>(g);
+  {
+    obs::Span span(sink, stage::kGridder, group);
+    with_stage_context(stage::kGridder, group, [&] {
+      IDG_FAULT_POINT("processor.grid.kernel", group);
+      kernels_->grid(params_, data, items, visibilities, subgrids);
+    });
+  }
+  {
+    obs::Span span(sink, stage::kSubgridFft, group);
+    with_stage_context(stage::kSubgridFft, group, [&] {
+      IDG_FAULT_POINT("processor.grid.fft", group);
+      subgrid_fft(SubgridFftDirection::ToFourier, subgrids, items.size());
+    });
+  }
+  IDG_FAULT_CORRUPT("processor.grid.buffer", group,
+                    reinterpret_cast<float*>(subgrids.data()),
+                    items.size() * static_cast<std::size_t>(kNrPolarizations) *
+                        n * n * 2);
+}
+
+void Processor::add_group_to_grid(const Plan& plan, std::size_t g,
+                                  ArrayView<const cfloat, 4> subgrids,
+                                  ArrayView<cfloat, 3> grid,
+                                  obs::MetricsSink& sink) const {
+  const std::size_t n = params_.subgrid_size;
+  const auto items = plan.work_group(g);
+  const auto group = static_cast<std::int64_t>(g);
+  {
+    obs::Span span(sink, stage::kAdder, group);
+    with_stage_context(stage::kAdder, group, [&] {
+      IDG_FAULT_POINT("processor.grid.adder", group);
+      IDG_FAULT_GUARD_FINITE(
+          "processor.grid.adder", group,
+          reinterpret_cast<const float*>(subgrids.data()),
+          items.size() * static_cast<std::size_t>(kNrPolarizations) * n * n *
+              2);
+      add_subgrids_to_grid(params_, items, plan.work_group_tiles(g),
+                           subgrids, grid);
+    });
+  }
+  sink.record_bytes(stage::kAdder, adder_moved_bytes(params_, items.size()));
 }
 
 void Processor::degrid_visibilities(const Plan& plan,

@@ -66,6 +66,28 @@ class Processor : public GridderBackend {
     grid_visibilities(plan, uvw, visibilities, FlagView{}, aterms, grid, sink);
   }
 
+  /// First two gridding stages for ONE work group: gridder kernel +
+  /// subgrid FFT into `subgrids` ([>= items][4][n][n]; only the group's
+  /// item count is written). `visibilities` must already be scrubbed
+  /// (scrub_gridder_input) — this is the post-scrub per-group unit the
+  /// shard workers execute remotely (src/shard/worker.cpp). Spans and
+  /// fault sites are identical to the in-process grid loop.
+  void grid_group_subgrids(const Plan& plan, std::size_t g,
+                           const KernelData& data,
+                           ArrayView<const Visibility, 3> visibilities,
+                           ArrayView<cfloat, 4> subgrids,
+                           obs::MetricsSink& sink = obs::null_sink()) const;
+
+  /// Third gridding stage for ONE work group: accumulates its post-FFT
+  /// subgrids into `grid` in the canonical per-tile item order. Calling
+  /// this for groups 0..G-1 in ascending order reproduces the
+  /// single-process accumulation bit for bit — the property the shard
+  /// coordinator's deterministic merge relies on.
+  void add_group_to_grid(const Plan& plan, std::size_t g,
+                         ArrayView<const cfloat, 4> subgrids,
+                         ArrayView<cfloat, 3> grid,
+                         obs::MetricsSink& sink = obs::null_sink()) const;
+
   /// Predicts all planned visibilities from `grid` (overwrites the covered
   /// entries of `visibilities`; un-planned entries are left untouched).
   void degrid_visibilities(const Plan& plan, ArrayView<const UVW, 2> uvw,

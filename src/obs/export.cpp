@@ -69,7 +69,7 @@ void write_latency_json(std::ostream& os, const LatencyHistogram& latency,
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "{\n";
-  os << "  \"schema\": \"idg-obs/v6\",\n";
+  os << "  \"schema\": \"idg-obs/v7\",\n";
   os << "  \"total_seconds\": " << format_double(total_seconds(snapshot))
      << ",\n";
   os << "  \"stages\": [";
@@ -108,6 +108,25 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
          << ",\n";
       os << "        \"multiplex_fraction\": "
          << format_double(m.hw.multiplex_fraction()) << "\n";
+      os << "      },\n";
+    }
+    if (m.shard.any()) {
+      // Same omission contract as the hw block: single-process runs never
+      // record shard counters, so their output stays byte-identical to v6
+      // modulo the schema tag (DESIGN.md §16).
+      os << "      \"shard\": {\n";
+      os << "        \"workers_spawned\": " << m.shard.workers_spawned
+         << ",\n";
+      os << "        \"workers_respawned\": " << m.shard.workers_respawned
+         << ",\n";
+      os << "        \"shards_dispatched\": " << m.shard.shards_dispatched
+         << ",\n";
+      os << "        \"shards_rebalanced\": " << m.shard.shards_rebalanced
+         << ",\n";
+      os << "        \"shards_quarantined\": " << m.shard.shards_quarantined
+         << ",\n";
+      os << "        \"merge_seconds\": "
+         << format_double(m.shard.merge_seconds) << "\n";
       os << "      },\n";
     }
     os << "      \"ops\": {\n";

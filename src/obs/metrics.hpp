@@ -89,6 +89,40 @@ struct HwCounters {
   }
 };
 
+/// Multi-process shard coordination counters (src/shard/, DESIGN.md §16).
+///
+/// Recorded by the shard coordinator under its "shard" stage: pool
+/// lifecycle (spawned/respawned workers), elastic rebalance decisions
+/// (shards re-dispatched after a worker died or failed), shard-level
+/// quarantine (work groups dropped after a shard exhausted its attempts),
+/// and the wall time of the deterministic in-order merge. Like HwCounters,
+/// `any() == false` means "never recorded" and the exporters omit the
+/// block entirely, keeping single-process output byte-identical.
+struct ShardCounters {
+  std::uint64_t workers_spawned = 0;    ///< initial pool spawns
+  std::uint64_t workers_respawned = 0;  ///< replacements after a death
+  std::uint64_t shards_dispatched = 0;  ///< shard assignments sent (incl. re-sends)
+  std::uint64_t shards_rebalanced = 0;  ///< shards requeued after a failure
+  std::uint64_t shards_quarantined = 0; ///< shards dropped after repeated poison
+  double merge_seconds = 0.0;           ///< wall time of the in-order merge
+
+  bool any() const {
+    return (workers_spawned | workers_respawned | shards_dispatched |
+            shards_rebalanced | shards_quarantined) != 0 ||
+           merge_seconds != 0.0;
+  }
+
+  ShardCounters& operator+=(const ShardCounters& other) {
+    workers_spawned += other.workers_spawned;
+    workers_respawned += other.workers_respawned;
+    shards_dispatched += other.shards_dispatched;
+    shards_rebalanced += other.shards_rebalanced;
+    shards_quarantined += other.shards_quarantined;
+    merge_seconds += other.merge_seconds;
+    return *this;
+  }
+};
+
 /// Aggregated measurements for one named pipeline stage.
 struct StageMetrics {
   double seconds = 0.0;           ///< accumulated wall-clock time
@@ -121,6 +155,10 @@ struct StageMetrics {
   /// record_hw() while a PerfCounterSession is live. hw.samples == 0 means
   /// the stage was never measured and the exporters omit the block.
   HwCounters hw;
+  /// Shard coordination counters (DESIGN.md §16), recorded by the
+  /// multi-process coordinator via record_shard(). shard.any() == false
+  /// means single-process execution and the exporters omit the block.
+  ShardCounters shard;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
@@ -134,6 +172,7 @@ struct StageMetrics {
     quarantined_work_groups += other.quarantined_work_groups;
     backend_failovers += other.backend_failovers;
     hw += other.hw;
+    shard += other.shard;
     return *this;
   }
 };

@@ -51,6 +51,12 @@ void AggregateSink::record_recovery(std::string_view stage,
   m.backend_failovers += failovers;
 }
 
+void AggregateSink::record_shard(std::string_view stage,
+                                 const ShardCounters& shard) {
+  std::lock_guard lock(mutex_);
+  metrics_[std::string(stage)].shard += shard;
+}
+
 MetricsSnapshot AggregateSink::snapshot() const {
   std::lock_guard lock(mutex_);
   return metrics_;

@@ -78,6 +78,16 @@ class MetricsSink {
     (void)quarantined;
     (void)failovers;
   }
+
+  /// Attributes shard coordination counters to `stage` (the multi-process
+  /// coordinator's channel, DESIGN.md §16): worker pool lifecycle, shard
+  /// rebalance/quarantine decisions and the in-order merge wall time.
+  /// Default no-op, like record_bytes().
+  virtual void record_shard(std::string_view stage,
+                            const ShardCounters& shard) {
+    (void)stage;
+    (void)shard;
+  }
 };
 
 /// Discards everything. Used as the default when a caller does not care
@@ -105,6 +115,8 @@ class AggregateSink : public MetricsSink {
   void record_recovery(std::string_view stage, std::uint64_t retried,
                        std::uint64_t quarantined,
                        std::uint64_t failovers) override;
+  void record_shard(std::string_view stage,
+                    const ShardCounters& shard) override;
 
   /// Consistent copy of the current aggregated state.
   MetricsSnapshot snapshot() const;

@@ -1,0 +1,66 @@
+#include "shard/planner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace idg::shard {
+
+std::vector<ShardRange> plan_shards(const Plan& plan, std::size_t nr_shards) {
+  IDG_CHECK(nr_shards > 0, "shard planning needs at least one shard");
+  const std::size_t nr_groups = plan.nr_work_groups();
+  if (nr_groups == 0) return {};
+  nr_shards = std::min(nr_shards, nr_groups);
+
+  // Prefix visibility counts per group boundary: prefix[g] = visibilities
+  // in groups [0, g).
+  std::vector<std::uint64_t> prefix(nr_groups + 1, 0);
+  for (std::size_t g = 0; g < nr_groups; ++g) {
+    std::uint64_t vis = 0;
+    for (const WorkItem& item : plan.work_group(g)) {
+      vis += item.nr_visibilities();
+    }
+    prefix[g + 1] = prefix[g] + vis;
+  }
+  const std::uint64_t total = prefix[nr_groups];
+
+  std::vector<ShardRange> shards;
+  shards.reserve(nr_shards);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < nr_shards; ++s) {
+    // Boundary: the group index whose prefix sum lands closest to the
+    // ideal split (s+1)/nr_shards of the total, constrained to leave at
+    // least one group for each remaining shard.
+    std::size_t end;
+    if (s + 1 == nr_shards) {
+      end = nr_groups;
+    } else {
+      const double target =
+          static_cast<double>(total) * static_cast<double>(s + 1) /
+          static_cast<double>(nr_shards);
+      end = begin + 1;
+      while (end < nr_groups &&
+             static_cast<double>(prefix[end]) < target) {
+        ++end;
+      }
+      // Step back if the previous boundary is closer to the target, but
+      // never below begin+1 (every shard keeps at least one group).
+      if (end > begin + 1 &&
+          target - static_cast<double>(prefix[end - 1]) <
+              static_cast<double>(prefix[end]) - target) {
+        --end;
+      }
+      // Leave one group per remaining shard.
+      const std::size_t remaining_shards = nr_shards - (s + 1);
+      end = std::min(end, nr_groups - remaining_shards);
+      end = std::max(end, begin + 1);
+    }
+    shards.push_back(ShardRange{s, begin, end});
+    begin = end;
+  }
+  IDG_ASSERT(begin == nr_groups, "shard planning must cover every group");
+  return shards;
+}
+
+}  // namespace idg::shard

@@ -1,0 +1,36 @@
+// Shard planning: partitioning a plan's work groups into contiguous,
+// visibility-balanced shards (DESIGN.md §16).
+//
+// Shards are the unit of dispatch, rebalance and quarantine. They are
+// contiguous group ranges so the coordinator's in-order merge walks one
+// monotone cursor, and there are deliberately more shards than workers
+// (default 2x) so a respawned or fast worker always has queued work to
+// steal — the "elastic rebalance" of the failure model costs nothing
+// beyond re-sending a small ShardAssign frame.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "idg/plan.hpp"
+
+namespace idg::shard {
+
+/// One dispatchable slice of the run: work groups [group_begin, group_end).
+struct ShardRange {
+  std::size_t id = 0;
+  std::size_t group_begin = 0;
+  std::size_t group_end = 0;
+
+  std::size_t nr_groups() const { return group_end - group_begin; }
+};
+
+/// Cuts the plan's work groups into at most `nr_shards` contiguous,
+/// non-empty ranges whose visibility counts are as even as a contiguous
+/// partition allows (boundaries at the prefix sums closest to the ideal
+/// splits). Deterministic: a pure function of the plan and `nr_shards`,
+/// identical in every process. Returns fewer shards than requested when
+/// the plan has fewer work groups.
+std::vector<ShardRange> plan_shards(const Plan& plan, std::size_t nr_shards);
+
+}  // namespace idg::shard

@@ -1,0 +1,42 @@
+// Shard worker process entry point (DESIGN.md §16).
+//
+// A worker is a forked+exec'd copy of the coordinator's own binary (or the
+// dedicated `idg-shard-worker` tool) whose stdin/stdout are the two ends of
+// a socketpair speaking IDGSHRD1 (shard/protocol.hpp). Its life is one
+// loop: receive a job (parameters, plan parts, input arrays), acknowledge
+// with a scrub report, then execute shard assignments group by group —
+// gridding ships each group's post-FFT subgrids back (the adder runs only
+// in the coordinator, in ascending group order, keeping the grid
+// bit-identical to a single-process run), degridding runs a supervised
+// backend over the shard's groups and ships the predicted rects.
+//
+// Workers re-arm fault injection first thing (Injector::rearm_for_worker):
+// IDG_FAULT_WORKER replaces inherited arms so tests can fault only workers,
+// and fire counts reset so respawned workers replay deterministic
+// schedules. The IDG_SHARD_TEST_DIE hook ("<group>:<marker-path>") makes
+// exactly one worker SIGKILL itself before computing a chosen group — the
+// deterministic mid-shard kill the parity tests and the CI
+// kill-and-rebalance job drive.
+#pragma once
+
+namespace idg::shard {
+
+/// argv[1] sentinel that turns any binary calling maybe_run_worker() into
+/// a shard worker (the coordinator spawns workers from /proc/self/exe by
+/// default).
+inline constexpr const char* kWorkerFlag = "--idg-shard-worker";
+
+/// True when argv requests worker mode (argv[1] == kWorkerFlag).
+bool is_worker_invocation(int argc, char** argv);
+
+/// Runs the worker protocol loop over the given fds (stdin/stdout of the
+/// exec'd child). Returns the process exit code: 0 on a clean shutdown or
+/// coordinator-side close, 1 after a fatal error (logged to stderr).
+int worker_entry(int in_fd = 0, int out_fd = 1);
+
+/// Dispatches to worker_entry() when argv requests worker mode; returns
+/// -1 otherwise (the caller proceeds with its normal main). Call this
+/// before anything else in main() of every binary that coordinates shards.
+int maybe_run_worker(int argc, char** argv);
+
+}  // namespace idg::shard

@@ -14,10 +14,13 @@ namespace idg::testgolden {
 
 /// Deterministic fixture: one bulk-recorded stage (no latency samples) and
 /// one single-span stage (exactly one histogram sample), so the goldens
-/// pin both shapes of the idg-obs/v6 latency block, plus non-zero
-/// data-quality counters on both stages (the v4 addition) and non-zero
+/// pin both shapes of the idg-obs/v7 latency block, plus non-zero
+/// data-quality counters on both stages (the v4 addition), non-zero
 /// recovery counters (the v5 addition — the resilient supervisor's
-/// record_recovery channel).
+/// record_recovery channel) and non-zero shard coordination counters (the
+/// v7 addition — the multi-process coordinator's record_shard channel,
+/// omitted-when-empty like the v6 hw block, which the fixture deliberately
+/// never records).
 inline obs::MetricsSnapshot golden_snapshot() {
   obs::AggregateSink sink;
   sink.record("gridder", 1.5, 3);
@@ -26,6 +29,14 @@ inline obs::MetricsSnapshot golden_snapshot() {
   sink.record_data_quality("gridder", 7, 0);
   sink.record_data_quality("adder", 0, 128);
   sink.record_recovery("supervisor", 2, 1, 1);
+  obs::ShardCounters shard;
+  shard.workers_spawned = 4;
+  shard.workers_respawned = 1;
+  shard.shards_dispatched = 9;
+  shard.shards_rebalanced = 2;
+  shard.shards_quarantined = 1;
+  shard.merge_seconds = 0.125;
+  sink.record_shard("shard", shard);
   OpCounts ops;
   ops.fma = 17;
   ops.mul = 8;

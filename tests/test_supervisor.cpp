@@ -242,7 +242,7 @@ TEST(SupervisorTest, TransientFaultIsRetriedAndResultIsBitIdentical) {
   EXPECT_EQ(snapshot.at(stage::kSupervisor).quarantined_work_groups, 0u);
   const std::string json = obs::to_json(snapshot);
   EXPECT_NE(json.find("\"retried_work_groups\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v6\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v7\""), std::string::npos);
 }
 
 TEST(SupervisorTest, PersistentFaultQuarantinesTheGroupAndRunCompletes) {
@@ -560,6 +560,21 @@ TEST(CheckpointTest, AtomicCommitLeavesNoTempFileBehind) {
   std::ifstream tmp(path + ".tmp", std::ios::binary);
   EXPECT_FALSE(tmp.good());  // renamed over the target, not left behind
   EXPECT_NO_THROW(clean::load_checkpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveSweepsStaleTempFilesOfKilledWriters) {
+  const std::string path = testing::TempDir() + "idg_sweep.ckpt";
+  // Orphans a killed writer would leave behind: the legacy un-suffixed
+  // name and a pid-suffixed temp of a process that no longer exists.
+  const std::string legacy = path + ".tmp";
+  const std::string orphan = path + ".tmp.99999999";
+  std::ofstream(legacy, std::ios::binary) << "half-written";
+  std::ofstream(orphan, std::ios::binary) << "half-written";
+  clean::save_checkpoint(path, tiny_checkpoint());
+  EXPECT_FALSE(std::ifstream(legacy, std::ios::binary).good());
+  EXPECT_FALSE(std::ifstream(orphan, std::ios::binary).good());
+  EXPECT_NO_THROW(clean::load_checkpoint(path));  // the real file survives
   std::remove(path.c_str());
 }
 
