@@ -4,6 +4,11 @@
 //
 // Run: ./imaging_cycle [--cycles N] [--stations N] ...
 //
+// The workload itself (dataset, sky, gridding parameters, minor-cycle
+// knobs) is the shared job builder in src/server/job.hpp: an `idg-server`
+// job with the same knobs produces byte-identical images to this binary —
+// the CI server-soak job cmp(1)s the two.
+//
 // Recovery knobs (DESIGN.md §12): --checkpoint <path> snapshots the loop
 // state after every completed major cycle; --resume <path> restarts a
 // killed run from such a snapshot, bit-identically to never having
@@ -14,10 +19,10 @@
 // Sharding knobs (DESIGN.md §16): --workers N runs every grid/degrid call
 // across N forked worker processes (bit-identical to --workers 0, the
 // in-process default); --shards M cuts each call into M shards (default
-// 2xN); --heartbeat-ms D replaces a worker silent for D ms. A SIGTERM
-// drains the loop at the next safe point, keeping the last checkpoint —
-// the CI kill-and-rebalance job SIGKILLs workers and the coordinator and
-// byte-compares the results.
+// 2xN); --heartbeat-ms D replaces a worker silent for D ms. SIGTERM and
+// SIGINT (Ctrl-C) both drain the loop at the next safe point, keeping the
+// last checkpoint — the CI kill-and-rebalance job SIGKILLs workers and the
+// coordinator and byte-compares the results.
 #include <csignal>
 #include <iostream>
 #include <memory>
@@ -30,11 +35,11 @@
 #include "idg/processor.hpp"
 #include "idg/supervisor.hpp"
 #include "kernels/optimized.hpp"
+#include "server/job.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/worker.hpp"
 #include "sim/aterm.hpp"
 #include "sim/dataset.hpp"
-#include "sim/predict.hpp"
 
 int main(int argc, char** argv) {
   using namespace idg;
@@ -43,89 +48,77 @@ int main(int argc, char** argv) {
   if (const int rc = shard::maybe_run_worker(argc, argv); rc >= 0) return rc;
   Options opts = parse_standard_options(argc, argv);
 
-  sim::BenchmarkConfig cfg;
-  cfg.nr_stations = static_cast<int>(opts.get("stations", 14L));
-  cfg.nr_timesteps = static_cast<int>(opts.get("time", 64L));
-  cfg.nr_channels = static_cast<int>(opts.get("channels", 4L));
-  cfg.grid_size = static_cast<std::size_t>(opts.get("grid", 256L));
-  cfg.subgrid_size = 32;
-  sim::Dataset ds = sim::make_benchmark_dataset_no_vis(cfg);
+  server::JobSpec spec;
+  spec.nr_stations = static_cast<std::int32_t>(opts.get("stations", 14L));
+  spec.nr_timesteps = static_cast<std::int32_t>(opts.get("time", 64L));
+  spec.nr_channels = static_cast<std::int32_t>(opts.get("channels", 4L));
+  spec.grid_size = static_cast<std::uint32_t>(opts.get("grid", 256L));
+  spec.nr_cycles = static_cast<std::uint32_t>(opts.get("cycles", 4L));
+  spec.deadline_ms = static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
+  const long retries = opts.get("retries", 0L);
+  spec.retries = retries > 0 ? static_cast<std::uint32_t>(retries) : 0;
+  server::JobWorkload w = server::build_job_workload(spec);
+
+  sim::BenchmarkConfig cfg;  // mirrors the workload, for the banner only
+  cfg.nr_stations = spec.nr_stations;
+  cfg.nr_timesteps = spec.nr_timesteps;
+  cfg.nr_channels = spec.nr_channels;
+  cfg.grid_size = spec.grid_size;
+  cfg.subgrid_size = w.params.subgrid_size;
   std::cout << "observation: " << cfg.describe() << "\n\n";
 
-  // A sky with a bright source masking two weak ones — the scenario the
-  // major-cycle loop exists for.
-  const double dl = ds.image_size / static_cast<double>(cfg.grid_size);
-  sim::SkyModel sky = {
-      {static_cast<float>(18 * dl), static_cast<float>(-12 * dl), 2.0f},
-      {static_cast<float>(-25 * dl), static_cast<float>(20 * dl), 0.3f},
-      {static_cast<float>(8 * dl), static_cast<float>(30 * dl), 0.2f},
-  };
-  auto vis = sim::predict_visibilities(sky, ds.uvw, ds.baselines, ds.obs);
-
-  Parameters params;
-  params.grid_size = cfg.grid_size;
-  params.subgrid_size = cfg.subgrid_size;
-  params.image_size = ds.image_size;
-  params.nr_stations = cfg.nr_stations;
-  params.kernel_size = 16;
-  // Small work groups so a sharded run (--workers) has enough groups to
-  // balance, rebalance after a kill, and merge in order. Grouping does not
-  // change the result: the adder applies items in the same flat sequence
-  // for any group size.
-  params.work_group_size = 8;
-  params.deadline_ms = static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
-  Plan plan(params, ds.uvw, ds.frequencies, ds.baselines);
-  auto aterms = sim::make_identity_aterms(1, cfg.nr_stations,
-                                          cfg.subgrid_size);
+  Plan plan(w.params, w.dataset.uvw, w.dataset.frequencies,
+            w.dataset.baselines);
+  auto aterms = sim::make_identity_aterms(1, spec.nr_stations,
+                                          w.params.subgrid_size);
 
   std::unique_ptr<GridderBackend> backend;
   const long workers = opts.get("workers", 0L);
-  const long retries = opts.get("retries", 0L);
   if (workers > 0) {
     shard::ShardConfig sc;
     sc.nr_workers = static_cast<std::size_t>(workers);
     sc.nr_shards = static_cast<std::size_t>(opts.get("shards", 0L));
     sc.heartbeat_ms =
         static_cast<std::uint32_t>(opts.get("heartbeat-ms", 60000L));
-    sc.worker_retries = retries > 0 ? static_cast<std::uint32_t>(retries) : 0;
+    sc.worker_retries = spec.retries;
     sc.kernel_set = "optimized";
-    backend = shard::make_sharded_backend(params, sc);
+    backend = shard::make_sharded_backend(w.params, sc);
     std::cout << "sharded execution: " << sc.nr_workers << " worker(s), "
               << (sc.nr_shards > 0 ? sc.nr_shards : 2 * sc.nr_workers)
               << " shard(s) per call\n";
   } else {
-    backend = std::make_unique<Processor>(params, kernels::optimized_kernels());
-    if (retries > 0) {
+    backend = std::make_unique<Processor>(w.params,
+                                          kernels::optimized_kernels());
+    if (spec.retries > 0) {
       SupervisorConfig sup;
-      sup.max_attempts_per_group = static_cast<std::uint32_t>(retries);
+      sup.max_attempts_per_group = spec.retries;
       backend = make_resilient_backend(std::move(backend), nullptr, sup);
     }
   }
-  clean::MajorCycleConfig mc;
-  mc.nr_major_cycles = static_cast<int>(opts.get("cycles", 4L));
-  mc.minor.gain = 0.2f;
-  mc.minor.max_iterations = 200;
+  clean::MajorCycleConfig mc = server::make_major_cycle_config(spec);
   mc.checkpoint_path = opts.get("checkpoint", std::string{});
   mc.resume_path = opts.get("resume", std::string{});
   if (!mc.resume_path.empty()) {
     std::cout << "resuming from checkpoint " << mc.resume_path << "\n";
   }
-  if (workers > 0) {
-    // Graceful drain: SIGTERM cancels the loop at its next safe point; the
-    // last completed cycle's checkpoint survives for a bit-identical
-    // --resume.
+  if (workers > 0 || !mc.checkpoint_path.empty()) {
+    // Graceful drain: SIGTERM or Ctrl-C cancels the loop at its next safe
+    // point; the last completed cycle's checkpoint survives for a
+    // bit-identical --resume.
     shard::install_sigterm_drain();
+    shard::install_drain_signal(SIGINT);
     mc.cancel = &shard::drain_token();
   }
 
   clean::MajorCycleResult result;
   try {
-    result = clean::run_major_cycles(*backend, plan, ds.uvw.cview(),
-                                     vis.cview(), aterms.cview(), mc);
+    result = clean::run_major_cycles(*backend, plan, w.dataset.uvw.cview(),
+                                     w.visibilities.cview(), aterms.cview(),
+                                     mc);
   } catch (const CancelledError& e) {
     if (shard::drain_requested() && !mc.checkpoint_path.empty()) {
-      std::cout << "drained on SIGTERM (" << e.what() << "); resume with "
-                << "--resume " << mc.checkpoint_path << "\n";
+      std::cout << "drained on SIGTERM/SIGINT (" << e.what()
+                << "); resume with --resume " << mc.checkpoint_path << "\n";
       return 0;
     }
     throw;
@@ -148,9 +141,12 @@ int main(int argc, char** argv) {
   examples::print_ascii_image(result.model_image);
 
   std::cout << "\nrecovered fluxes (5x5 box around each true source):\n";
-  for (const auto& src : sky) {
-    const long x = std::lround(src.l / dl) + static_cast<long>(cfg.grid_size) / 2;
-    const long y = std::lround(src.m / dl) + static_cast<long>(cfg.grid_size) / 2;
+  const double dl = w.pixel_scale;
+  for (const auto& src : w.sky) {
+    const long x =
+        std::lround(src.l / dl) + static_cast<long>(spec.grid_size) / 2;
+    const long y =
+        std::lround(src.m / dl) + static_cast<long>(spec.grid_size) / 2;
     float flux = 0.0f;
     for (long yy = y - 2; yy <= y + 2; ++yy)
       for (long xx = x - 2; xx <= x + 2; ++xx)

@@ -204,6 +204,7 @@ MajorCycleResult run_major_cycles(const GridderBackend& backend,
                 ckpt.residual_vis.begin());
       save_checkpoint(config.checkpoint_path, ckpt);
     }
+    if (config.on_cycle) config.on_cycle(cycle + 1);
   }
   result.metrics = sink.snapshot();
   for (const auto& [stage_name, m] : result.metrics)

@@ -12,6 +12,7 @@
 // checkpoint that resumes from garbage (DESIGN.md §12).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,12 @@ struct MajorCycleConfig {
   /// SIGTERM drain stops the loop after the current checkpointed cycle,
   /// making a coordinator kill resumable bit-identically (DESIGN.md §16).
   const CancelToken* cancel = nullptr;
+  /// Optional progress hook, invoked after each fully-completed major cycle
+  /// (after its checkpoint, when one is configured) with the number of
+  /// cycles done. The idg-server streams these as job status frames and its
+  /// drain tests use them to cancel only after a checkpoint exists. Must
+  /// not throw.
+  std::function<void(int cycles_done)> on_cycle;
 };
 
 struct MajorCycleResult {

@@ -21,7 +21,7 @@
 //                        units are skipped and counted.
 //
 // Counts flow into obs::MetricsSink::record_data_quality under the "scrub"
-// stage and from there into the idg-obs/v7 JSON/CSV export. Note the
+// stage and from there into the idg-obs/v8 JSON/CSV export. Note the
 // analytic op counters (idg/accounting.hpp) stay plan-derived even when
 // groups are skipped — skipped_samples records the gap.
 #pragma once

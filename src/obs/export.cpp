@@ -69,7 +69,7 @@ void write_latency_json(std::ostream& os, const LatencyHistogram& latency,
 
 void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "{\n";
-  os << "  \"schema\": \"idg-obs/v7\",\n";
+  os << "  \"schema\": \"idg-obs/v8\",\n";
   os << "  \"total_seconds\": " << format_double(total_seconds(snapshot))
      << ",\n";
   os << "  \"stages\": [";
@@ -127,6 +127,33 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
          << ",\n";
       os << "        \"merge_seconds\": "
          << format_double(m.shard.merge_seconds) << "\n";
+      os << "      },\n";
+    }
+    if (m.server.any()) {
+      // Same omission contract as the hw and shard blocks: runs without an
+      // idg-server never record server counters, so their output stays
+      // byte-identical to v7 modulo the schema tag (DESIGN.md §17).
+      os << "      \"server\": {\n";
+      os << "        \"jobs_admitted\": " << m.server.jobs_admitted << ",\n";
+      os << "        \"jobs_rejected\": " << m.server.jobs_rejected << ",\n";
+      os << "        \"queue_full_rejections\": "
+         << m.server.queue_full_rejections << ",\n";
+      os << "        \"quota_rejections\": " << m.server.quota_rejections
+         << ",\n";
+      os << "        \"jobs_completed\": " << m.server.jobs_completed
+         << ",\n";
+      os << "        \"jobs_failed\": " << m.server.jobs_failed << ",\n";
+      os << "        \"jobs_cancelled\": " << m.server.jobs_cancelled
+         << ",\n";
+      os << "        \"jobs_checkpointed\": " << m.server.jobs_checkpointed
+         << ",\n";
+      os << "        \"queue_depth_peak\": " << m.server.queue_depth_peak
+         << ",\n";
+      os << "        \"drain_timeouts\": " << m.server.drain_timeouts
+         << ",\n";
+      os << "        \"drained\": " << m.server.drained << ",\n";
+      os << "        \"accept_failures\": " << m.server.accept_failures
+         << "\n";
       os << "      },\n";
     }
     os << "      \"ops\": {\n";

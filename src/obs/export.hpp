@@ -1,11 +1,11 @@
 // Metric exporters: stable JSON and CSV serializations of a
 // MetricsSnapshot.
 //
-// JSON schema "idg-obs/v7" (pinned by tests/golden/metrics.json; the
+// JSON schema "idg-obs/v8" (pinned by tests/golden/metrics.json; the
 // figure benches emit it via --json and downstream plotting consumes it):
 //
 //   {
-//     "schema": "idg-obs/v7",
+//     "schema": "idg-obs/v8",
 //     "total_seconds": <number>,
 //     "stages": [                       // sorted by stage name
 //       {

@@ -123,6 +123,60 @@ struct ShardCounters {
   }
 };
 
+/// Multi-tenant job-server counters (src/server/, DESIGN.md §17).
+///
+/// Recorded by the idg-server daemon under its "server" stage (aggregate)
+/// and one "server.tenant.<name>" stage per tenant: admission outcomes
+/// (admitted vs. rejected, with the queue-full and quota rejection causes
+/// broken out), terminal job states (completed / failed / cancelled /
+/// checkpointed — every accepted job lands in exactly one), the peak job
+/// queue depth, and the drain outcome (`drained` latches to 1 after a
+/// graceful SIGTERM drain; `drain_timeouts` counts jobs still running when
+/// the drain deadline expired and had to be cancelled). Like HwCounters,
+/// `any() == false` means "never recorded" and the exporters omit the
+/// block entirely, keeping serverless output byte-identical.
+struct ServerCounters {
+  std::uint64_t jobs_admitted = 0;   ///< jobs accepted into the queue
+  std::uint64_t jobs_rejected = 0;   ///< all rejections (named errors)
+  std::uint64_t queue_full_rejections = 0;  ///< bounded-queue rejections
+  std::uint64_t quota_rejections = 0;       ///< per-tenant quota rejections
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;     ///< client cancel/disconnect/deadline
+  std::uint64_t jobs_checkpointed = 0;  ///< drained with a resumable IDGCKPT1
+  std::uint64_t queue_depth_peak = 0;   ///< max queued jobs observed
+  std::uint64_t drain_timeouts = 0;     ///< jobs cancelled at the drain deadline
+  std::uint64_t drained = 0;            ///< 1 after a graceful drain completed
+  std::uint64_t accept_failures = 0;    ///< connections dropped at accept()
+
+  bool any() const {
+    return (jobs_admitted | jobs_rejected | queue_full_rejections |
+            quota_rejections | jobs_completed | jobs_failed | jobs_cancelled |
+            jobs_checkpointed | queue_depth_peak | drain_timeouts | drained |
+            accept_failures) != 0;
+  }
+
+  ServerCounters& operator+=(const ServerCounters& other) {
+    jobs_admitted += other.jobs_admitted;
+    jobs_rejected += other.jobs_rejected;
+    queue_full_rejections += other.queue_full_rejections;
+    quota_rejections += other.quota_rejections;
+    jobs_completed += other.jobs_completed;
+    jobs_failed += other.jobs_failed;
+    jobs_cancelled += other.jobs_cancelled;
+    jobs_checkpointed += other.jobs_checkpointed;
+    // Peak and the drain latch merge by max: summing two views of the same
+    // server would overstate them.
+    queue_depth_peak = queue_depth_peak > other.queue_depth_peak
+                           ? queue_depth_peak
+                           : other.queue_depth_peak;
+    drain_timeouts += other.drain_timeouts;
+    drained = drained > other.drained ? drained : other.drained;
+    accept_failures += other.accept_failures;
+    return *this;
+  }
+};
+
 /// Aggregated measurements for one named pipeline stage.
 struct StageMetrics {
   double seconds = 0.0;           ///< accumulated wall-clock time
@@ -159,6 +213,10 @@ struct StageMetrics {
   /// multi-process coordinator via record_shard(). shard.any() == false
   /// means single-process execution and the exporters omit the block.
   ShardCounters shard;
+  /// Multi-tenant job-server counters (DESIGN.md §17), recorded by the
+  /// idg-server daemon via record_server(). server.any() == false means no
+  /// server ran and the exporters omit the block.
+  ServerCounters server;
 
   StageMetrics& operator+=(const StageMetrics& other) {
     seconds += other.seconds;
@@ -173,6 +231,7 @@ struct StageMetrics {
     backend_failovers += other.backend_failovers;
     hw += other.hw;
     shard += other.shard;
+    server += other.server;
     return *this;
   }
 };

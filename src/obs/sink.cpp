@@ -57,6 +57,12 @@ void AggregateSink::record_shard(std::string_view stage,
   metrics_[std::string(stage)].shard += shard;
 }
 
+void AggregateSink::record_server(std::string_view stage,
+                                  const ServerCounters& server) {
+  std::lock_guard lock(mutex_);
+  metrics_[std::string(stage)].server += server;
+}
+
 MetricsSnapshot AggregateSink::snapshot() const {
   std::lock_guard lock(mutex_);
   return metrics_;

@@ -88,6 +88,16 @@ class MetricsSink {
     (void)stage;
     (void)shard;
   }
+
+  /// Attributes multi-tenant job-server counters to `stage` (the idg-server
+  /// daemon's channel, DESIGN.md §17): admission/rejection outcomes,
+  /// terminal job states, queue depth peak and the drain outcome. Default
+  /// no-op, like record_bytes().
+  virtual void record_server(std::string_view stage,
+                             const ServerCounters& server) {
+    (void)stage;
+    (void)server;
+  }
 };
 
 /// Discards everything. Used as the default when a caller does not care
@@ -117,6 +127,8 @@ class AggregateSink : public MetricsSink {
                        std::uint64_t failovers) override;
   void record_shard(std::string_view stage,
                     const ShardCounters& shard) override;
+  void record_server(std::string_view stage,
+                     const ServerCounters& server) override;
 
   /// Consistent copy of the current aggregated state.
   MetricsSnapshot snapshot() const;

@@ -1,0 +1,185 @@
+#include "server/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace idg::server {
+
+namespace {
+
+void set_socket_timeouts(int fd, std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline`, clamped at 0; -1 when unset.
+int ms_until(bool armed, Clock::time_point deadline) {
+  if (!armed) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& options) : options_(options) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::connect() {
+  IDG_CHECK(fd_ < 0, "client is already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  IDG_CHECK(options_.socket_path.size() < sizeof(addr.sun_path),
+            "socket path '" << options_.socket_path << "' exceeds the "
+                            << sizeof(addr.sun_path) - 1
+                            << "-byte AF_UNIX limit");
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  IDG_CHECK(fd_ >= 0, "cannot create a client socket: " << strerror(errno));
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const std::string why = strerror(errno);
+    close();
+    throw WireError("cannot connect to idg-server at '" +
+                    options_.socket_path + "': " + why);
+  }
+  set_socket_timeouts(fd_, options_.timeout_ms);
+
+  ClientHelloMsg hello;
+  hello.tenant = options_.tenant;
+  write_message(fd_, MsgType::kClientHello, encode_client_hello(hello));
+  auto frame = read_message(fd_);
+  if (!frame) throw WireError("server closed the connection during hello");
+  IDG_CHECK(static_cast<MsgType>(frame->type) == MsgType::kServerHello,
+            "expected a server hello, got frame type " << frame->type);
+  const ServerHelloMsg reply = decode_server_hello(frame->payload);
+  server_draining_ = reply.draining != 0;
+}
+
+SubmitOutcome Client::submit(const JobSpec& spec,
+                             const SubmitOptions& options) {
+  IDG_CHECK(fd_ >= 0, "client is not connected");
+  write_message(fd_, MsgType::kSubmit, encode_job_spec(spec));
+
+  SubmitOutcome outcome;
+  auto frame = read_message(fd_);
+  if (!frame) throw WireError("server closed the connection after submit");
+  if (static_cast<MsgType>(frame->type) == MsgType::kRejected) {
+    outcome.rejected = true;
+    outcome.rejection = decode_rejected(frame->payload);
+    outcome.message = outcome.rejection.message;
+    return outcome;
+  }
+  IDG_CHECK(static_cast<MsgType>(frame->type) == MsgType::kAccepted,
+            "expected accepted/rejected, got frame type " << frame->type);
+  outcome.job = decode_accepted(frame->payload).job;
+
+  // Timers count from admission, matching the deadline semantics.
+  const auto admitted_at = Clock::now();
+  bool cancel_armed = options.cancel_after_ms > 0;
+  const auto cancel_at =
+      admitted_at + std::chrono::milliseconds(options.cancel_after_ms);
+  bool disconnect_armed = options.disconnect_after_ms > 0;
+  const auto disconnect_at =
+      admitted_at + std::chrono::milliseconds(options.disconnect_after_ms);
+
+  while (true) {
+    // poll() so the cancel/disconnect timers fire even while the server is
+    // quiet; reads stay bounded by SO_RCVTIMEO once a frame starts.
+    int timeout = ms_until(cancel_armed, cancel_at);
+    const int disconnect_timeout = ms_until(disconnect_armed, disconnect_at);
+    if (timeout < 0 ||
+        (disconnect_timeout >= 0 && disconnect_timeout < timeout)) {
+      timeout = disconnect_timeout;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0 || (rc > 0 && (pfd.revents & POLLIN) == 0)) {
+      if (disconnect_armed && Clock::now() >= disconnect_at) {
+        close();  // the deliberate mid-job client death
+        outcome.disconnected = true;
+        return outcome;
+      }
+      if (cancel_armed && Clock::now() >= cancel_at) {
+        cancel_armed = false;
+        write_message(fd_, MsgType::kCancel,
+                      encode_cancel(CancelMsg{outcome.job}));
+      }
+      continue;
+    }
+    if (rc < 0) {
+      throw WireError(std::string("client poll failed: ") + strerror(errno));
+    }
+
+    frame = read_message(fd_);
+    if (!frame) {
+      throw WireError("server closed the connection mid-job");
+    }
+    switch (static_cast<MsgType>(frame->type)) {
+      case MsgType::kStatus: {
+        const StatusMsg status = decode_status(frame->payload);
+        if (options.on_status) options.on_status(status);
+        break;
+      }
+      case MsgType::kResult: {
+        auto result =
+            std::make_shared<ResultMsg>(decode_result(std::move(frame->payload)));
+        outcome.state = JobState::kCompleted;
+        outcome.result = std::move(result);
+        return outcome;
+      }
+      case MsgType::kJobFailed: {
+        const JobFailedMsg failed = decode_job_failed(frame->payload);
+        outcome.state = failed.state;
+        outcome.message = failed.message;
+        outcome.checkpoint_job = failed.checkpoint_job;
+        return outcome;
+      }
+      default:
+        throw WireError("unexpected frame type " +
+                        std::to_string(frame->type) + " mid-job");
+    }
+  }
+}
+
+std::string Client::stats() {
+  IDG_CHECK(fd_ >= 0, "client is not connected");
+  write_message(fd_, MsgType::kStats, std::string_view{});
+  auto frame = read_message(fd_);
+  if (!frame) throw WireError("server closed the connection on stats");
+  IDG_CHECK(static_cast<MsgType>(frame->type) == MsgType::kStatsReply,
+            "expected a stats reply, got frame type " << frame->type);
+  return std::move(frame->payload);
+}
+
+}  // namespace idg::server

@@ -1,0 +1,149 @@
+// idg-client — submit imaging jobs to a running idg-server, stream their
+// status, cancel them, or fetch the server's metrics (DESIGN.md §17).
+//
+//   idg-client submit [--socket PATH] [--tenant NAME] [--stations N]
+//       [--time N] [--channels N] [--grid N] [--cycles N] [--retries N]
+//       [--deadline-ms D] [--checkpoint] [--resume-job ID]
+//       [--cancel-after-ms D] [--disconnect-after-ms D] [--save-pgm STEM]
+//   idg-client stats [--socket PATH] [--tenant NAME]
+//
+// Exit codes: 0 completed (or deliberate --disconnect-after-ms), 1 failed
+// or cancelled, 2 rejected by admission control, 3 checkpointed (resume
+// with --resume-job <id>).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/imageio.hpp"
+#include "server/client.hpp"
+
+namespace {
+
+int run_submit(const idg::Options& opts) {
+  using namespace idg::server;
+  ClientOptions copts;
+  copts.socket_path = opts.get("socket", copts.socket_path);
+  copts.tenant = opts.get("tenant", copts.tenant);
+  copts.timeout_ms = static_cast<std::uint32_t>(
+      opts.get("timeout-ms", static_cast<long>(copts.timeout_ms)));
+
+  JobSpec spec;
+  spec.nr_stations = static_cast<std::int32_t>(
+      opts.get("stations", static_cast<long>(spec.nr_stations)));
+  spec.nr_timesteps = static_cast<std::int32_t>(
+      opts.get("time", static_cast<long>(spec.nr_timesteps)));
+  spec.nr_channels = static_cast<std::int32_t>(
+      opts.get("channels", static_cast<long>(spec.nr_channels)));
+  spec.grid_size = static_cast<std::uint32_t>(
+      opts.get("grid", static_cast<long>(spec.grid_size)));
+  spec.nr_cycles = static_cast<std::uint32_t>(
+      opts.get("cycles", static_cast<long>(spec.nr_cycles)));
+  spec.retries = static_cast<std::uint32_t>(opts.get("retries", 0L));
+  spec.deadline_ms =
+      static_cast<std::uint32_t>(opts.get("deadline-ms", 0L));
+  spec.checkpoint = opts.flag("checkpoint") ? 1 : 0;
+  spec.resume_job = static_cast<std::uint64_t>(opts.get("resume-job", 0L));
+  if (spec.resume_job != 0) spec.checkpoint = 1;  // keep resumed runs resumable
+
+  SubmitOptions sopts;
+  sopts.cancel_after_ms =
+      static_cast<std::uint32_t>(opts.get("cancel-after-ms", 0L));
+  sopts.disconnect_after_ms =
+      static_cast<std::uint32_t>(opts.get("disconnect-after-ms", 0L));
+  sopts.on_status = [](const StatusMsg& status) {
+    std::cout << "job " << status.job << " " << to_string(status.state)
+              << ": " << status.detail << std::endl;
+  };
+
+  Client client(copts);
+  client.connect();
+  if (client.server_draining()) {
+    std::cout << "server is draining; submit will be rejected\n";
+  }
+  const SubmitOutcome outcome = client.submit(spec, sopts);
+
+  if (outcome.rejected) {
+    std::cout << "job rejected (" << to_string(outcome.rejection.reason)
+              << "): " << outcome.rejection.message << std::endl;
+    return 2;
+  }
+  if (outcome.disconnected) {
+    std::cout << "job " << outcome.job
+              << ": disconnected on purpose after "
+              << sopts.disconnect_after_ms << " ms" << std::endl;
+    return 0;
+  }
+  switch (outcome.state) {
+    case JobState::kCompleted: {
+      const ResultMsg& result = *outcome.result;
+      std::cout << "job " << outcome.job << " completed: "
+                << result.total_components << " CLEAN components over "
+                << result.peak_history.size() << " cycle(s)" << std::endl;
+      for (std::size_t c = 0; c < result.peak_history.size(); ++c) {
+        std::cout << "  cycle " << c + 1 << ": " << result.peak_history[c]
+                  << " Jy residual peak\n";
+      }
+      if (opts.has("save-pgm")) {
+        const std::string stem = opts.get("save-pgm", std::string("job"));
+        idg::write_pgm(stem + "_model.pgm",
+                       idg::stokes_i_plane(result.model_image));
+        idg::write_pgm(stem + "_residual.pgm",
+                       idg::stokes_i_plane(result.residual_image));
+        std::cout << "wrote " << stem << "_model.pgm and " << stem
+                  << "_residual.pgm\n";
+      }
+      return 0;
+    }
+    case JobState::kCheckpointed:
+      std::cout << "job " << outcome.job << " checkpointed: resume with "
+                << "--resume-job " << outcome.checkpoint_job << std::endl;
+      return 3;
+    case JobState::kCancelled:
+      std::cout << "job " << outcome.job << " cancelled: " << outcome.message
+                << std::endl;
+      return 1;
+    default:
+      std::cout << "job " << outcome.job << " failed: " << outcome.message
+                << std::endl;
+      return 1;
+  }
+}
+
+int run_stats(const idg::Options& opts) {
+  using namespace idg::server;
+  ClientOptions copts;
+  copts.socket_path = opts.get("socket", copts.socket_path);
+  copts.tenant = opts.get("tenant", copts.tenant);
+  Client client(copts);
+  client.connect();
+  std::cout << client.stats();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  try {
+    Options opts(argc, argv,
+                 /*flag_names=*/{"help", "checkpoint"},
+                 /*known_options=*/
+                 {"socket", "tenant", "timeout-ms", "stations", "time",
+                  "channels", "grid", "cycles", "retries", "deadline-ms",
+                  "resume-job", "cancel-after-ms", "disconnect-after-ms",
+                  "save-pgm"});
+    if (opts.flag("help") || opts.positional().empty()) {
+      std::cout << "usage: idg-client submit|stats [options]\n"
+                   "  (see the README idg-server walkthrough)\n";
+      return opts.flag("help") ? 0 : 1;
+    }
+    const std::string& command = opts.positional().front();
+    if (command == "submit") return run_submit(opts);
+    if (command == "stats") return run_stats(opts);
+    std::cerr << "idg-client: unknown command '" << command << "'\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "idg-client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,58 @@
+// The deterministic imaging workload behind every server job (and the
+// `imaging_cycle` example, which shares this builder so a job the server
+// completes is byte-identical to a single-shot run with the same knobs —
+// the CI soak job cmp(1)s the two).
+//
+// A JobSpec fully determines the workload: the benchmark dataset (seeded
+// simulator), the three-source sky, visibilities, gridding parameters, and
+// the major-cycle configuration. The server never ships image data to the
+// job; it rebuilds everything from the spec on the job's own thread.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clean/major_cycle.hpp"
+#include "idg/processor.hpp"
+#include "server/protocol.hpp"
+#include "sim/dataset.hpp"
+#include "sim/skymodel.hpp"
+
+namespace idg::server {
+
+/// Everything build_job_workload derives from a JobSpec.
+struct JobWorkload {
+  sim::Dataset dataset;
+  Array3D<Visibility> visibilities;
+  Parameters params;
+  sim::SkyModel sky;
+  double pixel_scale = 0.0;  ///< image_size / grid_size (sky coordinates)
+};
+
+/// Rebuilds the canonical workload from `spec`: the seeded benchmark
+/// dataset, the bright-source-masking-two-weak-ones sky, its predicted
+/// visibilities, and the gridding parameters (subgrid 32, kernel 16, work
+/// groups of 8 — identical to `imaging_cycle`).
+JobWorkload build_job_workload(const JobSpec& spec);
+
+/// The job's major-cycle knobs (cycle count, minor gain/iterations) —
+/// checkpoint/resume/cancel/on_cycle are the caller's to wire.
+clean::MajorCycleConfig make_major_cycle_config(const JobSpec& spec);
+
+/// Per-execution wiring the server (or a test) supplies around the spec.
+struct JobExecution {
+  const CancelToken* cancel = nullptr;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::function<void(int cycles_done)> on_cycle;
+};
+
+/// Runs one imaging job start to finish on the calling thread: builds the
+/// workload, plans, wraps the optimized-kernel Processor in a
+/// ResilientBackend when spec.retries > 0, and drives the major-cycle loop.
+/// Throws CancelledError when exec.cancel fires (the last checkpoint, if
+/// any, survives) and idg::Error on failure.
+clean::MajorCycleResult run_imaging_job(const JobSpec& spec,
+                                        const JobExecution& exec);
+
+}  // namespace idg::server

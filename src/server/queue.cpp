@@ -1,0 +1,98 @@
+#include "server/queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace idg::server {
+
+std::optional<Rejection> AdmissionQueue::try_admit(const PendingJob& job) {
+  if (queued_ >= quotas_.max_queue_depth) {
+    return Rejection{
+        RejectReason::kQueueFull,
+        "job queue full (" + std::to_string(quotas_.max_queue_depth) +
+            " queued): back off and resubmit"};
+  }
+  auto& tenant = tenants_[job.tenant];
+  if (tenant.inflight >= quotas_.max_inflight_per_tenant) {
+    return Rejection{
+        RejectReason::kQuotaInFlight,
+        "tenant '" + job.tenant + "' in-flight quota (" +
+            std::to_string(quotas_.max_inflight_per_tenant) +
+            " jobs) exhausted"};
+  }
+  const std::uint64_t vis = job.spec.nr_visibilities();
+  if (tenant.visibilities + vis > quotas_.max_visibilities_per_tenant) {
+    return Rejection{
+        RejectReason::kQuotaVisibilities,
+        "tenant '" + job.tenant + "' visibility quota exhausted (" +
+            std::to_string(tenant.visibilities) + " in flight + " +
+            std::to_string(vis) + " requested > " +
+            std::to_string(quotas_.max_visibilities_per_tenant) + ")"};
+  }
+  if (tenant.fifo.empty()) rotation_.push_back(job.tenant);
+  tenant.fifo.push_back(job);
+  tenant.inflight += 1;
+  tenant.visibilities += vis;
+  queued_ += 1;
+  return std::nullopt;
+}
+
+std::optional<PendingJob> AdmissionQueue::next() {
+  if (rotation_.empty()) return std::nullopt;
+  if (cursor_ >= rotation_.size()) cursor_ = 0;
+  const std::string name = rotation_[cursor_];
+  auto& tenant = tenants_[name];
+  IDG_ASSERT(!tenant.fifo.empty(), "rotation lists a tenant with no queue");
+  PendingJob job = std::move(tenant.fifo.front());
+  tenant.fifo.pop_front();
+  queued_ -= 1;
+  if (tenant.fifo.empty()) {
+    // Tenant exhausted: drop it from the rotation; the cursor now points at
+    // the next tenant (or wraps on the next call).
+    rotation_.erase(rotation_.begin() +
+                    static_cast<std::ptrdiff_t>(cursor_));
+  } else {
+    cursor_ += 1;  // round-robin: move on even though this tenant has more
+  }
+  return job;
+}
+
+bool AdmissionQueue::remove(std::uint64_t id, PendingJob* out) {
+  for (auto& [name, tenant] : tenants_) {
+    auto it = std::find_if(tenant.fifo.begin(), tenant.fifo.end(),
+                           [&](const PendingJob& j) { return j.id == id; });
+    if (it == tenant.fifo.end()) continue;
+    if (out != nullptr) *out = std::move(*it);
+    tenant.fifo.erase(it);
+    queued_ -= 1;
+    if (tenant.fifo.empty()) drop_from_rotation(name);
+    return true;
+  }
+  return false;
+}
+
+void AdmissionQueue::release(const std::string& tenant, const JobSpec& spec) {
+  auto it = tenants_.find(tenant);
+  IDG_ASSERT(it != tenants_.end(), "releasing quota for an unknown tenant");
+  IDG_ASSERT(it->second.inflight > 0, "tenant quota released twice");
+  it->second.inflight -= 1;
+  const std::uint64_t vis = spec.nr_visibilities();
+  it->second.visibilities -= std::min(it->second.visibilities, vis);
+}
+
+std::vector<PendingJob> AdmissionQueue::drain_queued() {
+  std::vector<PendingJob> jobs;
+  while (auto job = next()) jobs.push_back(std::move(*job));
+  return jobs;
+}
+
+void AdmissionQueue::drop_from_rotation(const std::string& tenant) {
+  auto it = std::find(rotation_.begin(), rotation_.end(), tenant);
+  if (it == rotation_.end()) return;
+  const auto idx = static_cast<std::size_t>(it - rotation_.begin());
+  rotation_.erase(it);
+  if (idx < cursor_) cursor_ -= 1;
+}
+
+}  // namespace idg::server

@@ -1,0 +1,99 @@
+// Admission-controlled, bounded multi-tenant job queue (DESIGN.md §17).
+//
+// The queue enforces three limits at ADMISSION time — a job the server
+// cannot run within its quotas is rejected immediately with a named error,
+// never accepted and starved:
+//
+//   * a global bound on queued-but-not-running jobs (max_queue_depth),
+//   * a per-tenant in-flight job quota (queued + running),
+//   * a per-tenant in-flight visibility quota (the sum of
+//     JobSpec::nr_visibilities() over the tenant's admitted, unfinished
+//     jobs — a size-based budget so one tenant cannot park a handful of
+//     huge jobs and monopolise memory while staying under the job count).
+//
+// Scheduling is FIFO within a tenant and round-robin across tenants: a
+// tenant that queues five jobs while another queues one cannot make the
+// other wait behind all five. All methods are single-threaded by design —
+// only the server's event loop touches the queue (no internal locking),
+// which also makes it directly unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace idg::server {
+
+struct QuotaConfig {
+  /// Jobs queued (admitted, not yet running) across all tenants.
+  std::uint64_t max_queue_depth = 8;
+  /// Admitted-but-unfinished jobs (queued + running) per tenant.
+  std::uint64_t max_inflight_per_tenant = 2;
+  /// Sum of nr_visibilities() over a tenant's in-flight jobs.
+  std::uint64_t max_visibilities_per_tenant = std::uint64_t{1} << 40;
+};
+
+struct PendingJob {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobSpec spec;
+};
+
+/// A named admission refusal; the message is what the client sees verbatim.
+struct Rejection {
+  RejectReason reason = RejectReason::kBadJob;
+  std::string message;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const QuotaConfig& quotas) : quotas_(quotas) {}
+
+  /// Admits `job` or returns the named rejection. On admission the job's
+  /// tenant quotas are charged immediately; release() returns them when the
+  /// job reaches a terminal state (completed/failed/cancelled/checkpointed).
+  std::optional<Rejection> try_admit(const PendingJob& job);
+
+  /// Pops the next job to run: FIFO within a tenant, round-robin across
+  /// tenants. nullopt when nothing is queued. Quotas stay charged — the job
+  /// moves from queued to running, both of which are in-flight.
+  std::optional<PendingJob> next();
+
+  /// Removes a still-queued job (client disconnected / cancelled before it
+  /// started). Returns false when `id` is not queued. Quotas stay charged;
+  /// the caller accounts the terminal state and calls release().
+  bool remove(std::uint64_t id, PendingJob* out = nullptr);
+
+  /// Returns a finished job's quota charge. The single quota-return path:
+  /// called exactly once per admitted job, at its terminal state.
+  void release(const std::string& tenant, const JobSpec& spec);
+
+  /// Pops every queued job in scheduling order (drain: they are failed,
+  /// not silently dropped). Quotas stay charged until release().
+  std::vector<PendingJob> drain_queued();
+
+  std::uint64_t queued() const { return queued_; }
+
+ private:
+  struct TenantState {
+    std::deque<PendingJob> fifo;        ///< queued jobs, submission order
+    std::uint64_t inflight = 0;         ///< queued + running
+    std::uint64_t visibilities = 0;     ///< in-flight visibility charge
+  };
+
+  QuotaConfig quotas_;
+  std::map<std::string, TenantState> tenants_;
+  /// Round-robin order: tenants with queued jobs, serviced from cursor_.
+  std::vector<std::string> rotation_;
+  std::size_t cursor_ = 0;
+  std::uint64_t queued_ = 0;
+
+  void drop_from_rotation(const std::string& tenant);
+};
+
+}  // namespace idg::server

@@ -1,0 +1,846 @@
+#include "server/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "obs/export.hpp"
+#include "obs/sink.hpp"
+#include "server/job.hpp"
+#include "server/protocol.hpp"
+
+namespace idg::server {
+
+namespace {
+
+// Async-signal-safe stop plumbing: the handler only sets a flag and writes
+// one byte to the event loop's wake pipe; the loop does the actual drain.
+std::atomic<int> g_signal_wake_fd{-1};
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void handle_stop_signal(int) {
+  g_signal_stop = 1;
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void set_socket_timeouts(int fd, std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  IDG_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "cannot make fd " << fd << " non-blocking: " << strerror(errno));
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+/// The event loop: owns every fd and all queue/job state. Job threads talk
+/// back exclusively through post()ed events plus the wake pipe; nothing
+/// else in here is touched by more than one thread (the counters live on
+/// the Server under their own mutex so metrics() stays callable from
+/// anywhere).
+class Server::Loop {
+ public:
+  explicit Loop(Server& owner)
+      : owner_(owner), config_(owner.config_), queue_(config_.quotas) {}
+
+  int run();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    enum class State { kAwaitHello, kReady } state = State::kAwaitHello;
+    std::string tenant;
+    std::uint64_t job = 0;  ///< job submitted on this connection (0 = none)
+  };
+
+  struct JobRecord {
+    std::uint64_t id = 0;
+    std::string tenant;
+    JobSpec spec;
+    /// Created at ADMISSION so queue wait counts against the deadline.
+    std::unique_ptr<CancelToken> cancel;
+    JobState state = JobState::kQueued;
+    int conn_fd = -1;  ///< -1 once the client is gone
+    std::thread thread;
+    std::string checkpoint_path;
+  };
+
+  struct Event {
+    std::uint64_t job = 0;
+    int cycles = 0;  ///< progress event: completed major cycles
+    bool done = false;
+    JobState final_state = JobState::kFailed;
+    std::string message;
+    std::shared_ptr<clean::MajorCycleResult> result;
+  };
+
+  // --- setup / teardown ----------------------------------------------------
+  void setup();
+  void teardown();
+  int finish() const;
+
+  // --- event sources -------------------------------------------------------
+  void poll_once();
+  void accept_clients();
+  void on_readable(Connection& conn);
+  void dispatch(Connection& conn, MsgType type, std::string payload);
+  void process_events();
+  void check_queued_deadlines();
+
+  // --- job lifecycle -------------------------------------------------------
+  void handle_submit(Connection& conn, const std::string& payload);
+  void handle_cancel(Connection& conn, const CancelMsg& msg);
+  void reject(Connection& conn, RejectReason reason,
+              const std::string& message);
+  void pump_scheduler();
+  void start_job(const PendingJob& pending);
+  void finish_running(Event& ev);
+  void finish_queued(std::uint64_t id, JobState final_state,
+                     const std::string& message);
+  void send_terminal(JobRecord& job, JobState final_state,
+                     const std::string& message,
+                     std::shared_ptr<clean::MajorCycleResult> result);
+  void detach_connection(JobRecord& job);
+  void on_disconnect(Connection& conn, const std::string& why);
+
+  // --- drain ---------------------------------------------------------------
+  bool stop_flagged() const;
+  void begin_drain();
+  void check_drain_deadline();
+
+  // --- helpers -------------------------------------------------------------
+  void post(Event ev);
+  std::string checkpoint_path_for(std::uint64_t job) const;
+  Connection* connection_of(const JobRecord& job);
+  template <typename F>
+  void bump(const std::string& tenant, F f) {
+    std::lock_guard lock(owner_.counters_mutex_);
+    f(owner_.total_counters_);
+    f(owner_.tenant_counters_[tenant]);
+  }
+  template <typename F>
+  void bump_total(F f) {
+    std::lock_guard lock(owner_.counters_mutex_);
+    f(owner_.total_counters_);
+  }
+  static void log(const std::string& line) {
+    std::cout << "idg-server: " << line << std::endl;
+  }
+
+  Server& owner_;
+  const ServerConfig& config_;
+  AdmissionQueue queue_;
+  std::map<int, Connection> conns_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t running_ = 0;
+  std::int64_t accepted_connections_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  bool signals_installed_ = false;
+
+  std::mutex events_mutex_;
+  std::deque<Event> events_;
+
+  bool draining_ = false;
+  bool drain_forced_ = false;
+  std::chrono::steady_clock::time_point drain_start_{};
+};
+
+Server::Server(const ServerConfig& config) : config_(config) {
+  // Wake pipe first: request_stop() and job threads write it from other
+  // threads, so it must outlive every run() — see the header comment.
+  int pipe_fds[2];
+  IDG_CHECK(::pipe(pipe_fds) == 0,
+            "cannot create the server wake pipe: " << strerror(errno));
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+}
+
+Server::~Server() {
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+}
+
+int Server::run() {
+  Loop loop(*this);
+  loop_ = &loop;
+  const int rc = loop.run();
+  loop_ = nullptr;
+  return rc;
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+obs::MetricsSnapshot Server::metrics() const {
+  obs::AggregateSink sink;
+  std::lock_guard lock(counters_mutex_);
+  if (total_counters_.any()) sink.record_server("server", total_counters_);
+  for (const auto& [tenant, counters] : tenant_counters_) {
+    if (counters.any()) sink.record_server("server.tenant." + tenant,
+                                           counters);
+  }
+  return sink.snapshot();
+}
+
+void Server::Loop::setup() {
+  // The wake pipe is owned by the Server object (open for its whole
+  // lifetime); drain any bytes a pre-run request_stop() left behind so
+  // poll_once() starts from a level state — stop_flagged() reads the
+  // atomic, not the pipe, so no wake-up is lost.
+  wake_rd_ = owner_.wake_rd_;
+  wake_wr_ = owner_.wake_wr_;
+  char buf[64];
+  while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  IDG_CHECK(config_.socket_path.size() < sizeof(addr.sun_path),
+            "socket path '" << config_.socket_path << "' exceeds the "
+                            << sizeof(addr.sun_path) - 1
+                            << "-byte AF_UNIX limit");
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  IDG_CHECK(listen_fd_ >= 0,
+            "cannot create the server socket: " << strerror(errno));
+  IDG_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0,
+            "cannot bind '" << config_.socket_path
+                            << "': " << strerror(errno));
+  IDG_CHECK(::listen(listen_fd_, 16) == 0,
+            "cannot listen on '" << config_.socket_path
+                                 << "': " << strerror(errno));
+  set_nonblocking(listen_fd_);
+
+  if (config_.install_signal_handlers) {
+    g_signal_stop = 0;
+    g_signal_wake_fd.store(wake_wr_, std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;  // the wake pipe un-blocks poll, not EINTR
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    signals_installed_ = true;
+  }
+  log("listening on " + config_.socket_path);
+}
+
+void Server::Loop::teardown() {
+  if (signals_installed_) g_signal_wake_fd.store(-1, std::memory_order_release);
+  // The wake pipe stays open (the Server object owns it) — a straggler
+  // request_stop() writing after the loop exits hits a live fd, never a
+  // closed or recycled one. By construction running_ == 0 here, so this
+  // join loop is pure paranoia.
+  for (auto& [id, job] : jobs_) {
+    if (job.thread.joinable()) job.thread.join();
+  }
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+  if (!config_.metrics_json_path.empty()) {
+    obs::write_json_file(config_.metrics_json_path, owner_.metrics());
+  }
+}
+
+int Server::Loop::finish() const {
+  std::lock_guard lock(owner_.counters_mutex_);
+  const auto& c = owner_.total_counters_;
+  const std::uint64_t terminal = c.jobs_completed + c.jobs_failed +
+                                 c.jobs_cancelled + c.jobs_checkpointed;
+  if (terminal != c.jobs_admitted) {
+    log("DRAIN VIOLATION: " + std::to_string(c.jobs_admitted) +
+        " admitted but only " + std::to_string(terminal) +
+        " reached a reported terminal state");
+    return 1;
+  }
+  log("drain complete: " + std::to_string(c.jobs_admitted) +
+      " admitted, " + std::to_string(c.jobs_completed) + " completed, " +
+      std::to_string(c.jobs_checkpointed) + " checkpointed, " +
+      std::to_string(c.jobs_cancelled) + " cancelled, " +
+      std::to_string(c.jobs_failed) + " failed");
+  return 0;
+}
+
+int Server::Loop::run() {
+  setup();
+  while (true) {
+    if (!draining_ && stop_flagged()) begin_drain();
+    if (draining_ && running_ == 0) {
+      // One last sweep: a job thread may have posted its done event
+      // between the previous process_events() and its running_ decrement
+      // being observed — process_events() below is what decrements, so an
+      // empty queue here really means everything is accounted.
+      std::lock_guard lock(events_mutex_);
+      if (events_.empty()) break;
+    }
+    poll_once();
+    process_events();
+    check_queued_deadlines();
+    if (draining_) check_drain_deadline();
+    pump_scheduler();
+  }
+  {
+    std::lock_guard lock(owner_.counters_mutex_);
+    owner_.total_counters_.drained = 1;
+  }
+  teardown();
+  return finish();
+}
+
+bool Server::Loop::stop_flagged() const {
+  if (owner_.stop_requested_.load(std::memory_order_acquire)) return true;
+  return signals_installed_ && g_signal_stop != 0;
+}
+
+void Server::Loop::poll_once() {
+  std::vector<pollfd> fds;
+  fds.push_back({wake_rd_, POLLIN, 0});
+  if (!draining_ && listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+  }
+  const std::size_t first_conn = fds.size();
+  std::vector<int> conn_fds;
+  for (const auto& [fd, conn] : conns_) {
+    fds.push_back({fd, POLLIN, 0});
+    conn_fds.push_back(fd);
+  }
+
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+  } while (rc < 0 && errno == EINTR);  // signal storms: retry, never abort
+  if (rc < 0) return;  // transient poll failure: the loop just re-polls
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    char buf[64];
+    while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+    }
+  }
+  if (!draining_ && listen_fd_ >= 0 &&
+      (fds[first_conn - 1].revents & POLLIN) != 0) {
+    accept_clients();
+  }
+  for (std::size_t i = 0; i < conn_fds.size(); ++i) {
+    const short revents = fds[first_conn + i].revents;
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    auto it = conns_.find(conn_fds[i]);
+    if (it == conns_.end()) continue;  // closed by an earlier iteration
+    on_readable(it->second);
+  }
+}
+
+void Server::Loop::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Catalogued failure edge: accept can fail under fd exhaustion.
+      bump_total([](obs::ServerCounters& c) { c.accept_failures += 1; });
+      log(std::string("accept failed: ") + strerror(errno));
+      return;
+    }
+    ++accepted_connections_;
+    try {
+      IDG_FAULT_POINT("server.accept", accepted_connections_);
+    } catch (const Error& e) {
+      bump_total([](obs::ServerCounters& c) { c.accept_failures += 1; });
+      log(std::string("accept failed: ") + e.what());
+      ::close(fd);
+      continue;
+    }
+    set_socket_timeouts(fd, config_.client_timeout_ms);
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::Loop::on_readable(Connection& conn) {
+  try {
+    auto frame = read_message(conn.fd);
+    if (!frame) {
+      on_disconnect(conn, "client closed the connection");
+      return;
+    }
+    dispatch(conn, static_cast<MsgType>(frame->type),
+             std::move(frame->payload));
+  } catch (const WireError& e) {
+    // Torn frame, CRC mismatch, receive timeout: the client is gone or
+    // unusable — same treatment either way (DESIGN.md §17).
+    on_disconnect(conn, e.what());
+  }
+}
+
+void Server::Loop::dispatch(Connection& conn, MsgType type,
+                            std::string payload) {
+  if (conn.state == Connection::State::kAwaitHello) {
+    if (type != MsgType::kClientHello) {
+      on_disconnect(conn, "expected a client hello, got " +
+                              std::string(to_string(type)));
+      return;
+    }
+    try {
+      ClientHelloMsg hello = decode_client_hello(payload);
+      conn.tenant = hello.tenant;
+    } catch (const Error& e) {
+      on_disconnect(conn, e.what());
+      return;
+    }
+    ServerHelloMsg reply;
+    reply.draining = draining_ ? 1 : 0;
+    write_message(conn.fd, MsgType::kServerHello,
+                  encode_server_hello(reply));
+    conn.state = Connection::State::kReady;
+    return;
+  }
+  switch (type) {
+    case MsgType::kSubmit:
+      handle_submit(conn, payload);
+      return;
+    case MsgType::kCancel:
+      try {
+        handle_cancel(conn, decode_cancel(payload));
+      } catch (const Error& e) {
+        on_disconnect(conn, e.what());
+      }
+      return;
+    case MsgType::kStats:
+      write_message(conn.fd, MsgType::kStatsReply,
+                    obs::to_json(owner_.metrics()));
+      return;
+    default:
+      on_disconnect(conn, "unexpected " + std::string(to_string(type)) +
+                              " frame from a client");
+  }
+}
+
+void Server::Loop::handle_submit(Connection& conn,
+                                 const std::string& payload) {
+  const std::uint64_t id = next_job_id_++;
+  JobSpec spec;
+  try {
+    // Catalogued failure edge: admission itself can fail (bad spec, missing
+    // resume checkpoint, injected fault) — always a named rejection.
+    IDG_FAULT_POINT("server.admit", static_cast<std::int64_t>(id));
+    spec = decode_job_spec(payload);
+    spec.validate();
+    IDG_CHECK(conn.job == 0, "connection already has job "
+                                 << conn.job
+                                 << " in flight: one job per connection");
+    if (spec.resume_job != 0) {
+      const std::string path = checkpoint_path_for(spec.resume_job);
+      IDG_CHECK(file_exists(path), "no checkpoint for job "
+                                       << spec.resume_job << " at '" << path
+                                       << "'");
+    }
+  } catch (const Error& e) {
+    reject(conn, RejectReason::kBadJob, e.what());
+    return;
+  }
+  if (draining_) {
+    reject(conn, RejectReason::kDraining,
+           "server draining: admission stopped");
+    return;
+  }
+  if (auto rejection = queue_.try_admit(PendingJob{id, conn.tenant, spec})) {
+    reject(conn, rejection->reason, rejection->message);
+    return;
+  }
+
+  JobRecord& job = jobs_[id];
+  job.id = id;
+  job.tenant = conn.tenant;
+  job.spec = spec;
+  // Deadline counts from admission: a job can expire while still queued.
+  job.cancel = std::make_unique<CancelToken>(spec.deadline_ms);
+  job.conn_fd = conn.fd;
+  conn.job = id;
+
+  const std::uint64_t depth = queue_.queued();
+  bump(conn.tenant, [&](obs::ServerCounters& c) {
+    c.jobs_admitted += 1;
+    c.queue_depth_peak = std::max(c.queue_depth_peak, depth);
+  });
+  AcceptedMsg accepted;
+  accepted.job = id;
+  accepted.queue_position = depth - 1;
+  write_message(conn.fd, MsgType::kAccepted, encode_accepted(accepted));
+  log("job " + std::to_string(id) + " (tenant '" + conn.tenant +
+      "') admitted at queue position " + std::to_string(depth - 1));
+}
+
+void Server::Loop::reject(Connection& conn, RejectReason reason,
+                          const std::string& message) {
+  bump(conn.tenant, [&](obs::ServerCounters& c) {
+    c.jobs_rejected += 1;
+    if (reason == RejectReason::kQueueFull) c.queue_full_rejections += 1;
+    if (reason == RejectReason::kQuotaInFlight ||
+        reason == RejectReason::kQuotaVisibilities) {
+      c.quota_rejections += 1;
+    }
+  });
+  log("rejected submit from tenant '" + conn.tenant + "' (" +
+      to_string(reason) + "): " + message);
+  RejectedMsg msg;
+  msg.reason = reason;
+  msg.message = message;
+  write_message(conn.fd, MsgType::kRejected, encode_rejected(msg));
+}
+
+void Server::Loop::handle_cancel(Connection& conn, const CancelMsg& msg) {
+  const std::uint64_t id = msg.job != 0 ? msg.job : conn.job;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;  // unknown or already terminal: idempotent
+  JobRecord& job = it->second;
+  if (job.state == JobState::kQueued) {
+    finish_queued(id, JobState::kCancelled, "cancelled by client");
+  } else if (job.state == JobState::kRunning) {
+    job.cancel->request_cancel();  // terminal state arrives via its event
+  }
+}
+
+void Server::Loop::pump_scheduler() {
+  while (!draining_ && running_ < config_.max_running) {
+    auto next = queue_.next();
+    if (!next) return;
+    start_job(*next);
+  }
+}
+
+void Server::Loop::start_job(const PendingJob& pending) {
+  JobRecord& job = jobs_.at(pending.id);
+  job.state = JobState::kRunning;
+  if (job.spec.checkpoint != 0) {
+    job.checkpoint_path = checkpoint_path_for(job.id);
+  }
+  const std::string resume_path =
+      job.spec.resume_job != 0 ? checkpoint_path_for(job.spec.resume_job)
+                               : std::string{};
+  running_ += 1;
+  log("job " + std::to_string(job.id) + " (tenant '" + job.tenant +
+      "') running");
+  if (Connection* conn = connection_of(job)) {
+    StatusMsg status;
+    status.job = job.id;
+    status.state = JobState::kRunning;
+    status.detail = "started";
+    try {
+      write_message(conn->fd, MsgType::kStatus, encode_status(status));
+    } catch (const WireError& e) {
+      on_disconnect(*conn, e.what());
+    }
+  }
+
+  const CancelToken* token = job.cancel.get();
+  const std::uint64_t id = job.id;
+  const JobSpec spec = job.spec;
+  const std::string checkpoint_path = job.checkpoint_path;
+  job.thread = std::thread([this, id, spec, checkpoint_path, resume_path,
+                            token]() {
+    Event ev;
+    ev.job = id;
+    ev.done = true;
+    try {
+      JobExecution exec;
+      exec.cancel = token;
+      exec.checkpoint_path = checkpoint_path;
+      exec.resume_path = resume_path;
+      exec.on_cycle = [this, id](int cycles) {
+        Event progress;
+        progress.job = id;
+        progress.cycles = cycles;
+        post(std::move(progress));
+      };
+      auto result = run_imaging_job(spec, exec);
+      ev.final_state = JobState::kCompleted;
+      ev.result =
+          std::make_shared<clean::MajorCycleResult>(std::move(result));
+    } catch (const CancelledError& e) {
+      ev.final_state = JobState::kCancelled;
+      ev.message = e.what();
+    } catch (const std::exception& e) {
+      ev.final_state = JobState::kFailed;
+      ev.message = e.what();
+    }
+    post(std::move(ev));
+  });
+}
+
+void Server::Loop::post(Event ev) {
+  {
+    std::lock_guard lock(events_mutex_);
+    events_.push_back(std::move(ev));
+  }
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+void Server::Loop::process_events() {
+  std::deque<Event> batch;
+  {
+    std::lock_guard lock(events_mutex_);
+    batch.swap(events_);
+  }
+  for (Event& ev : batch) {
+    auto it = jobs_.find(ev.job);
+    if (it == jobs_.end()) continue;
+    if (!ev.done) {
+      // Cycle progress: stream it to a still-attached client.
+      if (Connection* conn = connection_of(it->second)) {
+        StatusMsg status;
+        status.job = ev.job;
+        status.state = JobState::kRunning;
+        status.detail = "cycle " + std::to_string(ev.cycles) + " done";
+        try {
+          write_message(conn->fd, MsgType::kStatus, encode_status(status));
+        } catch (const WireError& e) {
+          on_disconnect(*conn, e.what());
+        }
+      }
+      continue;
+    }
+    finish_running(ev);
+  }
+}
+
+void Server::Loop::finish_running(Event& ev) {
+  JobRecord& job = jobs_.at(ev.job);
+  if (job.thread.joinable()) job.thread.join();
+  IDG_ASSERT(job.state == JobState::kRunning && running_ > 0,
+             "done event for a job that is not running");
+  running_ -= 1;
+
+  JobState final_state = ev.final_state;
+  if (final_state == JobState::kCancelled && job.spec.checkpoint != 0 &&
+      file_exists(job.checkpoint_path)) {
+    // The cancel landed after at least one completed cycle: the job is
+    // resumable, which the drain contract reports as checkpointed.
+    final_state = JobState::kCheckpointed;
+  }
+  job.state = final_state;
+  queue_.release(job.tenant, job.spec);
+  bump(job.tenant, [&](obs::ServerCounters& c) {
+    switch (final_state) {
+      case JobState::kCompleted: c.jobs_completed += 1; break;
+      case JobState::kFailed: c.jobs_failed += 1; break;
+      case JobState::kCancelled: c.jobs_cancelled += 1; break;
+      case JobState::kCheckpointed: c.jobs_checkpointed += 1; break;
+      default: break;
+    }
+  });
+  log("job " + std::to_string(job.id) + " " + to_string(final_state) +
+      (ev.message.empty() ? "" : ": " + ev.message));
+  send_terminal(job, final_state, ev.message, std::move(ev.result));
+}
+
+void Server::Loop::finish_queued(std::uint64_t id, JobState final_state,
+                                 const std::string& message) {
+  JobRecord& job = jobs_.at(id);
+  IDG_ASSERT(job.state == JobState::kQueued,
+             "finish_queued on a job that is not queued");
+  const bool removed = queue_.remove(id);
+  IDG_ASSERT(removed, "queued job missing from the admission queue");
+  job.state = final_state;
+  queue_.release(job.tenant, job.spec);
+  bump(job.tenant, [&](obs::ServerCounters& c) {
+    if (final_state == JobState::kFailed) c.jobs_failed += 1;
+    if (final_state == JobState::kCancelled) c.jobs_cancelled += 1;
+  });
+  log("job " + std::to_string(id) + " " + to_string(final_state) +
+      " while queued: " + message);
+  send_terminal(job, final_state, message, nullptr);
+}
+
+void Server::Loop::send_terminal(
+    JobRecord& job, JobState final_state, const std::string& message,
+    std::shared_ptr<clean::MajorCycleResult> result) {
+  Connection* conn = connection_of(job);
+  if (conn == nullptr) {
+    detach_connection(job);
+    return;
+  }
+  try {
+    if (final_state == JobState::kCompleted) {
+      ResultMsg msg;
+      msg.job = job.id;
+      msg.total_components =
+          static_cast<std::uint32_t>(result->total_components);
+      msg.peak_history = result->peak_history;
+      msg.model_image = std::move(result->model_image);
+      msg.residual_image = std::move(result->residual_image);
+      write_message(conn->fd, MsgType::kResult, encode_result(msg));
+    } else {
+      JobFailedMsg msg;
+      msg.job = job.id;
+      msg.state = final_state;
+      msg.message = message;
+      msg.checkpoint_job =
+          final_state == JobState::kCheckpointed ? job.id : 0;
+      write_message(conn->fd, MsgType::kJobFailed, encode_job_failed(msg));
+    }
+  } catch (const WireError& e) {
+    log("job " + std::to_string(job.id) +
+        " terminal frame lost (client gone): " + e.what());
+  }
+  // One job per connection, delivered: the connection may submit again.
+  conn->job = 0;
+  detach_connection(job);
+}
+
+void Server::Loop::detach_connection(JobRecord& job) { job.conn_fd = -1; }
+
+Server::Loop::Connection* Server::Loop::connection_of(const JobRecord& job) {
+  if (job.conn_fd < 0) return nullptr;
+  auto it = conns_.find(job.conn_fd);
+  if (it == conns_.end() || it->second.job != job.id) return nullptr;
+  return &it->second;
+}
+
+void Server::Loop::on_disconnect(Connection& conn, const std::string& why) {
+  log("client (tenant '" + conn.tenant + "') disconnected: " + why);
+  if (conn.job != 0) {
+    auto it = jobs_.find(conn.job);
+    if (it != jobs_.end()) {
+      JobRecord& job = it->second;
+      job.conn_fd = -1;  // no terminal frame to send — but still accounted
+      if (job.state == JobState::kQueued) {
+        finish_queued(job.id, JobState::kCancelled,
+                      "client disconnected before the job started");
+      } else if (job.state == JobState::kRunning) {
+        // Catalogued failure edge: mid-job disconnect. The job is
+        // cancelled (its checkpoint, if any, survives) and reaches a
+        // counted terminal state — never silently dropped.
+        job.cancel->request_cancel();
+      }
+    }
+  }
+  ::close(conn.fd);
+  conns_.erase(conn.fd);
+}
+
+void Server::Loop::check_queued_deadlines() {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kQueued) continue;
+    if (job.spec.deadline_ms != 0 && job.cancel->cancelled()) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : expired) {
+    finish_queued(id, JobState::kCancelled,
+                  "deadline of " +
+                      std::to_string(jobs_.at(id).spec.deadline_ms) +
+                      " ms exceeded while queued");
+  }
+}
+
+void Server::Loop::begin_drain() {
+  draining_ = true;
+  drain_start_ = std::chrono::steady_clock::now();
+  log("drain: admission stopped (" + std::to_string(queue_.queued()) +
+      " queued, " + std::to_string(running_) + " running)");
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  // Queued jobs never start during a drain: report them failed by name.
+  std::vector<std::uint64_t> queued;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) queued.push_back(id);
+  }
+  for (const std::uint64_t id : queued) {
+    finish_queued(id, JobState::kFailed,
+                  "server draining: job never started");
+  }
+  // Checkpoint-enabled running jobs stop at their next cycle boundary with
+  // a resumable snapshot; the rest run to completion within the deadline.
+  for (auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning && job.spec.checkpoint != 0) {
+      job.cancel->request_cancel();
+    }
+  }
+}
+
+void Server::Loop::check_drain_deadline() {
+  if (drain_forced_ || running_ == 0) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - drain_start_)
+                           .count();
+  if (elapsed < static_cast<long long>(config_.drain_deadline_ms)) return;
+  drain_forced_ = true;
+  try {
+    // Catalogued failure edge: the drain deadline itself. An injected
+    // fault here must not break the drain — it is logged and the
+    // force-cancel proceeds.
+    IDG_FAULT_POINT("server.drain.deadline", 0);
+  } catch (const Error& e) {
+    log(std::string("drain deadline fault: ") + e.what());
+  }
+  std::uint64_t forced = 0;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    job.cancel->request_cancel();
+    forced += 1;
+  }
+  log("drain: deadline of " + std::to_string(config_.drain_deadline_ms) +
+      " ms exceeded, force-cancelling " + std::to_string(forced) +
+      " running job(s)");
+  std::lock_guard lock(owner_.counters_mutex_);
+  owner_.total_counters_.drain_timeouts += forced;
+}
+
+std::string Server::Loop::checkpoint_path_for(std::uint64_t job) const {
+  return config_.checkpoint_dir + "/job" + std::to_string(job) + ".ckpt";
+}
+
+}  // namespace idg::server

@@ -1,0 +1,65 @@
+// idg-server — the multi-tenant imaging daemon (DESIGN.md §17).
+//
+//   idg-server [--socket /tmp/idg-server.sock] [--queue-depth 8]
+//              [--max-inflight 2] [--max-visibilities N] [--max-running 2]
+//              [--drain-deadline-ms 60000] [--client-timeout-ms 30000]
+//              [--checkpoint-dir .] [--metrics-json metrics.json]
+//
+// Submit jobs with idg-client. SIGTERM (or Ctrl-C) drains gracefully: no
+// new admissions, running jobs finish or checkpoint, queued jobs are
+// reported failed by name, and the process exits 0 iff every accepted job
+// reached a reported terminal state.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "server/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idg;
+  try {
+    Options opts(argc, argv,
+                 /*flag_names=*/{"help"},
+                 /*known_options=*/
+                 {"socket", "queue-depth", "max-inflight", "max-visibilities",
+                  "max-running", "drain-deadline-ms", "client-timeout-ms",
+                  "checkpoint-dir", "metrics-json"});
+    if (opts.flag("help")) {
+      std::cout << "usage: idg-server [--socket PATH] [--queue-depth N]\n"
+                   "  [--max-inflight N] [--max-visibilities N]\n"
+                   "  [--max-running N] [--drain-deadline-ms D]\n"
+                   "  [--client-timeout-ms D] [--checkpoint-dir DIR]\n"
+                   "  [--metrics-json PATH]\n";
+      return 0;
+    }
+    server::ServerConfig config;
+    config.socket_path = opts.get("socket", config.socket_path);
+    config.quotas.max_queue_depth = static_cast<std::uint64_t>(
+        opts.get("queue-depth", static_cast<long>(
+                                    config.quotas.max_queue_depth)));
+    config.quotas.max_inflight_per_tenant = static_cast<std::uint64_t>(
+        opts.get("max-inflight",
+                 static_cast<long>(config.quotas.max_inflight_per_tenant)));
+    if (opts.has("max-visibilities")) {
+      config.quotas.max_visibilities_per_tenant =
+          static_cast<std::uint64_t>(opts.get("max-visibilities", 0L));
+    }
+    config.max_running = static_cast<std::uint64_t>(
+        opts.get("max-running", static_cast<long>(config.max_running)));
+    config.drain_deadline_ms = static_cast<std::uint32_t>(
+        opts.get("drain-deadline-ms",
+                 static_cast<long>(config.drain_deadline_ms)));
+    config.client_timeout_ms = static_cast<std::uint32_t>(
+        opts.get("client-timeout-ms",
+                 static_cast<long>(config.client_timeout_ms)));
+    config.checkpoint_dir = opts.get("checkpoint-dir", config.checkpoint_dir);
+    config.metrics_json_path = opts.get("metrics-json", std::string{});
+    config.install_signal_handlers = true;
+
+    server::Server server(config);
+    return server.run();
+  } catch (const std::exception& e) {
+    std::cerr << "idg-server: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -252,6 +253,17 @@ class Run {
     return ok;
   }
 
+  /// Interruptible backoff sleep before a respawn: 1 ms slices, bailing
+  /// out as soon as a drain or cancellation is requested (check_aborts()
+  /// in the event loop then surfaces the CancelledError).
+  void backoff_sleep(std::uint32_t delay_ms) {
+    for (std::uint32_t slept = 0; slept < delay_ms; ++slept) {
+      if (drain_requested()) return;
+      if (ctl_.cancel != nullptr && ctl_.cancel->cancelled()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   void respawn(const std::string& why) {
     while (!queue_.empty()) {
       IDG_CHECK(respawns_ < config_.max_respawns,
@@ -260,6 +272,9 @@ class Run {
                     << ") exceeded; last failure: " << why);
       ++respawns_;
       ++counters.workers_respawned;
+      backoff_sleep(respawn_backoff_ms(respawns_,
+                                       config_.respawn_backoff_base_ms,
+                                       config_.respawn_backoff_cap_ms));
       if (spawn_one()) return;
     }
   }
@@ -684,13 +699,34 @@ std::unique_ptr<GridderBackend> make_sharded_backend(const Parameters& params,
   return std::make_unique<ShardedBackend>(params, std::move(config));
 }
 
-void install_sigterm_drain() {
+void install_sigterm_drain() { install_drain_signal(SIGTERM); }
+
+void install_drain_signal(int signo) {
   drain_slot();  // force token construction before any signal can arrive
   struct sigaction sa = {};
   sa.sa_handler = handle_sigterm;
   sigemptyset(&sa.sa_mask);
   sa.sa_flags = SA_RESTART;
-  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(signo, &sa, nullptr);
+}
+
+std::uint32_t respawn_backoff_ms(std::uint32_t nth_respawn,
+                                 std::uint32_t base_ms,
+                                 std::uint32_t cap_ms) {
+  if (nth_respawn <= 1 || base_ms == 0) return 0;
+  const std::uint32_t shift = std::min<std::uint32_t>(nth_respawn - 1, 20);
+  const std::uint64_t full = std::min<std::uint64_t>(
+      cap_ms, static_cast<std::uint64_t>(base_ms) << shift);
+  // Deterministic jitter (splitmix64 of the respawn ordinal): half the
+  // window is guaranteed, the other half varies per ordinal — bounded,
+  // reproducible, and desynchronized across ordinals.
+  std::uint64_t h = (static_cast<std::uint64_t>(nth_respawn) + 1) *
+                    0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  const std::uint64_t half = full / 2;
+  return static_cast<std::uint32_t>(half + (half > 0 ? h % (half + 1) : 0));
 }
 
 bool drain_requested() { return g_drain != 0; }

@@ -70,6 +70,13 @@ struct ShardConfig {
   /// In-worker bounded retries per work group (0 = fail the shard on the
   /// first group failure).
   std::uint32_t worker_retries = 1;
+  /// Exponential backoff before the n-th worker respawn of a call:
+  /// min(cap, base << (n-1)) ms with deterministic jitter (see
+  /// respawn_backoff_ms), interruptible by drain/cancel. Keeps a
+  /// crash-looping worker (bad binary, OOM killer) from respawn-storming
+  /// the coordinator; the first respawn is immediate. base 0 disables.
+  std::uint32_t respawn_backoff_base_ms = 2;
+  std::uint32_t respawn_backoff_cap_ms = 200;
   /// Worker binary; "" = /proc/self/exe (the coordinator's own binary,
   /// which must dispatch shard::maybe_run_worker() first thing in main).
   std::string worker_path;
@@ -134,6 +141,20 @@ std::unique_ptr<GridderBackend> make_sharded_backend(const Parameters& params,
 /// RunControl/MajorCycleConfig aborts at its next cancel check site.
 /// Idempotent.
 void install_sigterm_drain();
+
+/// Installs the same drain handler for an arbitrary signal — e.g. SIGINT,
+/// so an interactive Ctrl-C on a checkpointing run also drains gracefully
+/// and keeps the last IDGCKPT1 checkpoint instead of dying mid-cycle.
+/// Idempotent per signal.
+void install_drain_signal(int signo);
+
+/// Backoff delay before the n-th respawn (n >= 1) of one coordinated call:
+/// min(cap_ms, base_ms << (n-1)) halved plus a deterministic jitter drawn
+/// from the respawn ordinal, so simultaneous crash-looping coordinators do
+/// not respawn in lockstep. n == 1 and base_ms == 0 return 0 (the first
+/// replacement is free). Pure — exposed for tests.
+std::uint32_t respawn_backoff_ms(std::uint32_t nth_respawn,
+                                 std::uint32_t base_ms, std::uint32_t cap_ms);
 
 /// True once a drain was requested (SIGTERM arrived or request_drain ran).
 bool drain_requested();

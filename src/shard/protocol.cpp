@@ -27,8 +27,13 @@ void write_all(int fd, const void* data, std::size_t size) {
     ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, size);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw WireError("shard protocol write failed: " +
+      if (errno == EINTR) continue;  // interrupted by a signal: retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireTimeout(
+            "wire protocol send timed out mid-frame (peer stopped draining "
+            "its channel)");
+      }
+      throw WireError("wire protocol write failed: " +
                       std::string(std::strerror(errno)));
     }
     p += n;
@@ -46,18 +51,18 @@ bool read_exact(int fd, void* out, std::size_t size, bool eof_ok = false) {
     const ssize_t n = ::read(fd, p + got, size - got);
     if (n == 0) {
       if (eof_ok && got == 0) return false;
-      throw WireError("shard protocol stream truncated mid-frame (got " +
+      throw WireError("wire protocol stream truncated mid-frame (got " +
                       std::to_string(got) + " of " + std::to_string(size) +
                       " bytes)");
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // interrupted by a signal: retry
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         throw WireTimeout(
-            "shard protocol receive timed out mid-frame "
-            "(heartbeat deadline exceeded)");
+            "wire protocol receive timed out mid-frame "
+            "(receive deadline exceeded)");
       }
-      throw WireError("shard protocol read failed: " +
+      throw WireError("wire protocol read failed: " +
                       std::string(std::strerror(errno)));
     }
     got += static_cast<std::size_t>(n);
@@ -73,9 +78,9 @@ std::uint32_t frame_crc(std::uint32_t type, std::uint64_t size,
 }
 
 /// The protocol fault sites inject idg::Error; remap to WireError so an
-/// injected protocol fault exercises exactly the worker-death recovery
-/// path a real torn stream would.
-void protocol_fault_point(const char* site, MsgType type) {
+/// injected protocol fault exercises exactly the peer-death recovery path
+/// a real torn stream would.
+void protocol_fault_point(const char* site, std::uint32_t type) {
   try {
     IDG_FAULT_POINT(site, static_cast<std::int64_t>(type));
   } catch (const WireError&) {
@@ -206,40 +211,49 @@ const char* to_string(MsgType type) {
   return "unknown";
 }
 
-void write_frame(int fd, MsgType type, std::string_view payload) {
-  protocol_fault_point("shard.protocol.write", type);
-  const auto type_raw = static_cast<std::uint32_t>(type);
+void write_frame_raw(int fd, std::uint32_t type, std::string_view payload,
+                     const char* fault_site) {
+  protocol_fault_point(fault_site, type);
   const auto size = static_cast<std::uint64_t>(payload.size());
-  const std::uint32_t crc = frame_crc(type_raw, size, payload);
-  write_all(fd, &type_raw, sizeof(type_raw));
+  const std::uint32_t crc = frame_crc(type, size, payload);
+  write_all(fd, &type, sizeof(type));
   write_all(fd, &size, sizeof(size));
   write_all(fd, payload.data(), payload.size());
   write_all(fd, &crc, sizeof(crc));
 }
 
-std::optional<Frame> read_frame(int fd) {
-  std::uint32_t type_raw = 0;
-  if (!read_exact(fd, &type_raw, sizeof(type_raw), /*eof_ok=*/true)) {
+std::optional<RawFrame> read_frame_raw(int fd, const char* fault_site) {
+  RawFrame frame;
+  if (!read_exact(fd, &frame.type, sizeof(frame.type), /*eof_ok=*/true)) {
     return std::nullopt;
   }
   std::uint64_t size = 0;
   read_exact(fd, &size, sizeof(size));
   if (size > kMaxFramePayload) {
-    throw WireError("shard protocol frame declares an implausible payload (" +
+    throw WireError("wire protocol frame declares an implausible payload (" +
                     std::to_string(size) + " bytes): corrupt stream");
   }
-  Frame frame;
-  frame.type = static_cast<MsgType>(type_raw);
   frame.payload.resize(size);
   read_exact(fd, frame.payload.data(), frame.payload.size());
   std::uint32_t crc = 0;
   read_exact(fd, &crc, sizeof(crc));
-  if (crc != frame_crc(type_raw, size, frame.payload)) {
-    throw WireError(std::string("shard protocol CRC mismatch on a ") +
-                    to_string(frame.type) + " frame: corrupt stream");
+  if (crc != frame_crc(frame.type, size, frame.payload)) {
+    throw WireError("wire protocol CRC mismatch on a type-" +
+                    std::to_string(frame.type) + " frame: corrupt stream");
   }
-  protocol_fault_point("shard.protocol.read", frame.type);
+  protocol_fault_point(fault_site, frame.type);
   return frame;
+}
+
+void write_frame(int fd, MsgType type, std::string_view payload) {
+  write_frame_raw(fd, static_cast<std::uint32_t>(type), payload,
+                  "shard.protocol.write");
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::optional<RawFrame> raw = read_frame_raw(fd, "shard.protocol.read");
+  if (!raw) return std::nullopt;
+  return Frame{static_cast<MsgType>(raw->type), std::move(raw->payload)};
 }
 
 std::string encode_hello(const HelloMsg& msg) {

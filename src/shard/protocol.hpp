@@ -72,6 +72,38 @@ struct Frame {
   std::string payload;
 };
 
+// ---------------------------------------------------------------------------
+// Generic framing layer. The frame format is fd- and protocol-agnostic:
+// any length-prefixed, CRC-guarded message stream (IDGSHRD1 worker
+// channels, the IDGJOB1 server socket) reuses these two functions with its
+// own catalogued fault site. The typed IDGSHRD1 write_frame/read_frame
+// below are thin wrappers.
+
+/// One raw frame: the type field uninterpreted (each protocol defines its
+/// own message-type enum over it).
+struct RawFrame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// Writes one frame, handling partial writes and retrying EINTR (signal
+/// traffic — drain SIGTERM/SIGINT, timers — must never surface as a
+/// spurious WireError). Uses send(MSG_NOSIGNAL) on sockets so a dead peer
+/// surfaces as a WireError (EPIPE) instead of a process-wide SIGPIPE;
+/// falls back to write() for non-socket fds. `fault_site` is the
+/// catalogued injection site checked before any byte is written (index =
+/// frame type); injected idg::Errors are remapped to WireError.
+void write_frame_raw(int fd, std::uint32_t type, std::string_view payload,
+                     const char* fault_site);
+
+/// Reads one frame. Returns nullopt on a clean EOF at a frame boundary;
+/// throws WireError on a mid-frame EOF, a CRC/length violation, or any
+/// read error, and WireTimeout when the fd's receive timeout expires.
+/// EINTR is always retried. `fault_site` is checked after a frame decodes
+/// cleanly (index = frame type), remapped to WireError like the write
+/// side.
+std::optional<RawFrame> read_frame_raw(int fd, const char* fault_site);
+
 /// Writes one frame, handling partial writes and EINTR. Uses
 /// send(MSG_NOSIGNAL) on sockets so a dead peer surfaces as a WireError
 /// (EPIPE) instead of a process-wide SIGPIPE; falls back to write() for

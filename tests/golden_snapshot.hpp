@@ -14,13 +14,14 @@ namespace idg::testgolden {
 
 /// Deterministic fixture: one bulk-recorded stage (no latency samples) and
 /// one single-span stage (exactly one histogram sample), so the goldens
-/// pin both shapes of the idg-obs/v7 latency block, plus non-zero
+/// pin both shapes of the idg-obs/v8 latency block, plus non-zero
 /// data-quality counters on both stages (the v4 addition), non-zero
 /// recovery counters (the v5 addition — the resilient supervisor's
-/// record_recovery channel) and non-zero shard coordination counters (the
-/// v7 addition — the multi-process coordinator's record_shard channel,
-/// omitted-when-empty like the v6 hw block, which the fixture deliberately
-/// never records).
+/// record_recovery channel), non-zero shard coordination counters (the
+/// v7 addition — the multi-process coordinator's record_shard channel)
+/// and non-zero multi-tenant server counters (the v8 addition — the
+/// idg-server daemon's record_server channel, omitted-when-empty like the
+/// v6 hw block, which the fixture deliberately never records).
 inline obs::MetricsSnapshot golden_snapshot() {
   obs::AggregateSink sink;
   sink.record("gridder", 1.5, 3);
@@ -37,6 +38,19 @@ inline obs::MetricsSnapshot golden_snapshot() {
   shard.shards_quarantined = 1;
   shard.merge_seconds = 0.125;
   sink.record_shard("shard", shard);
+  obs::ServerCounters server;
+  server.jobs_admitted = 6;
+  server.jobs_rejected = 3;
+  server.queue_full_rejections = 1;
+  server.quota_rejections = 2;
+  server.jobs_completed = 3;
+  server.jobs_failed = 1;
+  server.jobs_cancelled = 1;
+  server.jobs_checkpointed = 1;
+  server.queue_depth_peak = 4;
+  server.drain_timeouts = 1;
+  server.drained = 1;
+  sink.record_server("server", server);
   OpCounts ops;
   ops.fma = 17;
   ops.mul = 8;

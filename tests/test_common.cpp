@@ -3,13 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <complex>
 #include <cstdint>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/aligned.hpp"
 #include "common/array.hpp"
+#include "common/cancel.hpp"
 #include "common/cli.hpp"
 #include "common/counters.hpp"
 #include "common/error.hpp"
@@ -393,6 +396,99 @@ TEST(WorkerPoolTest, SerialPathPropagatesExceptions) {
         if (i == 2) throw Error("serial boom");
       }),
       Error);
+}
+
+// --- cancellation edge cases (DESIGN.md §12) --------------------------------
+//
+// The idg-server creates a per-job CancelToken at ADMISSION, so these
+// edges are load-bearing there: a zero deadline means "no deadline", an
+// already-expired deadline must throw at the very first check site (the
+// job is cancelled before it ever starts — see the server's
+// deadline-while-queued test), and request_cancel must be safe against a
+// CancelScope tearing down concurrently on another thread.
+
+TEST(CancelTokenTest, ZeroDeadlineNeverExpires) {
+  idg::CancelToken token(0);
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check("test.site"));
+  // Explicit cancellation still works on a deadline-free token.
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check("test.site"), idg::CancelledError);
+}
+
+TEST(CancelTokenTest, AlreadyPastDeadlineThrowsAtFirstCheckByName) {
+  idg::CancelToken token(1);
+  EXPECT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  try {
+    token.check("test.queued", 7);
+    FAIL() << "an expired deadline must throw at the first check";
+  } catch (const idg::CancelledError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadline of 1 ms exceeded"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("test.queued"), std::string::npos) << what;
+    EXPECT_NE(what.find("work group 7"), std::string::npos) << what;
+  }
+  // A deadline crossing is latched: it stays cancelled forever.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check("test.queued"), idg::CancelledError);
+}
+
+TEST(CancelTokenTest, RequestCancelIsIdempotentAndSticky) {
+  idg::CancelToken token;
+  token.request_cancel();
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelScopeTest, CancelRacingScopeTeardownIsSafe) {
+  // One thread hammers request_cancel + any_cancel_requested while another
+  // registers and unregisters scopes for the same token — the exact race
+  // between a job thread finishing (scope teardown) and the server's drain
+  // (request_cancel from the event loop).
+  idg::CancelToken token;
+  std::atomic<bool> stop{false};
+  std::thread canceller([&]() {
+    do {  // at least one cancel, even if the scope loop already finished
+      token.request_cancel();
+      (void)idg::any_cancel_requested();
+    } while (!stop.load(std::memory_order_acquire));
+  });
+  for (int i = 0; i < 2000; ++i) {
+    idg::CancelScope scope(token);
+    // The registry observes the (always-cancelled) token while registered.
+  }
+  stop.store(true, std::memory_order_release);
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+  {
+    idg::CancelScope scope(token);
+    EXPECT_TRUE(idg::any_cancel_requested());
+  }
+  // After every scope is gone, the registry is empty again.
+  EXPECT_FALSE(idg::any_cancel_requested());
+}
+
+TEST(CancelScopeTest, NestedScopesUnregisterInAnyOrderSafely) {
+  idg::CancelToken outer;
+  idg::CancelToken inner;
+  {
+    idg::CancelScope a(outer);
+    {
+      idg::CancelScope b(inner);
+      inner.request_cancel();
+      EXPECT_TRUE(idg::any_cancel_requested());
+    }
+    // inner unregistered; outer is live but not cancelled.
+    EXPECT_FALSE(idg::any_cancel_requested());
+    outer.request_cancel();
+    EXPECT_TRUE(idg::any_cancel_requested());
+  }
+  EXPECT_FALSE(idg::any_cancel_requested());
 }
 
 }  // namespace

@@ -298,7 +298,7 @@ TEST(BadSamplePolicyTest, ScrubCountersFlowIntoSinkAndJsonExport) {
     const std::string json = obs::to_json(snapshot);
     EXPECT_NE(json.find("\"scrubbed_samples\": 3"), std::string::npos)
         << backend;
-    EXPECT_NE(json.find("\"schema\": \"idg-obs/v7\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": \"idg-obs/v8\""), std::string::npos);
   }
 }
 

@@ -279,7 +279,7 @@ TEST(ExportTest, CsvMatchesGoldenFile) {
 
 TEST(ExportTest, EmptySnapshotIsValidJson) {
   const std::string json = obs::to_json({});
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v7\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v8\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\": []"), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\": 0"), std::string::npos);
   EXPECT_NO_THROW(testjson::parse(json));
@@ -287,12 +287,13 @@ TEST(ExportTest, EmptySnapshotIsValidJson) {
 
 TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   const auto doc = testjson::parse(obs::to_json(golden_snapshot()));
-  EXPECT_EQ(doc.at("schema").string, "idg-obs/v7");
+  EXPECT_EQ(doc.at("schema").string, "idg-obs/v8");
   const auto& stages = doc.at("stages");
-  ASSERT_EQ(stages.array.size(), 4u);
-  // Stages sort by name: adder (one sampled span), gridder (bulk), shard
-  // (coordinator counters — the v7 addition), then supervisor (recovery
-  // counters only — the v5 addition).
+  ASSERT_EQ(stages.array.size(), 5u);
+  // Stages sort by name: adder (one sampled span), gridder (bulk), server
+  // (daemon counters — the v8 addition), shard (coordinator counters —
+  // the v7 addition), then supervisor (recovery counters only — the v5
+  // addition).
   const auto& adder = stages.at(0);
   EXPECT_EQ(adder.at("name").string, "adder");
   const auto& latency = adder.at("latency");
@@ -307,7 +308,16 @@ TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   EXPECT_EQ(gridder.at("latency").at("samples").number, 0.0);
   EXPECT_EQ(gridder.at("latency").at("buckets").array.size(), 0u);
   EXPECT_EQ(gridder.at("retried_work_groups").number, 0.0);
-  const auto& shard = stages.at(2);
+  const auto& server = stages.at(2);
+  EXPECT_EQ(server.at("name").string, "server");
+  const auto& server_block = server.at("server");
+  EXPECT_EQ(server_block.at("jobs_admitted").number, 6.0);
+  EXPECT_EQ(server_block.at("jobs_rejected").number, 3.0);
+  EXPECT_EQ(server_block.at("queue_full_rejections").number, 1.0);
+  EXPECT_EQ(server_block.at("quota_rejections").number, 2.0);
+  EXPECT_EQ(server_block.at("jobs_completed").number, 3.0);
+  EXPECT_EQ(server_block.at("jobs_checkpointed").number, 1.0);
+  const auto& shard = stages.at(3);
   EXPECT_EQ(shard.at("name").string, "shard");
   const auto& shard_block = shard.at("shard");
   EXPECT_EQ(shard_block.at("workers_spawned").number, 4.0);
@@ -316,7 +326,7 @@ TEST(ExportTest, JsonParsesAndCarriesLatencyPercentiles) {
   EXPECT_EQ(shard_block.at("shards_rebalanced").number, 2.0);
   EXPECT_EQ(shard_block.at("shards_quarantined").number, 1.0);
   EXPECT_EQ(shard_block.at("merge_seconds").number, 0.125);
-  const auto& supervisor = stages.at(3);
+  const auto& supervisor = stages.at(4);
   EXPECT_EQ(supervisor.at("name").string, "supervisor");
   EXPECT_EQ(supervisor.at("retried_work_groups").number, 2.0);
   EXPECT_EQ(supervisor.at("quarantined_work_groups").number, 1.0);

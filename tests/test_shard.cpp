@@ -18,6 +18,7 @@
 // Injection cases GTEST_SKIP unless built with -DIDG_FAULT_INJECTION=ON.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -27,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
@@ -544,6 +546,101 @@ TEST(ShardCancelTest, SigtermDrainsBothBackendsWithinDeadline) {
     EXPECT_LT(elapsed, std::chrono::seconds(10)) << name;
   }
   shard::reset_drain();
+}
+
+// --- respawn backoff --------------------------------------------------------
+
+TEST(RespawnBackoffTest, FirstRespawnAndDisabledBaseAreFree) {
+  EXPECT_EQ(shard::respawn_backoff_ms(1, 2, 200), 0u);
+  EXPECT_EQ(shard::respawn_backoff_ms(5, 0, 200), 0u);
+  EXPECT_EQ(shard::respawn_backoff_ms(0, 2, 200), 0u);
+}
+
+TEST(RespawnBackoffTest, GrowsExponentiallyAndStaysUnderTheCap) {
+  std::uint32_t previous = 0;
+  for (std::uint32_t nth = 2; nth <= 40; ++nth) {
+    const std::uint32_t delay = shard::respawn_backoff_ms(nth, 2, 200);
+    // min(cap, base << (n-1)) with at least half guaranteed: never more
+    // than the cap, never less than half the nominal (capped) value.
+    EXPECT_LE(delay, 200u) << "nth=" << nth;
+    const std::uint64_t nominal =
+        std::min<std::uint64_t>(200, std::uint64_t{2} << (nth - 1));
+    EXPECT_GE(delay, nominal / 2) << "nth=" << nth;
+    // Monotone non-decreasing until the cap region (jitter may wiggle
+    // inside the cap, but the early doubling dominates it).
+    if (nth <= 6) {
+      EXPECT_GE(delay, previous) << "nth=" << nth;
+      previous = delay;
+    }
+  }
+}
+
+TEST(RespawnBackoffTest, DeterministicPerOrdinalButNotLockstep) {
+  // Same ordinal -> same delay (resumable, testable); different ordinals
+  // inside the cap region -> jitter decorrelates them.
+  for (std::uint32_t nth = 2; nth <= 12; ++nth) {
+    EXPECT_EQ(shard::respawn_backoff_ms(nth, 2, 200),
+              shard::respawn_backoff_ms(nth, 2, 200));
+  }
+  bool any_difference = false;
+  for (std::uint32_t nth = 10; nth < 20; ++nth) {
+    if (shard::respawn_backoff_ms(nth, 2, 200) !=
+        shard::respawn_backoff_ms(nth + 1, 2, 200)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "capped delays must not be lockstep";
+}
+
+// --- EINTR hardening --------------------------------------------------------
+
+TEST(ProtocolTest, FramingSurvivesASignalStormWithoutSaRestart) {
+  // A SIGALRM storm with SA_RESTART deliberately OFF makes every blocking
+  // read/write on the socketpair eligible for EINTR. The framing layer's
+  // retry loops must absorb all of them: no WireError, bit-exact payloads.
+  struct sigaction old_action {};
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // NO SA_RESTART: force EINTR on blocked syscalls
+  ASSERT_EQ(::sigaction(SIGALRM, &action, &old_action), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 500;  // every 0.5 ms
+  storm.it_value.tv_usec = 500;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // A payload much larger than the socket buffer forces many partial
+  // writes, each interruptible; the reader thread drains concurrently.
+  std::string big(8 << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>((i * 131) & 0xff);
+  }
+  std::vector<shard::RawFrame> received;
+  std::thread reader([&]() {
+    while (auto frame = shard::read_frame_raw(sv[1], "test.eintr.read")) {
+      received.push_back(std::move(*frame));
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NO_THROW(
+        shard::write_frame_raw(sv[0], 7, big, "test.eintr.write"));
+  }
+  ::shutdown(sv[0], SHUT_WR);
+  reader.join();
+
+  itimerval off{};
+  ::setitimer(ITIMER_REAL, &off, nullptr);
+  ::sigaction(SIGALRM, &old_action, nullptr);
+
+  ASSERT_EQ(received.size(), 4u);
+  for (const auto& frame : received) {
+    EXPECT_EQ(frame.type, 7u);
+    EXPECT_EQ(frame.payload, big);
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
 }
 
 }  // namespace

@@ -242,7 +242,7 @@ TEST(SupervisorTest, TransientFaultIsRetriedAndResultIsBitIdentical) {
   EXPECT_EQ(snapshot.at(stage::kSupervisor).quarantined_work_groups, 0u);
   const std::string json = obs::to_json(snapshot);
   EXPECT_NE(json.find("\"retried_work_groups\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema\": \"idg-obs/v7\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"idg-obs/v8\""), std::string::npos);
 }
 
 TEST(SupervisorTest, PersistentFaultQuarantinesTheGroupAndRunCompletes) {
